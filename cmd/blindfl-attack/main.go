@@ -1,0 +1,49 @@
+// Command blindfl-attack runs the privacy-preservation experiments of the
+// paper's Section 7.2: the forward-activation label attack (Fig. 9), the
+// backward-derivative label attack (Fig. 10), and the weight/share
+// comparison (Fig. 11), against both the split-learning baseline and
+// BlindFL.
+//
+// Usage:
+//
+//	blindfl-attack            # all three, quick sizes
+//	blindfl-attack -full      # paper-scale sizes (slow)
+//	blindfl-attack -exp fig10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blindfl/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig9|fig10|fig11|all")
+	full := flag.Bool("full", false, "paper-scale sizes (slow; default is quick)")
+	flag.Parse()
+
+	quick := !*full
+	switch *exp {
+	case "fig9":
+		printAll(bench.Fig9(quick))
+	case "fig10":
+		printAll(bench.Fig10(quick))
+	case "fig11":
+		printAll(bench.Fig11(quick))
+	case "all":
+		printAll(bench.Fig9(quick))
+		printAll(bench.Fig10(quick))
+		printAll(bench.Fig11(quick))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func printAll(ts []*bench.Table) {
+	for _, t := range ts {
+		t.Print(os.Stdout)
+	}
+}

@@ -1,0 +1,167 @@
+// Package attack implements the semi-honest adversarial analyses of the
+// paper's Section 7.2: the forward-activation label attack (Fig. 9), the
+// backward-derivative cosine-direction label attack (Fig. 10), and the
+// weight-versus-share divergence measurement (Fig. 11). These are run
+// against the split-learning baseline (where they succeed) and against
+// BlindFL's shares (where they degrade to chance).
+package attack
+
+import (
+	"math"
+
+	"blindfl/internal/nn"
+	"blindfl/internal/tensor"
+)
+
+// ActivationAUC scores the forward-activation attack for binary tasks:
+// Party A uses its locally computable activation column as a label score.
+// 0.5 means the activations carry no label information.
+func ActivationAUC(zA *tensor.Dense, y []int) float64 {
+	return foldAUC(nn.AUC(nn.Scores(zA), y))
+}
+
+// foldAUC folds an AUC around 0.5: an adversary free to negate its score
+// achieves max(a, 1−a).
+func foldAUC(a float64) float64 { return math.Max(a, 1-a) }
+
+// ActivationAccuracy scores the attack for multi-class tasks: argmax over
+// A's activation columns against the true class.
+func ActivationAccuracy(zA *tensor.Dense, y []int) float64 {
+	return nn.Accuracy(zA, y)
+}
+
+// DerivativeLabelAccuracy is the Fig. 10 attack: for binary classification
+// under logistic loss, the derivatives ∇E_A of positive and negative
+// instances point in opposite directions, so Party A splits the batch by
+// the sign of each row's projection onto the batch's dominant direction
+// (computed by power iteration — a more robust variant of the paper's
+// pairwise cosine-similarity clustering) and reads the labels off the two
+// clusters. Returns the fraction of the batch labelled correctly, folded
+// since the adversary can flip the cluster naming.
+func DerivativeLabelAccuracy(gradEA *tensor.Dense, y []int) float64 {
+	if gradEA.Rows != len(y) || gradEA.Rows == 0 {
+		return 0
+	}
+	dir := dominantDirection(gradEA)
+	correct := 0
+	for i := 0; i < gradEA.Rows; i++ {
+		pred := 0
+		if dot(dir, gradEA.Row(i)) > 0 {
+			pred = 1
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(y))
+	return math.Max(acc, 1-acc)
+}
+
+// dominantDirection approximates the top right-singular vector of g with a
+// few rounds of power iteration on gᵀg, seeded by the largest-norm row.
+func dominantDirection(g *tensor.Dense) []float64 {
+	v := make([]float64, g.Cols)
+	best, bestNorm := 0, 0.0
+	for i := 0; i < g.Rows; i++ {
+		n := dot(g.Row(i), g.Row(i))
+		if n > bestNorm {
+			bestNorm = n
+			best = i
+		}
+	}
+	copy(v, g.Row(best))
+	if bestNorm == 0 {
+		v[0] = 1
+		return v
+	}
+	tmp := make([]float64, g.Rows)
+	for iter := 0; iter < 5; iter++ {
+		// tmp = g·v; v = gᵀ·tmp, normalized.
+		for i := 0; i < g.Rows; i++ {
+			tmp[i] = dot(g.Row(i), v)
+		}
+		for j := range v {
+			v[j] = 0
+		}
+		for i := 0; i < g.Rows; i++ {
+			row := g.Row(i)
+			for j := range v {
+				v[j] += row[j] * tmp[i]
+			}
+		}
+		n := math.Sqrt(dot(v, v))
+		if n == 0 {
+			break
+		}
+		for j := range v {
+			v[j] /= n
+		}
+	}
+	return v
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// ShareStats quantifies the Fig. 11 comparison between a true weight tensor
+// and the single share a party holds.
+type ShareStats struct {
+	Correlation   float64 // Pearson correlation share vs truth
+	SignAgreement float64 // fraction of coordinates with matching sign
+	TrueMaxAbs    float64
+	ShareMaxAbs   float64
+}
+
+// CompareShares computes ShareStats for a (truth, share) pair of equal
+// shape. For a properly masked share, Correlation ≈ 0, SignAgreement ≈ 0.5
+// and ShareMaxAbs ≫ TrueMaxAbs.
+func CompareShares(truth, share *tensor.Dense) ShareStats {
+	n := float64(len(truth.Data))
+	var mt, ms float64
+	for i := range truth.Data {
+		mt += truth.Data[i]
+		ms += share.Data[i]
+	}
+	mt /= n
+	ms /= n
+	var cov, vt, vs float64
+	agree := 0
+	for i := range truth.Data {
+		dt := truth.Data[i] - mt
+		dsh := share.Data[i] - ms
+		cov += dt * dsh
+		vt += dt * dt
+		vs += dsh * dsh
+		if (truth.Data[i] >= 0) == (share.Data[i] >= 0) {
+			agree++
+		}
+	}
+	corr := 0.0
+	if vt > 0 && vs > 0 {
+		corr = cov / math.Sqrt(vt*vs)
+	}
+	return ShareStats{
+		Correlation:   corr,
+		SignAgreement: float64(agree) / n,
+		TrueMaxAbs:    truth.MaxAbs(),
+		ShareMaxAbs:   share.MaxAbs(),
+	}
+}

@@ -1,0 +1,123 @@
+package attack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blindfl/internal/tensor"
+)
+
+func TestActivationAUCPerfectSignal(t *testing.T) {
+	z := tensor.FromSlice(4, 1, []float64{-2, -1, 1, 2})
+	y := []int{0, 0, 1, 1}
+	if got := ActivationAUC(z, y); got != 1 {
+		t.Fatalf("AUC = %v", got)
+	}
+	// Folded: an inverted signal is equally leaky.
+	yInv := []int{1, 1, 0, 0}
+	if got := ActivationAUC(z, yInv); got != 1 {
+		t.Fatalf("folded AUC = %v", got)
+	}
+}
+
+func TestActivationAUCOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := tensor.RandDense(rng, 500, 1, 1)
+	y := make([]int, 500)
+	for i := range y {
+		y[i] = rng.Intn(2)
+	}
+	if got := ActivationAUC(z, y); got > 0.58 {
+		t.Fatalf("AUC on noise = %v; expected ≈ 0.5", got)
+	}
+}
+
+func TestDerivativeAttackOnOppositeDirections(t *testing.T) {
+	// Logistic-loss structure: positives and negatives share a direction
+	// with opposite signs (plus noise).
+	rng := rand.New(rand.NewSource(2))
+	dir := make([]float64, 6)
+	for i := range dir {
+		dir[i] = rng.NormFloat64()
+	}
+	g := tensor.NewDense(100, 6)
+	y := make([]int, 100)
+	for i := 0; i < 100; i++ {
+		sign := -1.0
+		if rng.Intn(2) == 1 {
+			y[i] = 1
+			sign = 1
+		}
+		for j := range dir {
+			g.Set(i, j, sign*dir[j]+0.05*rng.NormFloat64())
+		}
+	}
+	if got := DerivativeLabelAccuracy(g, y); got < 0.98 {
+		t.Fatalf("attack accuracy %v on structured derivatives", got)
+	}
+}
+
+func TestDerivativeAttackDegenerate(t *testing.T) {
+	if got := DerivativeLabelAccuracy(tensor.NewDense(0, 3), nil); got != 0 {
+		t.Fatalf("empty input = %v", got)
+	}
+	// All-zero gradients: folded accuracy equals the majority class share.
+	g := tensor.NewDense(10, 3)
+	y := []int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	if got := DerivativeLabelAccuracy(g, y); got != 0.5 {
+		t.Fatalf("zero gradients = %v", got)
+	}
+}
+
+func TestCompareSharesUncorrelated(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	truth := tensor.RandDense(rng, 20, 10, 0.5)
+	share := tensor.RandDense(rng, 20, 10, 1e5)
+	st := CompareShares(truth, share)
+	if math.Abs(st.Correlation) > 0.2 {
+		t.Fatalf("correlation %v on independent share", st.Correlation)
+	}
+	if st.SignAgreement < 0.35 || st.SignAgreement > 0.65 {
+		t.Fatalf("sign agreement %v", st.SignAgreement)
+	}
+	if st.ShareMaxAbs < 1000*st.TrueMaxAbs {
+		t.Fatalf("share spread %v not ≫ truth spread %v", st.ShareMaxAbs, st.TrueMaxAbs)
+	}
+}
+
+func TestCompareSharesIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	truth := tensor.RandDense(rng, 10, 10, 1)
+	st := CompareShares(truth, truth)
+	if st.Correlation < 0.999 || st.SignAgreement != 1 {
+		t.Fatalf("self comparison: %+v", st)
+	}
+}
+
+func TestDominantDirectionRecoversSignal(t *testing.T) {
+	// Rows = ±v plus small noise; the dominant direction must align with v.
+	rng := rand.New(rand.NewSource(5))
+	v := []float64{3, -1, 2, 0.5}
+	g := tensor.NewDense(50, 4)
+	for i := 0; i < 50; i++ {
+		s := 1.0
+		if i%2 == 0 {
+			s = -1
+		}
+		for j := range v {
+			g.Set(i, j, s*v[j]+0.01*rng.NormFloat64())
+		}
+	}
+	dir := dominantDirection(g)
+	// |cos(dir, v)| ≈ 1.
+	var dotv, nv, nd float64
+	for j := range v {
+		dotv += dir[j] * v[j]
+		nv += v[j] * v[j]
+		nd += dir[j] * dir[j]
+	}
+	if c := math.Abs(dotv) / math.Sqrt(nv*nd); c < 0.999 {
+		t.Fatalf("cosine with planted direction = %v", c)
+	}
+}

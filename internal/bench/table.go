@@ -1,0 +1,126 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (Sec. 7 and Appendix D) on the synthetic dataset stand-ins.
+// Each experiment returns printable Tables; the blindfl-bench command and
+// the top-level benchmark suite are thin wrappers around these functions.
+//
+// Absolute times differ from the paper (pure-Go big.Int vs GMP+OpenMP on
+// two 96-core servers); the shapes the experiments check are relative:
+// who wins, by what factor, and where the crossovers fall.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a printable result grid.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a footnote.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the table with aligned columns.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = pad(c, widths[i])
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a named sequence of values (one curve of a figure).
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// SeriesTable renders several curves sampled at the same points.
+func SeriesTable(title, xName string, xs []int, series []Series) *Table {
+	t := &Table{Title: title, Header: append([]string{xName}, names(series)...)}
+	for i, x := range xs {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range series {
+			if i < len(s.Values) {
+				row = append(row, fmt.Sprintf("%.4f", s.Values[i]))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+func names(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Downsample keeps ≤ n evenly spaced points of a curve (for printing loss
+// curves without thousands of rows).
+func Downsample(v []float64, n int) (idx []int, out []float64) {
+	if len(v) <= n {
+		idx = make([]int, len(v))
+		for i := range v {
+			idx[i] = i
+		}
+		return idx, v
+	}
+	for i := 0; i < n; i++ {
+		j := i * (len(v) - 1) / (n - 1)
+		idx = append(idx, j)
+		out = append(out, v[j])
+	}
+	return idx, out
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTablePrint(t *testing.T) {
+	tb := &Table{Title: "demo", Header: []string{"name", "value"}}
+	tb.Add("alpha", "1")
+	tb.Add("beta-longer", "2.5")
+	tb.Note("a footnote with %d parts", 2)
+	var sb strings.Builder
+	tb.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "alpha", "beta-longer", "note: a footnote with 2 parts"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: the header separator row exists.
+	if !strings.Contains(out, "----") {
+		t.Error("missing separator")
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	tb := SeriesTable("curves", "step", []int{0, 5, 10}, []Series{
+		{Name: "a", Values: []float64{1, 2, 3}},
+		{Name: "b", Values: []float64{4, 5}}, // shorter: prints "-" for missing
+	})
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[2][1] != "3.0000" || tb.Rows[2][2] != "-" {
+		t.Fatalf("last row = %v", tb.Rows[2])
+	}
+	if tb.Header[0] != "step" || tb.Header[1] != "a" || tb.Header[2] != "b" {
+		t.Fatalf("header = %v", tb.Header)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	v := make([]float64, 100)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	idx, out := Downsample(v, 5)
+	if len(idx) != 5 || len(out) != 5 {
+		t.Fatalf("lens %d/%d", len(idx), len(out))
+	}
+	if idx[0] != 0 || idx[4] != 99 {
+		t.Fatalf("endpoints %v", idx)
+	}
+	for i := range idx {
+		if out[i] != float64(idx[i]) {
+			t.Fatal("values do not match indices")
+		}
+	}
+	// Short input passes through unchanged.
+	idx2, out2 := Downsample([]float64{7, 8}, 5)
+	if len(idx2) != 2 || out2[1] != 8 {
+		t.Fatalf("short input: %v %v", idx2, out2)
+	}
+}

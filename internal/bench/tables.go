@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"blindfl/internal/data"
+	"blindfl/internal/model"
+	"blindfl/internal/nn"
+	"blindfl/internal/protocol"
+	"blindfl/internal/secureml"
+	"blindfl/internal/tensor"
+)
+
+// table5Rows lists the dataset/model pairs of the paper's Table 5 with the
+// source-layer output width implied by the model.
+var table5Rows = []struct {
+	Dataset string
+	Model   string
+	Out     int
+}{
+	{"a9a", "LR", 1},
+	{"w8a", "LR", 1},
+	{"connect-4", "MLP", 16},
+	{"higgs", "LR", 1},
+	{"news20", "MLR", 20},
+	{"avazu-app", "LR", 1},
+	{"industry", "LR", 1},
+}
+
+// Table5 regenerates the per-minibatch training-time comparison of BlindFL
+// vs SecureML vs client-aided SecureML. Quick mode uses batch 32, one timed
+// iteration, and skips the two largest specs' dense baselines when they
+// would exceed the time budget.
+func Table5(quick bool) *Table {
+	batch, iters := 128, 3
+	if quick {
+		batch, iters = 32, 1
+	}
+	t := &Table{
+		Title:  "Table 5: training time per mini-batch (seconds, matmul only)",
+		Header: []string{"dataset", "sparsity", "model", "BlindFL", "SecureML", "SecureML(client-aided)"},
+	}
+	const heCap = 512 // HE triple generation measured up to this many dims
+	for _, row := range table5Rows {
+		spec := data.MustSpec(row.Dataset)
+		bf := TimeBlindFLBatch(spec, batch, row.Out, iters)
+
+		heSec, heExtrap, heCell := 0.0, false, ""
+		heSec, heExtrap = TimeSecureMLBatch(spec, batch, row.Out, 1, secureml.HEGenerated, heCap)
+		heCell = fmt.Sprintf("%.3f", heSec)
+		if heExtrap {
+			heCell = fmt.Sprintf(">%.0f (extrapolated)", heSec)
+		}
+
+		caCell := ""
+		if quick && spec.Feats > 300000 {
+			// One full dense pass over 10⁶ dims is seconds; estimate from a
+			// tenth of the dimensionality in quick mode.
+			sub := spec
+			sub.Feats = spec.Feats / 10
+			s, _ := TimeSecureMLBatch(sub, batch, row.Out, 1, secureml.ClientAided, 0)
+			caCell = fmt.Sprintf("≈%.3f (×10 scaled)", s*10)
+		} else {
+			s, _ := TimeSecureMLBatch(spec, batch, row.Out, iters, secureml.ClientAided, 0)
+			caCell = fmt.Sprintf("%.3f", s)
+		}
+
+		t.Add(row.Dataset, fmt.Sprintf("%.2f%%", spec.Sparsity()*100), row.Model,
+			fmt.Sprintf("%.3f", bf), heCell, caCell)
+	}
+	t.Note("paper shape: BlindFL beats SecureML everywhere (>50× when sparse); client-aided wins on small/dense, loses on ultra-sparse high-dimensional specs")
+	t.Note("HE-generated triples above %d dims are measured on a slice and extrapolated linearly (the paper reports >1800s / OOM there)", heCap)
+	return t
+}
+
+// Table6 is the fmnist dense-MLP timing of Appendix D.1.
+func Table6(quick bool) *Table {
+	batch, iters := 128, 1
+	hidden := 16
+	if quick {
+		batch, hidden = 32, 8
+	}
+	spec := data.MustSpec("fmnist")
+	t := &Table{
+		Title:  "Table 6: fmnist MLP training time per mini-batch (seconds, matmul only)",
+		Header: []string{"dataset", "model", "BlindFL", "SecureML", "SecureML(client-aided)"},
+	}
+	bf := TimeBlindFLBatch(spec, batch, hidden, iters)
+	he, extrap := TimeSecureMLBatch(spec, batch, hidden, 1, secureml.HEGenerated, 512)
+	heCell := fmt.Sprintf("%.3f", he)
+	if extrap {
+		heCell = fmt.Sprintf(">%.0f (extrapolated)", he)
+	}
+	ca, _ := TimeSecureMLBatch(spec, batch, hidden, iters, secureml.ClientAided, 0)
+	t.Add("fmnist", "MLP", fmt.Sprintf("%.3f", bf), heCell, fmt.Sprintf("%.3f", ca))
+	t.Note("paper shape: BlindFL ≈ 2× faster than SecureML; client-aided fastest on this small dense input")
+	return t
+}
+
+// Table7 sweeps the source layer's output dimensionality on the connect-4
+// spec (3-layer MLP): time grows ≈ proportionally, accuracy creeps up.
+func Table7(quick bool) *Table {
+	dims := []int{32, 64, 128, 256}
+	if quick {
+		dims = []int{8, 16, 32}
+	}
+	spec := data.MustSpec("connect-4")
+	batch := 128
+	if quick {
+		batch = 32
+	}
+	t := &Table{
+		Title:  "Table 7: scalability vs source-layer output dim (connect-4, 3-layer MLP)",
+		Header: []string{"hidden dim", "time/batch (s)", "relative", "val accuracy"},
+	}
+	var base float64
+	for i, dim := range dims {
+		sec := TimeBlindFLBatch(spec, batch, dim, 1)
+		if i == 0 {
+			base = sec
+		}
+		acc := table7Accuracy(spec, dim, quick)
+		t.Add(fmt.Sprintf("%d", dim), fmt.Sprintf("%.3f", sec),
+			fmt.Sprintf("%.2f×", sec/base), fmt.Sprintf("%.1f%%", acc*100))
+	}
+	t.Note("paper shape: time ∝ output dim (1×, ~2×, ~4×, ~8×); accuracy increases slightly with width")
+	return t
+}
+
+// table7Accuracy trains the plaintext mirror briefly — the validation
+// accuracy column measures model capacity, not the protocol, so the
+// collocated equivalent (provably equal by the lossless property) stands in
+// for multi-hour federated training.
+func table7Accuracy(spec data.Spec, hidden int, quick bool) float64 {
+	spec.Train, spec.Test = 1500, 500
+	ds := data.Generate(spec, 21)
+	h := model.DefaultHyper()
+	h.Hidden = []int{hidden, 16}
+	h.Epochs = 8
+	if quick {
+		h.Epochs = 3
+	}
+	return model.TrainCollocated(model.MLP, ds, h).TestMetric
+}
+
+// Table8 sweeps the number of MLP layers at fixed source width: the time is
+// dominated by the source layer, so depth barely matters.
+func Table8(quick bool) *Table {
+	layerCounts := []int{3, 4, 5, 6}
+	spec := data.MustSpec("connect-4")
+	batch, out := 128, 64
+	if quick {
+		batch, out = 32, 16
+	}
+	t := &Table{
+		Title:  "Table 8: scalability vs number of MLP layers (connect-4)",
+		Header: []string{"#layers", "time/batch (s)", "relative", "val accuracy"},
+	}
+	var base float64
+	for i, layers := range layerCounts {
+		// The federated cost is the source layer plus a plaintext top; the
+		// top model's extra 32-unit layers are plaintext matmuls.
+		srcSec := TimeBlindFLBatch(spec, batch, out, 1)
+		topSec := timePlainTop(batch, out, layers, quick)
+		sec := srcSec + topSec
+		if i == 0 {
+			base = sec
+		}
+		acc := table8Accuracy(spec, out, layers, quick)
+		t.Add(fmt.Sprintf("%d", layers), fmt.Sprintf("%.3f", sec),
+			fmt.Sprintf("%.2f×", sec/base), fmt.Sprintf("%.1f%%", acc*100))
+	}
+	t.Note("paper shape: depth changes time by ≤2%% — the federated source layer dominates")
+	return t
+}
+
+// timePlainTop measures the plaintext top model's cost for a given depth:
+// layers-1 hidden transitions ending in 3 classes (connect-4).
+func timePlainTop(batch, in, layers int, quick bool) float64 {
+	rng := rand.New(rand.NewSource(31))
+	var mods []nn.Module
+	prev := in
+	widths := topWidths(in, layers)
+	for _, w := range widths {
+		mods = append(mods, nn.NewLinear(rng, prev, w), &nn.ReLU{})
+		prev = w
+	}
+	mods = append(mods, nn.NewLinear(rng, prev, 3))
+	seq := nn.NewSequential(mods...)
+	x := tensor.RandDense(rng, batch, in, 1)
+	g := tensor.RandDense(rng, batch, 3, 0.1)
+	iters := 20
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		seq.Forward(x)
+		seq.Backward(g)
+	}
+	return time.Since(start).Seconds() / float64(iters)
+}
+
+// topWidths follows the paper's setup: first width 64 (the source output),
+// last-but-one 16, 32-unit layers inserted in the middle.
+func topWidths(in, layers int) []int {
+	// layers counts all linear layers including the source layer and the
+	// final classifier; the top model holds layers−2 hidden transitions
+	// before the classifier.
+	n := layers - 2
+	var out []int
+	for i := 0; i < n-1; i++ {
+		out = append(out, 32)
+	}
+	if n >= 1 {
+		out = append(out, 16)
+	}
+	return out
+}
+
+func table8Accuracy(spec data.Spec, first, layers int, quick bool) float64 {
+	spec.Train, spec.Test = 1500, 500
+	ds := data.Generate(spec, 22)
+	h := model.DefaultHyper()
+	h.Hidden = append([]int{first}, topWidths(first, layers)...)
+	h.Epochs = 8
+	if quick {
+		h.Epochs = 3
+	}
+	return model.TrainCollocated(model.MLP, ds, h).TestMetric
+}
+
+// quickPipe builds a fresh in-process protocol session.
+func quickPipe(seed int64) (*protocol.Peer, *protocol.Peer) {
+	skA, skB := protocol.TestKeys()
+	pa, pb, err := protocol.Pipe(skA, skB, seed)
+	if err != nil {
+		panic(err)
+	}
+	return pa, pb
+}

@@ -1,0 +1,34 @@
+package core
+
+import "blindfl/internal/tensor"
+
+// Asymmetric-alignment support (paper Sec. 8, following Liu et al.,
+// "Asymmetrical Vertical Federated Learning"): when only Party B may learn
+// the PSI intersection, the mini-batch contains filler instances that Party
+// A must not be able to distinguish. Party B zeroes the derivative rows of
+// the non-intersection instances before the backward protocol — the tweak
+// to Fig. 6 line 9 / Fig. 7 line 12 the paper describes — so the model
+// gradients are exactly those of the true intersection while Party A sees a
+// full-size encrypted derivative either way.
+
+// MaskDerivativeRows returns a copy of gradZ with the rows of instances
+// outside the intersection zeroed. inIntersection[i] corresponds to batch
+// row i; a nil slice returns gradZ unchanged.
+func MaskDerivativeRows(gradZ *tensor.Dense, inIntersection []bool) *tensor.Dense {
+	if inIntersection == nil {
+		return gradZ
+	}
+	if len(inIntersection) != gradZ.Rows {
+		panic("core: MaskDerivativeRows membership length mismatch")
+	}
+	out := gradZ.Clone()
+	for i, in := range inIntersection {
+		if !in {
+			row := out.Row(i)
+			for j := range row {
+				row[j] = 0
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+func TestMaskDerivativeRows(t *testing.T) {
+	g := tensor.FromSlice(3, 2, []float64{1, 2, 3, 4, 5, 6})
+	masked := MaskDerivativeRows(g, []bool{true, false, true})
+	want := tensor.FromSlice(3, 2, []float64{1, 2, 0, 0, 5, 6})
+	if !masked.Equal(want, 0) {
+		t.Fatalf("masked = %v", masked.Data)
+	}
+	// Original untouched; nil membership is identity.
+	if g.At(1, 0) != 3 {
+		t.Fatal("input mutated")
+	}
+	if MaskDerivativeRows(g, nil) != g {
+		t.Fatal("nil membership should return the input")
+	}
+}
+
+func TestMaskDerivativeRowsPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MaskDerivativeRows(tensor.NewDense(2, 1), []bool{true})
+}
+
+// TestAsymmetricAlignmentTrainsOnIntersectionOnly verifies the Sec. 8
+// extension end to end: a batch padded with filler instances whose
+// derivatives B zeroes must produce exactly the update of the
+// intersection-only batch.
+func TestAsymmetricAlignmentTrainsOnIntersectionOnly(t *testing.T) {
+	pa, pb := pipe(t, 430)
+	cfg := Config{Out: 1, LR: 0.1}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 3, 3)
+
+	rng := rand.New(rand.NewSource(1))
+	// 4 instances; rows 1 and 3 are fillers outside the intersection.
+	xA := tensor.RandDense(rng, 4, 3, 1)
+	xB := tensor.RandDense(rng, 4, 3, 1)
+	gradZ := tensor.RandDense(rng, 4, 1, 1)
+	member := []bool{true, false, true, false}
+
+	// Reference: one SGD step on the intersection rows only.
+	keep := []int{0, 2}
+	wantWA := DebugWeightsA(la, lb).Sub(xA.GatherRows(keep).TransposeMatMul(gradZ.GatherRows(keep)).Scale(cfg.LR))
+	wantWB := DebugWeightsB(la, lb).Sub(xB.GatherRows(keep).TransposeMatMul(gradZ.GatherRows(keep)).Scale(cfg.LR))
+
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(DenseFeatures{xA}); la.Backward() },
+		func() {
+			lb.Forward(DenseFeatures{xB})
+			lb.Backward(MaskDerivativeRows(gradZ, member))
+		},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := DebugWeightsA(la, lb); !got.Equal(wantWA, 1e-4) {
+		t.Fatalf("asymmetric W_A update wrong (maxdiff %g)", got.Sub(wantWA).MaxAbs())
+	}
+	if got := DebugWeightsB(la, lb); !got.Equal(wantWB, 1e-4) {
+		t.Fatalf("asymmetric W_B update wrong (maxdiff %g)", got.Sub(wantWB).MaxAbs())
+	}
+}

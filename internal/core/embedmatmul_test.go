@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+func newEmbedPair(t testing.TB, pa, pb *protocol.Peer, cfg EmbedConfig) (*EmbedMatMulA, *EmbedMatMulB) {
+	t.Helper()
+	var la *EmbedMatMulA
+	var lb *EmbedMatMulB
+	if err := protocol.RunParties(pa, pb,
+		func() { la = NewEmbedMatMulA(pa, cfg) },
+		func() { lb = NewEmbedMatMulB(pb, cfg) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	return la, lb
+}
+
+func randIdx(rng *rand.Rand, rows, cols, vocab int) *tensor.IntMatrix {
+	x := tensor.NewIntMatrix(rows, cols)
+	for i := range x.Data {
+		x.Data[i] = rng.Intn(vocab)
+	}
+	return x
+}
+
+func embedTestCfg() EmbedConfig {
+	return EmbedConfig{
+		Config: Config{Out: 2, LR: 0.1},
+		VocabA: 6, VocabB: 5,
+		FieldsA: 2, FieldsB: 3,
+		Dim: 2,
+	}
+}
+
+// plaintextZ computes E_A·W_A + E_B·W_B from the reconstructed model.
+func plaintextZ(la *EmbedMatMulA, lb *EmbedMatMulB, xA, xB *tensor.IntMatrix) *tensor.Dense {
+	eA := tensor.Lookup(DebugTableA(la, lb), xA)
+	eB := tensor.Lookup(DebugTableB(la, lb), xB)
+	return eA.MatMul(DebugEmbedWeightsA(la, lb)).Add(eB.MatMul(DebugEmbedWeightsB(la, lb)))
+}
+
+func TestEmbedMatMulForwardMatchesPlaintext(t *testing.T) {
+	pa, pb := pipe(t, 200)
+	cfg := embedTestCfg()
+	la, lb := newEmbedPair(t, pa, pb, cfg)
+
+	rng := rand.New(rand.NewSource(1))
+	xA := randIdx(rng, 4, cfg.FieldsA, cfg.VocabA)
+	xB := randIdx(rng, 4, cfg.FieldsB, cfg.VocabB)
+	want := plaintextZ(la, lb, xA, xB)
+
+	var z *tensor.Dense
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(xA) },
+		func() { z = lb.Forward(xB) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if !z.Equal(want, 1e-5) {
+		t.Fatalf("federated Z diverges:\n got %v\nwant %v", z.Data, want.Data)
+	}
+}
+
+func TestEmbedMatMulBackwardMatchesSGD(t *testing.T) {
+	pa, pb := pipe(t, 201)
+	cfg := embedTestCfg()
+	la, lb := newEmbedPair(t, pa, pb, cfg)
+
+	rng := rand.New(rand.NewSource(2))
+	xA := randIdx(rng, 4, cfg.FieldsA, cfg.VocabA)
+	xB := randIdx(rng, 4, cfg.FieldsB, cfg.VocabB)
+	gradZ := tensor.RandDense(rng, 4, cfg.Out, 1)
+
+	// Plaintext reference: one SGD step on Q_A, Q_B, W_A, W_B.
+	qA0, qB0 := DebugTableA(la, lb), DebugTableB(la, lb)
+	wA0, wB0 := DebugEmbedWeightsA(la, lb), DebugEmbedWeightsB(la, lb)
+	eA := tensor.Lookup(qA0, xA)
+	eB := tensor.Lookup(qB0, xB)
+	wantWA := wA0.Sub(eA.TransposeMatMul(gradZ).Scale(cfg.LR))
+	wantWB := wB0.Sub(eB.TransposeMatMul(gradZ).Scale(cfg.LR))
+	gradEA := gradZ.MatMulTranspose(wA0)
+	gradEB := gradZ.MatMulTranspose(wB0)
+	wantQA := qA0.Sub(tensor.LookupBackward(gradEA, xA, cfg.VocabA, cfg.Dim).Scale(cfg.LR))
+	wantQB := qB0.Sub(tensor.LookupBackward(gradEB, xB, cfg.VocabB, cfg.Dim).Scale(cfg.LR))
+
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(xA); la.Backward() },
+		func() { lb.Forward(xB); lb.Backward(gradZ) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := DebugEmbedWeightsA(la, lb); !got.Equal(wantWA, 1e-4) {
+		t.Fatalf("W_A update wrong:\n got %v\nwant %v", got.Data, wantWA.Data)
+	}
+	if got := DebugEmbedWeightsB(la, lb); !got.Equal(wantWB, 1e-4) {
+		t.Fatalf("W_B update wrong:\n got %v\nwant %v", got.Data, wantWB.Data)
+	}
+	if got := DebugTableA(la, lb); !got.Equal(wantQA, 1e-4) {
+		t.Fatalf("Q_A update wrong:\n got %v\nwant %v", got.Data, wantQA.Data)
+	}
+	if got := DebugTableB(la, lb); !got.Equal(wantQB, 1e-4) {
+		t.Fatalf("Q_B update wrong:\n got %v\nwant %v", got.Data, wantQB.Data)
+	}
+}
+
+func TestEmbedMatMulMultiStepConsistency(t *testing.T) {
+	pa, pb := pipe(t, 202)
+	cfg := embedTestCfg()
+	cfg.LR = 0.05
+	la, lb := newEmbedPair(t, pa, pb, cfg)
+
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 3; step++ {
+		xA := randIdx(rng, 3, cfg.FieldsA, cfg.VocabA)
+		xB := randIdx(rng, 3, cfg.FieldsB, cfg.VocabB)
+		gradZ := tensor.RandDense(rng, 3, cfg.Out, 1)
+		want := plaintextZ(la, lb, xA, xB)
+		var z *tensor.Dense
+		if err := protocol.RunParties(pa, pb,
+			func() { la.Forward(xA); la.Backward() },
+			func() { z = lb.Forward(xB); lb.Backward(gradZ) },
+		); err != nil {
+			t.Fatal(err)
+		}
+		if !z.Equal(want, 1e-4) {
+			t.Fatalf("step %d: forward inconsistent with reconstructed model (maxdiff %g)",
+				step, z.Sub(want).MaxAbs())
+		}
+	}
+}
+
+func TestEmbedMatMulMomentum(t *testing.T) {
+	pa, pb := pipe(t, 203)
+	cfg := embedTestCfg()
+	cfg.Momentum = 0.9
+	la, lb := newEmbedPair(t, pa, pb, cfg)
+
+	rng := rand.New(rand.NewSource(4))
+	wA := DebugEmbedWeightsA(la, lb)
+	qA := DebugTableA(la, lb)
+	var bufW, bufQ *tensor.Dense
+
+	for step := 0; step < 3; step++ {
+		xA := randIdx(rng, 3, cfg.FieldsA, cfg.VocabA)
+		xB := randIdx(rng, 3, cfg.FieldsB, cfg.VocabB)
+		gradZ := tensor.RandDense(rng, 3, cfg.Out, 1)
+
+		eA := tensor.Lookup(qA, xA)
+		gW := eA.TransposeMatMul(gradZ)
+		gQ := tensor.LookupBackward(gradZ.MatMulTranspose(wA), xA, cfg.VocabA, cfg.Dim)
+		if bufW == nil {
+			bufW = tensor.NewDense(gW.Rows, gW.Cols)
+			bufQ = tensor.NewDense(gQ.Rows, gQ.Cols)
+		}
+		bufW = bufW.Scale(cfg.Momentum).Add(gW)
+		bufQ = bufQ.Scale(cfg.Momentum).Add(gQ)
+		wA = wA.Sub(bufW.Scale(cfg.LR))
+		qA = qA.Sub(bufQ.Scale(cfg.LR))
+
+		if err := protocol.RunParties(pa, pb,
+			func() { la.Forward(xA); la.Backward() },
+			func() { lb.Forward(xB); lb.Backward(gradZ) },
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := DebugEmbedWeightsA(la, lb); !got.Equal(wA, 1e-3) {
+		t.Fatalf("momentum W_A diverged:\n got %v\nwant %v", got.Data, wA.Data)
+	}
+	if got := DebugTableA(la, lb); !got.Equal(qA, 1e-3) {
+		t.Fatalf("momentum Q_A diverged:\n got %v\nwant %v", got.Data, qA.Data)
+	}
+}
+
+func TestEmbedTablesAreSecretShared(t *testing.T) {
+	pa, pb := pipe(t, 204)
+	cfg := embedTestCfg()
+	la, lb := newEmbedPair(t, pa, pb, cfg)
+	qA := DebugTableA(la, lb)
+	if qA.Sub(la.PieceSA()).MaxAbs() == 0 {
+		t.Fatal("S_A equals Q_A: table is not secret-shared")
+	}
+	if !la.SA.Add(lb.TA).Equal(qA, 1e-12) {
+		t.Fatal("S_A + T_A != Q_A")
+	}
+}

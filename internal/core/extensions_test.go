@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+// --- Multi-party MatMul (Algorithm 3) ---
+
+func TestMultiPartyForwardMatchesPlaintext(t *testing.T) {
+	const M = 3
+	skA, skB := protocol.TestKeys()
+	var peersB []*protocol.Peer
+	var peersA []*protocol.Peer
+	for i := 0; i < M; i++ {
+		pa, pb, err := protocol.Pipe(skA, skB, int64(400+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		peersA = append(peersA, pa)
+		peersB = append(peersB, pb)
+	}
+	cfg := Config{Out: 2, LR: 0.1}
+	inAs := []int{3, 4, 5}
+	inB := 3
+
+	var as [M]*MatMulA
+	var b *MultiMatMulB
+	done := make(chan error, M+1)
+	for i := 0; i < M; i++ {
+		i := i
+		go func() {
+			done <- peersA[i].Run(func() {
+				as[i] = NewMatMulA(peersA[i], Config{Out: cfg.Out, LR: cfg.LR, InitScale: cfg.initScale() / M}, inAs[i], inB)
+			})
+		}()
+	}
+	go func() {
+		done <- peersB[0].Run(func() { b = NewMultiMatMulB(peersB, cfg, inAs, inB) })
+	}()
+	for i := 0; i < M+1; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	xAs := make([]*tensor.Dense, M)
+	for i := range xAs {
+		xAs[i] = tensor.RandDense(rng, 4, inAs[i], 1)
+	}
+	xB := tensor.RandDense(rng, 4, inB, 1)
+	gradZ := tensor.RandDense(rng, 4, cfg.Out, 1)
+
+	want := xB.MatMul(DebugMultiWeightsB(b, as[:]))
+	for i := 0; i < M; i++ {
+		want.AddInPlace(xAs[i].MatMul(DebugMultiWeightsA(b, as[i], i)))
+	}
+	wantWB := DebugMultiWeightsB(b, as[:]).Sub(xB.TransposeMatMul(gradZ).Scale(cfg.LR))
+	wantWA0 := DebugMultiWeightsA(b, as[0], 0).Sub(xAs[0].TransposeMatMul(gradZ).Scale(cfg.LR))
+
+	var z *tensor.Dense
+	for i := 0; i < M; i++ {
+		i := i
+		go func() {
+			done <- peersA[i].Run(func() {
+				as[i].Forward(DenseFeatures{xAs[i]})
+				as[i].Backward()
+			})
+		}()
+	}
+	go func() {
+		done <- peersB[0].Run(func() {
+			z = b.Forward(DenseFeatures{xB})
+			b.Backward(gradZ)
+		})
+	}()
+	for i := 0; i < M+1; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if !z.Equal(want, 1e-4) {
+		t.Fatalf("multi-party Z diverges (maxdiff %g)", z.Sub(want).MaxAbs())
+	}
+	if got := DebugMultiWeightsB(b, as[:]); !got.Equal(wantWB, 1e-4) {
+		t.Fatalf("multi-party W_B update wrong (maxdiff %g)", got.Sub(wantWB).MaxAbs())
+	}
+	if got := DebugMultiWeightsA(b, as[0], 0); !got.Equal(wantWA0, 1e-4) {
+		t.Fatalf("multi-party W_A(0) update wrong (maxdiff %g)", got.Sub(wantWA0).MaxAbs())
+	}
+}
+
+// --- Federated (SS) top model (Appendix B, Fig. 13) ---
+
+func TestFedTopForwardSharesReconstructZ(t *testing.T) {
+	pa, pb := pipe(t, 410)
+	cfg := Config{Out: 2, LR: 0.1}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 3, 4)
+
+	rng := rand.New(rand.NewSource(2))
+	xA := tensor.RandDense(rng, 5, 3, 1)
+	xB := tensor.RandDense(rng, 5, 4, 1)
+	want := xA.MatMul(DebugWeightsA(la, lb)).Add(xB.MatMul(DebugWeightsB(la, lb)))
+
+	var zA, zB *tensor.Dense
+	if err := protocol.RunParties(pa, pb,
+		func() { zA = la.ForwardSS(DenseFeatures{xA}) },
+		func() { zB = lb.ForwardSS(DenseFeatures{xB}) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := zA.Add(zB); !got.Equal(want, 1e-4) {
+		t.Fatalf("SS forward shares do not reconstruct Z (maxdiff %g)", got.Sub(want).MaxAbs())
+	}
+	// Neither share alone should approximate Z (masks dominate).
+	if zB.Sub(want).MaxAbs() < 100 {
+		t.Fatal("Party B's share is suspiciously close to Z; masking failed")
+	}
+}
+
+func TestFedTopBackwardMatchesSGD(t *testing.T) {
+	pa, pb := pipe(t, 411)
+	cfg := Config{Out: 1, LR: 0.05}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 3, 3)
+
+	rng := rand.New(rand.NewSource(3))
+	xA := tensor.RandDense(rng, 4, 3, 1)
+	xB := tensor.RandDense(rng, 4, 3, 1)
+	gradZ := tensor.RandDense(rng, 4, 1, 1)
+	// The ideal federated top model hands each party one share of ∇Z.
+	eps := tensor.RandDense(rng, 4, 1, 1000)
+	gradShareB := gradZ.Sub(eps)
+
+	wantWA := DebugWeightsA(la, lb).Sub(xA.TransposeMatMul(gradZ).Scale(cfg.LR))
+	wantWB := DebugWeightsB(la, lb).Sub(xB.TransposeMatMul(gradZ).Scale(cfg.LR))
+
+	if err := protocol.RunParties(pa, pb,
+		func() { la.ForwardSS(DenseFeatures{xA}); la.BackwardSS(eps) },
+		func() { lb.ForwardSS(DenseFeatures{xB}); lb.BackwardSS(gradShareB) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := DebugWeightsA(la, lb); !got.Equal(wantWA, 1e-4) {
+		t.Fatalf("SS-top W_A update wrong (maxdiff %g)", got.Sub(wantWA).MaxAbs())
+	}
+	if got := DebugWeightsB(la, lb); !got.Equal(wantWB, 1e-4) {
+		t.Fatalf("SS-top W_B update wrong (maxdiff %g)", got.Sub(wantWB).MaxAbs())
+	}
+}
+
+func TestFedTopMultiStepConsistency(t *testing.T) {
+	pa, pb := pipe(t, 412)
+	cfg := Config{Out: 1, LR: 0.1}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 2, 2)
+
+	rng := rand.New(rand.NewSource(4))
+	for step := 0; step < 3; step++ {
+		xA := tensor.RandDense(rng, 3, 2, 1)
+		xB := tensor.RandDense(rng, 3, 2, 1)
+		gradZ := tensor.RandDense(rng, 3, 1, 1)
+		eps := tensor.RandDense(rng, 3, 1, 1000)
+		want := xA.MatMul(DebugWeightsA(la, lb)).Add(xB.MatMul(DebugWeightsB(la, lb)))
+
+		var zA, zB *tensor.Dense
+		if err := protocol.RunParties(pa, pb,
+			func() {
+				zA = la.ForwardSS(DenseFeatures{xA})
+				la.BackwardSS(eps)
+			},
+			func() {
+				zB = lb.ForwardSS(DenseFeatures{xB})
+				lb.BackwardSS(gradZ.Sub(eps))
+			},
+		); err != nil {
+			t.Fatal(err)
+		}
+		if got := zA.Add(zB); !got.Equal(want, 1e-3) {
+			t.Fatalf("step %d: SS-top forward inconsistent (maxdiff %g)", step, got.Sub(want).MaxAbs())
+		}
+	}
+}

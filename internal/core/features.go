@@ -1,0 +1,92 @@
+// Package core implements BlindFL's federated source layers — the paper's
+// primary contribution. A source layer unites the features of Party A and
+// Party B into a single activation Z = X_A·W_A + X_B·W_B (MatMul, Sec. 5) or
+// Z = E_A·W_A + E_B·W_B with E⋄ = lkup(Q⋄, X⋄) (Embed-MatMul, Sec. 6),
+// without either party ever holding its own model weights, any forward
+// activation, or any backward derivative in the clear.
+//
+// Each layer is split into a Party-A half and a Party-B half that exchange
+// messages over a protocol.Peer. Weights are additively secret-shared
+// (W⋄ = U⋄ + V⋄, Q⋄ = S⋄ + T⋄) with the pieces held by different parties,
+// and encrypted copies of the pieces needed for homomorphic computation are
+// exchanged at initialization and refreshed after every update, exactly as
+// in the paper's Figures 6 and 7.
+package core
+
+import (
+	"blindfl/internal/hetensor"
+	"blindfl/internal/tensor"
+)
+
+// Numeric abstracts the mini-batch feature matrix of one party for the
+// MatMul source layer, so dense and sparse inputs share one protocol
+// implementation. Sparse inputs skip zero entries in both the plaintext and
+// the homomorphic matmuls — the source of BlindFL's Table 5 speedups.
+type Numeric interface {
+	// Rows returns the batch size.
+	Rows() int
+	// NumCols returns the feature dimensionality.
+	NumCols() int
+	// MatMul returns X·W for plaintext W.
+	MatMul(w *tensor.Dense) *tensor.Dense
+	// TransposeMatMul returns Xᵀ·G for plaintext G.
+	TransposeMatMul(g *tensor.Dense) *tensor.Dense
+	// MulCipher returns ⟦X·W⟧ for encrypted W.
+	MulCipher(w *hetensor.CipherMatrix) *hetensor.CipherMatrix
+	// TransposeMulCipher returns ⟦Xᵀ·G⟧ for encrypted G.
+	TransposeMulCipher(g *hetensor.CipherMatrix) *hetensor.CipherMatrix
+}
+
+// DenseFeatures adapts a dense matrix to the Numeric interface.
+type DenseFeatures struct{ M *tensor.Dense }
+
+// Rows returns the batch size.
+func (f DenseFeatures) Rows() int { return f.M.Rows }
+
+// NumCols returns the feature dimensionality.
+func (f DenseFeatures) NumCols() int { return f.M.Cols }
+
+// MatMul returns X·W.
+func (f DenseFeatures) MatMul(w *tensor.Dense) *tensor.Dense { return f.M.MatMul(w) }
+
+// TransposeMatMul returns Xᵀ·G.
+func (f DenseFeatures) TransposeMatMul(g *tensor.Dense) *tensor.Dense {
+	return f.M.TransposeMatMul(g)
+}
+
+// MulCipher returns ⟦X·W⟧.
+func (f DenseFeatures) MulCipher(w *hetensor.CipherMatrix) *hetensor.CipherMatrix {
+	return hetensor.MulPlainLeft(f.M, w)
+}
+
+// TransposeMulCipher returns ⟦Xᵀ·G⟧.
+func (f DenseFeatures) TransposeMulCipher(g *hetensor.CipherMatrix) *hetensor.CipherMatrix {
+	return hetensor.TransposeMulLeft(f.M, g)
+}
+
+// SparseFeatures adapts a CSR matrix to the Numeric interface.
+type SparseFeatures struct{ M *tensor.CSR }
+
+// Rows returns the batch size.
+func (f SparseFeatures) Rows() int { return f.M.Rows }
+
+// NumCols returns the feature dimensionality.
+func (f SparseFeatures) NumCols() int { return f.M.Cols }
+
+// MatMul returns X·W visiting only non-zeros.
+func (f SparseFeatures) MatMul(w *tensor.Dense) *tensor.Dense { return f.M.MatMul(w) }
+
+// TransposeMatMul returns Xᵀ·G visiting only non-zeros.
+func (f SparseFeatures) TransposeMatMul(g *tensor.Dense) *tensor.Dense {
+	return f.M.TransposeMatMul(g)
+}
+
+// MulCipher returns ⟦X·W⟧ visiting only non-zeros.
+func (f SparseFeatures) MulCipher(w *hetensor.CipherMatrix) *hetensor.CipherMatrix {
+	return hetensor.MulPlainLeftCSR(f.M, w)
+}
+
+// TransposeMulCipher returns ⟦Xᵀ·G⟧ visiting only non-zeros.
+func (f SparseFeatures) TransposeMulCipher(g *hetensor.CipherMatrix) *hetensor.CipherMatrix {
+	return hetensor.TransposeMulLeftCSR(f.M, g)
+}

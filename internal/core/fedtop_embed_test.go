@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+func TestEmbedFedTopForwardSharesReconstructZ(t *testing.T) {
+	pa, pb := pipe(t, 420)
+	cfg := embedTestCfg()
+	la, lb := newEmbedPair(t, pa, pb, cfg)
+
+	rng := rand.New(rand.NewSource(1))
+	xA := randIdx(rng, 4, cfg.FieldsA, cfg.VocabA)
+	xB := randIdx(rng, 4, cfg.FieldsB, cfg.VocabB)
+	want := plaintextZ(la, lb, xA, xB)
+
+	var zA, zB *tensor.Dense
+	if err := protocol.RunParties(pa, pb,
+		func() { zA = la.ForwardSS(xA) },
+		func() { zB = lb.ForwardSS(xB) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := zA.Add(zB); !got.Equal(want, 1e-4) {
+		t.Fatalf("embed SS shares do not reconstruct Z (maxdiff %g)", got.Sub(want).MaxAbs())
+	}
+	if zB.Sub(want).MaxAbs() < 100 {
+		t.Fatal("Party B's share approximates Z; masking failed")
+	}
+}
+
+func TestEmbedFedTopBackwardMatchesSGD(t *testing.T) {
+	pa, pb := pipe(t, 421)
+	cfg := embedTestCfg()
+	la, lb := newEmbedPair(t, pa, pb, cfg)
+
+	rng := rand.New(rand.NewSource(2))
+	xA := randIdx(rng, 4, cfg.FieldsA, cfg.VocabA)
+	xB := randIdx(rng, 4, cfg.FieldsB, cfg.VocabB)
+	gradZ := tensor.RandDense(rng, 4, cfg.Out, 1)
+	eps := tensor.RandDense(rng, 4, cfg.Out, 1000)
+	gradShareB := gradZ.Sub(eps)
+
+	// Plaintext one-step SGD reference.
+	qA0, qB0 := DebugTableA(la, lb), DebugTableB(la, lb)
+	wA0, wB0 := DebugEmbedWeightsA(la, lb), DebugEmbedWeightsB(la, lb)
+	eA := tensor.Lookup(qA0, xA)
+	eB := tensor.Lookup(qB0, xB)
+	wantWA := wA0.Sub(eA.TransposeMatMul(gradZ).Scale(cfg.LR))
+	wantWB := wB0.Sub(eB.TransposeMatMul(gradZ).Scale(cfg.LR))
+	wantQA := qA0.Sub(tensor.LookupBackward(gradZ.MatMulTranspose(wA0), xA, cfg.VocabA, cfg.Dim).Scale(cfg.LR))
+	wantQB := qB0.Sub(tensor.LookupBackward(gradZ.MatMulTranspose(wB0), xB, cfg.VocabB, cfg.Dim).Scale(cfg.LR))
+
+	if err := protocol.RunParties(pa, pb,
+		func() { la.ForwardSS(xA); la.BackwardSS(eps) },
+		func() { lb.ForwardSS(xB); lb.BackwardSS(gradShareB) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := DebugEmbedWeightsA(la, lb); !got.Equal(wantWA, 1e-4) {
+		t.Fatalf("SS-top W_A update wrong (maxdiff %g)", got.Sub(wantWA).MaxAbs())
+	}
+	if got := DebugEmbedWeightsB(la, lb); !got.Equal(wantWB, 1e-4) {
+		t.Fatalf("SS-top W_B update wrong (maxdiff %g)", got.Sub(wantWB).MaxAbs())
+	}
+	if got := DebugTableA(la, lb); !got.Equal(wantQA, 1e-4) {
+		t.Fatalf("SS-top Q_A update wrong (maxdiff %g)", got.Sub(wantQA).MaxAbs())
+	}
+	if got := DebugTableB(la, lb); !got.Equal(wantQB, 1e-4) {
+		t.Fatalf("SS-top Q_B update wrong (maxdiff %g)", got.Sub(wantQB).MaxAbs())
+	}
+}
+
+func TestEmbedFedTopMultiStepConsistency(t *testing.T) {
+	pa, pb := pipe(t, 422)
+	cfg := embedTestCfg()
+	cfg.LR = 0.05
+	la, lb := newEmbedPair(t, pa, pb, cfg)
+
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 3; step++ {
+		xA := randIdx(rng, 3, cfg.FieldsA, cfg.VocabA)
+		xB := randIdx(rng, 3, cfg.FieldsB, cfg.VocabB)
+		gradZ := tensor.RandDense(rng, 3, cfg.Out, 1)
+		eps := tensor.RandDense(rng, 3, cfg.Out, 1000)
+		want := plaintextZ(la, lb, xA, xB)
+
+		var zA, zB *tensor.Dense
+		if err := protocol.RunParties(pa, pb,
+			func() { zA = la.ForwardSS(xA); la.BackwardSS(eps) },
+			func() { zB = lb.ForwardSS(xB); lb.BackwardSS(gradZ.Sub(eps)) },
+		); err != nil {
+			t.Fatal(err)
+		}
+		if got := zA.Add(zB); !got.Equal(want, 1e-4) {
+			t.Fatalf("step %d: embed SS-top forward inconsistent (maxdiff %g)", step, got.Sub(want).MaxAbs())
+		}
+	}
+}

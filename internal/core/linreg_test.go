@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"blindfl/internal/nn"
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+// TestFederatedLinearRegression demonstrates the "generalized linear
+// models" breadth the paper claims for the source layers (Sec. 4.1): the
+// same MatMul protocol with an MSE top loss solves least squares without
+// any change to the federated machinery.
+func TestFederatedLinearRegression(t *testing.T) {
+	pa, pb := pipe(t, 950)
+	cfg := Config{Out: 1, LR: 0.25}
+	const inA, inB, n = 4, 4, 64
+	la, lb := newMatMulPair(t, pa, pb, cfg, inA, inB)
+
+	rng := rand.New(rand.NewSource(1))
+	xA := tensor.RandDense(rng, n, inA, 1)
+	xB := tensor.RandDense(rng, n, inB, 1)
+	trueW := tensor.RandDense(rng, inA+inB, 1, 1)
+	joint := tensor.HStack(xA, xB)
+	target := joint.MatMul(trueW)
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = target.At(i, 0) + 0.01*rng.NormFloat64()
+	}
+
+	var lastLoss float64
+	for epoch := 0; epoch < 15; epoch++ {
+		var pred *tensor.Dense
+		if err := protocol.RunParties(pa, pb,
+			func() { la.Forward(DenseFeatures{xA}); la.Backward() },
+			func() {
+				pred = lb.Forward(DenseFeatures{xB})
+				loss, grad := nn.MSE(pred, y)
+				lastLoss = loss
+				lb.Backward(grad)
+			}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lastLoss > 0.05 {
+		t.Fatalf("federated least squares did not converge: MSE %v", lastLoss)
+	}
+	// The reconstructed weights approximate the generating model.
+	got := tensor.HStack(DebugWeightsA(la, lb).Transpose(), DebugWeightsB(la, lb).Transpose()).Transpose()
+	maxErr := 0.0
+	for i := range trueW.Data {
+		if d := math.Abs(got.Data[i] - trueW.Data[i]); d > maxErr {
+			maxErr = d
+		}
+	}
+	if maxErr > 0.2 {
+		t.Fatalf("recovered weights off by %v", maxErr)
+	}
+}

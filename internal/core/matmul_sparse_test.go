@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+func newSparsePair(t testing.TB, pa, pb *protocol.Peer, cfg Config, inA, inB int) (*SparseMatMulA, *SparseMatMulB) {
+	t.Helper()
+	la := NewSparseMatMulA(pa, cfg, inA, inB)
+	lb := NewSparseMatMulB(pb, cfg, inA, inB)
+	return la, lb
+}
+
+func TestSparseMatMulForwardMatchesPlaintext(t *testing.T) {
+	pa, pb := pipe(t, 300)
+	cfg := Config{Out: 2, LR: 0.1}
+	la, lb := newSparsePair(t, pa, pb, cfg, 40, 30)
+
+	rng := rand.New(rand.NewSource(1))
+	xA := tensor.RandCSR(rng, 6, 40, 4)
+	xB := tensor.RandCSR(rng, 6, 30, 3)
+
+	want := xA.ToDense().MatMul(DebugSparseWeightsA(la, lb)).
+		Add(xB.ToDense().MatMul(DebugSparseWeightsB(la, lb)))
+
+	var z *tensor.Dense
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(xA) },
+		func() { z = lb.Forward(xB) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if !z.Equal(want, 1e-5) {
+		t.Fatalf("sparse federated Z diverges (maxdiff %g)", z.Sub(want).MaxAbs())
+	}
+}
+
+func TestSparseMatMulBackwardMatchesSGD(t *testing.T) {
+	pa, pb := pipe(t, 301)
+	cfg := Config{Out: 2, LR: 0.05}
+	la, lb := newSparsePair(t, pa, pb, cfg, 25, 20)
+
+	rng := rand.New(rand.NewSource(2))
+	xA := tensor.RandCSR(rng, 5, 25, 3)
+	xB := tensor.RandCSR(rng, 5, 20, 3)
+	gradZ := tensor.RandDense(rng, 5, 2, 1)
+
+	wantWA := DebugSparseWeightsA(la, lb).Sub(xA.ToDense().Transpose().MatMul(gradZ).Scale(cfg.LR))
+	wantWB := DebugSparseWeightsB(la, lb).Sub(xB.ToDense().Transpose().MatMul(gradZ).Scale(cfg.LR))
+
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(xA); la.Backward() },
+		func() { lb.Forward(xB); lb.Backward(gradZ) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := DebugSparseWeightsA(la, lb); !got.Equal(wantWA, 1e-4) {
+		t.Fatalf("sparse W_A update wrong (maxdiff %g)", got.Sub(wantWA).MaxAbs())
+	}
+	if got := DebugSparseWeightsB(la, lb); !got.Equal(wantWB, 1e-4) {
+		t.Fatalf("sparse W_B update wrong (maxdiff %g)", got.Sub(wantWB).MaxAbs())
+	}
+}
+
+func TestSparseMatMulMultiStepConsistency(t *testing.T) {
+	// The row cache must stay coherent across steps: refreshed rows replace
+	// stale ciphertexts and untouched rows stay valid.
+	pa, pb := pipe(t, 302)
+	cfg := Config{Out: 1, LR: 0.1}
+	la, lb := newSparsePair(t, pa, pb, cfg, 30, 30)
+
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 4; step++ {
+		xA := tensor.RandCSR(rng, 4, 30, 3)
+		xB := tensor.RandCSR(rng, 4, 30, 3)
+		gradZ := tensor.RandDense(rng, 4, 1, 1)
+		want := xA.ToDense().MatMul(DebugSparseWeightsA(la, lb)).
+			Add(xB.ToDense().MatMul(DebugSparseWeightsB(la, lb)))
+		var z *tensor.Dense
+		if err := protocol.RunParties(pa, pb,
+			func() { la.Forward(xA); la.Backward() },
+			func() { z = lb.Forward(xB); lb.Backward(gradZ) },
+		); err != nil {
+			t.Fatal(err)
+		}
+		if !z.Equal(want, 1e-4) {
+			t.Fatalf("step %d: sparse forward inconsistent (maxdiff %g)", step, z.Sub(want).MaxAbs())
+		}
+	}
+}
+
+func TestSparseMatMulCacheGrowsOnlyWithTouchedRows(t *testing.T) {
+	pa, pb := pipe(t, 303)
+	cfg := Config{Out: 1, LR: 0.1}
+	la, lb := newSparsePair(t, pa, pb, cfg, 1000, 1000)
+
+	rng := rand.New(rand.NewSource(4))
+	xA := tensor.RandCSR(rng, 4, 1000, 2) // at most 8 touched of 1000
+	xB := tensor.RandCSR(rng, 4, 1000, 2)
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(xA); la.Backward() },
+		func() { lb.Forward(xB); lb.Backward(tensor.NewDense(4, 1)) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(la.cacheVA.cache); n > 8 {
+		t.Fatalf("cache holds %d rows; expected ≤ 8 touched", n)
+	}
+	if n := len(lb.cacheVB.cache); n > 8 {
+		t.Fatalf("peer cache holds %d rows; expected ≤ 8 touched", n)
+	}
+}
+
+func TestSparseMatMulMomentumMatchesLazySGD(t *testing.T) {
+	pa, pb := pipe(t, 304)
+	cfg := Config{Out: 1, LR: 0.1, Momentum: 0.9}
+	la, lb := newSparsePair(t, pa, pb, cfg, 10, 10)
+
+	rng := rand.New(rand.NewSource(5))
+	// Reference: lazy momentum on the reconstructed weights.
+	wA := DebugSparseWeightsA(la, lb)
+	buf := tensor.NewDense(10, 1)
+
+	for step := 0; step < 3; step++ {
+		xA := tensor.RandCSR(rng, 3, 10, 2)
+		xB := tensor.RandCSR(rng, 3, 10, 2)
+		gradZ := tensor.RandDense(rng, 3, 1, 1)
+
+		gA := xA.TransposeMatMul(gradZ)
+		for _, k := range touchedCols(xA) {
+			buf.Set(k, 0, 0.9*buf.At(k, 0)+gA.At(k, 0))
+			wA.Set(k, 0, wA.At(k, 0)-cfg.LR*buf.At(k, 0))
+		}
+
+		if err := protocol.RunParties(pa, pb,
+			func() { la.Forward(xA); la.Backward() },
+			func() { lb.Forward(xB); lb.Backward(gradZ) },
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := DebugSparseWeightsA(la, lb); !got.Equal(wA, 1e-3) {
+		t.Fatalf("lazy momentum diverged (maxdiff %g)", got.Sub(wA).MaxAbs())
+	}
+}

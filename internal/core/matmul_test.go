@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+func pipe(t testing.TB, seed int64) (*protocol.Peer, *protocol.Peer) {
+	t.Helper()
+	skA, skB := protocol.TestKeys()
+	a, b, err := protocol.Pipe(skA, skB, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// newMatMulPair constructs both halves concurrently.
+func newMatMulPair(t testing.TB, pa, pb *protocol.Peer, cfg Config, inA, inB int) (*MatMulA, *MatMulB) {
+	t.Helper()
+	var la *MatMulA
+	var lb *MatMulB
+	if err := protocol.RunParties(pa, pb,
+		func() { la = NewMatMulA(pa, cfg, inA, inB) },
+		func() { lb = NewMatMulB(pb, cfg, inA, inB) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	return la, lb
+}
+
+func TestMatMulForwardMatchesPlaintext(t *testing.T) {
+	pa, pb := pipe(t, 100)
+	cfg := Config{Out: 3, LR: 0.1}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 5, 4)
+
+	rng := rand.New(rand.NewSource(1))
+	xA := tensor.RandDense(rng, 6, 5, 1)
+	xB := tensor.RandDense(rng, 6, 4, 1)
+
+	wA := DebugWeightsA(la, lb)
+	wB := DebugWeightsB(la, lb)
+	want := xA.MatMul(wA).Add(xB.MatMul(wB))
+
+	var z *tensor.Dense
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(DenseFeatures{xA}) },
+		func() { z = lb.Forward(DenseFeatures{xB}) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if !z.Equal(want, 1e-4) {
+		t.Fatalf("federated Z diverges from plaintext:\n got %v\nwant %v", z.Data, want.Data)
+	}
+}
+
+func TestMatMulForwardSparseMatchesDense(t *testing.T) {
+	pa, pb := pipe(t, 101)
+	cfg := Config{Out: 2, LR: 0.1}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 20, 4)
+
+	rng := rand.New(rand.NewSource(2))
+	xA := tensor.RandCSR(rng, 5, 20, 3)
+	xB := tensor.RandDense(rng, 5, 4, 1)
+
+	want := xA.ToDense().MatMul(DebugWeightsA(la, lb)).Add(xB.MatMul(DebugWeightsB(la, lb)))
+	var z *tensor.Dense
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(SparseFeatures{xA}) },
+		func() { z = lb.Forward(DenseFeatures{xB}) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if !z.Equal(want, 1e-4) {
+		t.Fatal("sparse federated forward diverges from plaintext")
+	}
+}
+
+func TestMatMulBackwardMatchesSGD(t *testing.T) {
+	pa, pb := pipe(t, 102)
+	cfg := Config{Out: 2, LR: 0.05}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 3, 4)
+
+	rng := rand.New(rand.NewSource(3))
+	xA := tensor.RandDense(rng, 4, 3, 1)
+	xB := tensor.RandDense(rng, 4, 4, 1)
+	gradZ := tensor.RandDense(rng, 4, 2, 1)
+
+	wA0 := DebugWeightsA(la, lb)
+	wB0 := DebugWeightsB(la, lb)
+	wantWA := wA0.Sub(xA.TransposeMatMul(gradZ).Scale(cfg.LR))
+	wantWB := wB0.Sub(xB.TransposeMatMul(gradZ).Scale(cfg.LR))
+
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(DenseFeatures{xA}); la.Backward() },
+		func() { lb.Forward(DenseFeatures{xB}); lb.Backward(gradZ) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := DebugWeightsA(la, lb); !got.Equal(wantWA, 1e-4) {
+		t.Fatalf("W_A update wrong:\n got %v\nwant %v", got.Data, wantWA.Data)
+	}
+	if got := DebugWeightsB(la, lb); !got.Equal(wantWB, 1e-4) {
+		t.Fatalf("W_B update wrong:\n got %v\nwant %v", got.Data, wantWB.Data)
+	}
+}
+
+func TestMatMulMomentumMatchesPlaintextSGD(t *testing.T) {
+	pa, pb := pipe(t, 103)
+	cfg := Config{Out: 1, LR: 0.05, Momentum: 0.9}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 3, 2)
+
+	rng := rand.New(rand.NewSource(4))
+	// Plaintext reference with the same initial weights.
+	wA := DebugWeightsA(la, lb)
+	wB := DebugWeightsB(la, lb)
+	var bufA, bufB *tensor.Dense
+
+	for step := 0; step < 5; step++ {
+		xA := tensor.RandDense(rng, 4, 3, 1)
+		xB := tensor.RandDense(rng, 4, 2, 1)
+		gradZ := tensor.RandDense(rng, 4, 1, 1)
+
+		if err := protocol.RunParties(pa, pb,
+			func() { la.Forward(DenseFeatures{xA}); la.Backward() },
+			func() { lb.Forward(DenseFeatures{xB}); lb.Backward(gradZ) },
+		); err != nil {
+			t.Fatal(err)
+		}
+
+		gA := xA.TransposeMatMul(gradZ)
+		gB := xB.TransposeMatMul(gradZ)
+		if bufA == nil {
+			bufA = tensor.NewDense(gA.Rows, gA.Cols)
+			bufB = tensor.NewDense(gB.Rows, gB.Cols)
+		}
+		bufA = bufA.Scale(cfg.Momentum).Add(gA)
+		bufB = bufB.Scale(cfg.Momentum).Add(gB)
+		wA = wA.Sub(bufA.Scale(cfg.LR))
+		wB = wB.Sub(bufB.Scale(cfg.LR))
+	}
+	if got := DebugWeightsA(la, lb); !got.Equal(wA, 1e-3) {
+		t.Fatalf("momentum W_A diverged after 5 steps:\n got %v\nwant %v", got.Data, wA.Data)
+	}
+	if got := DebugWeightsB(la, lb); !got.Equal(wB, 1e-3) {
+		t.Fatalf("momentum W_B diverged after 5 steps:\n got %v\nwant %v", got.Data, wB.Data)
+	}
+}
+
+func TestMatMulMultiStepForwardStaysConsistent(t *testing.T) {
+	// After backward updates, the refreshed ⟦V_A⟧/⟦V_B⟧ copies must keep the
+	// federated forward equal to the plaintext forward of the updated weights.
+	pa, pb := pipe(t, 104)
+	cfg := Config{Out: 2, LR: 0.1}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 3, 3)
+
+	rng := rand.New(rand.NewSource(5))
+	for step := 0; step < 3; step++ {
+		xA := tensor.RandDense(rng, 2, 3, 1)
+		xB := tensor.RandDense(rng, 2, 3, 1)
+		gradZ := tensor.RandDense(rng, 2, 2, 1)
+		want := xA.MatMul(DebugWeightsA(la, lb)).Add(xB.MatMul(DebugWeightsB(la, lb)))
+		var z *tensor.Dense
+		if err := protocol.RunParties(pa, pb,
+			func() { la.Forward(DenseFeatures{xA}); la.Backward() },
+			func() { z = lb.Forward(DenseFeatures{xB}); lb.Backward(gradZ) },
+		); err != nil {
+			t.Fatal(err)
+		}
+		if !z.Equal(want, 1e-3) {
+			t.Fatalf("step %d: forward inconsistent with reconstructed weights", step)
+		}
+	}
+}
+
+func TestMatMulPartyASeesOnlyMaskedValues(t *testing.T) {
+	// Party A's own share X_A·U_A must be unrelated to the true activation
+	// X_A·W_A: U_A is one random additive piece. We check that A's piece of
+	// W differs from W by at least the init scale everywhere it matters.
+	pa, pb := pipe(t, 105)
+	cfg := Config{Out: 1, LR: 0.1}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 8, 8)
+	wA := DebugWeightsA(la, lb)
+	diff := wA.Sub(la.PieceUA())
+	if diff.MaxAbs() == 0 {
+		t.Fatal("U_A equals W_A: weights are not secret-shared")
+	}
+	// V_A (held by B) must be the exact complement.
+	if !diff.Equal(lb.VA, 1e-12) {
+		t.Fatal("U_A + V_A != W_A")
+	}
+}

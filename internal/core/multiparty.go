@@ -1,0 +1,106 @@
+package core
+
+import (
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+// Multi-party MatMul source layer (paper Appendix C, Algorithm 3): one
+// Party B and M Party A's. Party B's weights are broken into M+1 pieces
+// W_B = U_B + Σᵢ V_B(i) with V_B(i) managed by the i-th Party A, and each
+// A(i)'s weights are shared with B exactly as in the two-party layer.
+// The forward pass runs the two-party sub-protocol against every A(i) with
+// U_B/M as B's local piece, so the partial results sum to
+// Σᵢ X_A(i)·W_A(i) + X_B·W_B.
+//
+// Each Party A runs the ordinary two-party MatMulA against its own
+// connection to B — Algorithm 3 requires no changes on the A side.
+
+// MultiMatMulB is Party B's half of the multi-party layer, holding one
+// protocol session per Party A.
+type MultiMatMulB struct {
+	cfg   Config
+	peers []*protocol.Peer
+	subs  []*MatMulB // one two-party B-half per A(i), each with U_B/M
+
+	x Numeric
+}
+
+// NewMultiMatMulB initializes Party B against M = len(peers) Party A's.
+// inAs[i] is A(i)'s feature dimensionality. Must run concurrently with
+// NewMatMulA on every peer.
+func NewMultiMatMulB(peers []*protocol.Peer, cfg Config, inAs []int, inB int) *MultiMatMulB {
+	m := &MultiMatMulB{cfg: cfg, peers: peers}
+	for i, p := range peers {
+		// Each sub-layer draws an independent U_B(i); B's effective local
+		// piece is their sum, matching the U_B/M spreading of Algorithm 3
+		// (any decomposition of U_B across the M sub-protocols works, and
+		// independent draws avoid correlated shares).
+		sub := NewMatMulB(p, Config{
+			Out: cfg.Out, LR: cfg.LR, Momentum: cfg.Momentum,
+			InitScale: cfg.initScale() / float64(len(peers)),
+		}, inAs[i], inB)
+		m.subs = append(m.subs, sub)
+	}
+	return m
+}
+
+// Forward aggregates the sub-protocol outputs into
+// Z = Σᵢ X_A(i)·W_A(i) + X_B·W_B.
+func (m *MultiMatMulB) Forward(x Numeric) *tensor.Dense {
+	m.x = x
+	var z *tensor.Dense
+	for _, sub := range m.subs {
+		zi := sub.Forward(x)
+		if z == nil {
+			z = zi
+		} else {
+			z.AddInPlace(zi)
+		}
+	}
+	return z
+}
+
+// Backward distributes ∇Z to every sub-protocol. Each sub-layer updates its
+// U_B(i) with the full ∇W_B = X_Bᵀ∇Z; scaling the gradient by 1/M keeps the
+// effective update of W_B = Σᵢ(U_B(i) + V_B(i)) equal to one SGD step.
+func (m *MultiMatMulB) Backward(gradZ *tensor.Dense) {
+	scaled := gradZ.Scale(1 / float64(len(m.subs)))
+	for _, sub := range m.subs {
+		// The A(i)-side gradient must be unscaled; restore it inside the
+		// sub-protocol by sending the true ∇Z and scaling only U_B's
+		// update. We achieve both by letting the sub-layer see the true
+		// gradient for the cross-party part and the scaled one locally.
+		sub.backwardMulti(gradZ, scaled)
+	}
+	m.x = nil
+}
+
+// backwardMulti is Backward with separate gradients for the local U_B
+// update (scaled by 1/M) and the cross-party V_A/encrypted-∇Z path (full).
+func (l *MatMulB) backwardMulti(gradFull, gradLocal *tensor.Dense) {
+	gradWB := l.x.TransposeMatMul(gradLocal)
+	l.momUB.step(l.UB, gradWB, l.cfg.LR)
+
+	l.peer.EncryptAndSend(gradFull, 1)
+	gradVAshare := l.peer.HE2SSRecv()
+	l.momVA.step(l.VA, gradVAshare, l.cfg.LR)
+	l.peer.EncryptAndSend(l.VA, 1)
+	l.x = nil
+}
+
+// DebugMultiWeightsB reconstructs W_B = Σᵢ (U_B(i) + V_B(i)) given every
+// A(i)'s held piece. Test use only.
+func DebugMultiWeightsB(b *MultiMatMulB, as []*MatMulA) *tensor.Dense {
+	w := tensor.NewDense(b.subs[0].UB.Rows, b.subs[0].UB.Cols)
+	for i, sub := range b.subs {
+		w.AddInPlace(sub.UB)
+		w.AddInPlace(as[i].VB)
+	}
+	return w
+}
+
+// DebugMultiWeightsA reconstructs W_A(i) for the i-th Party A. Test only.
+func DebugMultiWeightsA(b *MultiMatMulB, a *MatMulA, i int) *tensor.Dense {
+	return a.UA.Add(b.subs[i].VA)
+}

@@ -1,0 +1,63 @@
+package core
+
+import "blindfl/internal/tensor"
+
+// momentum applies momentum SGD to one secret-share piece. Momentum is a
+// linear operator, so applying it to each additive piece independently is
+// exactly equivalent to applying it to the reconstructed gradient — the
+// property that lets BlindFL run momentum SGD on weights that neither party
+// holds (Sec. 7.1, "FederatedSGD").
+type momentum struct {
+	mu  float64
+	buf *tensor.Dense
+}
+
+// step performs buf = mu·buf + grad; w −= lr·buf, in place on w.
+func (m *momentum) step(w, grad *tensor.Dense, lr float64) {
+	if m.buf == nil {
+		m.buf = tensor.NewDense(grad.Rows, grad.Cols)
+	}
+	if m.mu == 0 {
+		w.Axpy(-lr, grad)
+		return
+	}
+	for i, g := range grad.Data {
+		m.buf.Data[i] = m.mu*m.buf.Data[i] + g
+	}
+	w.Axpy(-lr, m.buf)
+}
+
+// stepRows applies the update only to the given rows of w; gradRows row i is
+// the gradient of w row idx[i]. Momentum is "lazy": untouched rows keep
+// their stale buffer until next touched — the standard sparse-SGD
+// approximation used for high-dimensional embeddings and linear models.
+func (m *momentum) stepRows(w, gradRows *tensor.Dense, idx []int, lr float64) {
+	if m.buf == nil {
+		m.buf = tensor.NewDense(w.Rows, w.Cols)
+	}
+	for i, r := range idx {
+		grow := gradRows.Row(i)
+		brow := m.buf.Row(r)
+		wrow := w.Row(r)
+		for j, g := range grow {
+			brow[j] = m.mu*brow[j] + g
+			wrow[j] -= lr * brow[j]
+		}
+	}
+}
+
+// Config carries the hyper-parameters shared by both halves of a source
+// layer. Both parties must construct their halves with identical values.
+type Config struct {
+	Out       int     // output dimensionality of the source layer
+	LR        float64 // learning rate η
+	Momentum  float64 // momentum coefficient μ (0 disables)
+	InitScale float64 // uniform init range for weight pieces; 0 means 0.1
+}
+
+func (c Config) initScale() float64 {
+	if c.InitScale == 0 {
+		return 0.1
+	}
+	return c.InitScale
+}

@@ -1,0 +1,243 @@
+package data
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSpecsSanity(t *testing.T) {
+	for name, s := range Specs {
+		if s.Name != name {
+			t.Errorf("%s: Name mismatch %q", name, s.Name)
+		}
+		if s.AvgNNZ > s.Feats {
+			t.Errorf("%s: AvgNNZ %d > Feats %d", name, s.AvgNNZ, s.Feats)
+		}
+		if s.Classes < 2 {
+			t.Errorf("%s: Classes %d", name, s.Classes)
+		}
+	}
+	if !Specs["higgs"].Dense() || Specs["a9a"].Dense() {
+		t.Fatal("density flags wrong")
+	}
+	if sp := Specs["w8a"].Sparsity(); sp < 0.9 {
+		t.Fatalf("w8a sparsity %v", sp)
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	ds := Generate(MustSpec("a9a"), 1)
+	if ds.TrainA.Rows() != 3000 || ds.TestA.Rows() != 1000 {
+		t.Fatalf("rows %d/%d", ds.TrainA.Rows(), ds.TestA.Rows())
+	}
+	if got := ds.TrainA.NumCols() + ds.TrainB.NumCols(); got != 123 {
+		t.Fatalf("split cols = %d", got)
+	}
+	if len(ds.TrainY) != 3000 {
+		t.Fatalf("labels = %d", len(ds.TrainY))
+	}
+	if ds.TrainA.Sparse == nil {
+		t.Fatal("a9a should be sparse")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	d1 := Generate(MustSpec("w8a"), 42)
+	d2 := Generate(MustSpec("w8a"), 42)
+	if !d1.TrainA.Sparse.ToDense().Equal(d2.TrainA.Sparse.ToDense(), 0) {
+		t.Fatal("generation is not deterministic")
+	}
+	for i := range d1.TrainY {
+		if d1.TrainY[i] != d2.TrainY[i] {
+			t.Fatal("labels differ across runs")
+		}
+	}
+	d3 := Generate(MustSpec("w8a"), 43)
+	if d1.TrainA.Sparse.ToDense().Equal(d3.TrainA.Sparse.ToDense(), 0) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateSparsityMatchesSpec(t *testing.T) {
+	spec := MustSpec("w8a")
+	ds := Generate(spec, 2)
+	nnzPerRow := float64(ds.TrainA.Sparse.NNZ()+ds.TrainB.Sparse.NNZ()) / float64(spec.Train)
+	if math.Abs(nnzPerRow-float64(spec.AvgNNZ)) > 2 {
+		t.Fatalf("avg nnz %v want ≈ %d", nnzPerRow, spec.AvgNNZ)
+	}
+}
+
+func TestGenerateClassesBalancedEnough(t *testing.T) {
+	ds := Generate(MustSpec("a9a"), 3)
+	count := make(map[int]int)
+	for _, y := range ds.TrainY {
+		count[y]++
+	}
+	if len(count) != 2 {
+		t.Fatalf("classes seen: %v", count)
+	}
+	for c, n := range count {
+		frac := float64(n) / float64(len(ds.TrainY))
+		if frac < 0.2 || frac > 0.8 {
+			t.Fatalf("class %d fraction %v: degenerate labels", c, frac)
+		}
+	}
+}
+
+func TestGenerateMulticlassCoversAllClasses(t *testing.T) {
+	ds := Generate(MustSpec("connect-4"), 4)
+	seen := make(map[int]bool)
+	for _, y := range ds.TrainY {
+		if y < 0 || y >= 3 {
+			t.Fatalf("label %d out of range", y)
+		}
+		seen[y] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("only %d classes present", len(seen))
+	}
+}
+
+func TestGenerateCategorical(t *testing.T) {
+	spec := Spec{Name: "toy", Feats: 20, AvgNNZ: 4, Classes: 2, Train: 200, Test: 50,
+		CatFields: 4, CatVocab: 10}
+	ds := Generate(spec, 5)
+	if ds.TrainA.Cat == nil || ds.TrainB.Cat == nil {
+		t.Fatal("missing categorical parts")
+	}
+	if ds.TrainA.Cat.Cols+ds.TrainB.Cat.Cols != 4 {
+		t.Fatalf("fields split = %d+%d", ds.TrainA.Cat.Cols, ds.TrainB.Cat.Cols)
+	}
+	for _, v := range ds.TrainA.Cat.Data {
+		if v < 0 || v >= 10 {
+			t.Fatalf("category %d out of vocab", v)
+		}
+	}
+}
+
+func TestBatchExtraction(t *testing.T) {
+	ds := Generate(MustSpec("higgs"), 6)
+	idx := []int{5, 0, 17}
+	b := ds.TrainA.Batch(idx)
+	if b.Rows() != 3 {
+		t.Fatalf("batch rows = %d", b.Rows())
+	}
+	for k, i := range idx {
+		for j := 0; j < b.Dense.Cols; j++ {
+			if b.Dense.At(k, j) != ds.TrainA.Dense.At(i, j) {
+				t.Fatal("batch row mismatch")
+			}
+		}
+	}
+}
+
+func TestBatchIndices(t *testing.T) {
+	batches := BatchIndices(10, 4)
+	if len(batches) != 3 || len(batches[0]) != 4 || len(batches[2]) != 2 {
+		t.Fatalf("batches = %v", batches)
+	}
+	if batches[2][1] != 9 {
+		t.Fatalf("last batch = %v", batches[2])
+	}
+}
+
+func TestLibSVMRoundTrip(t *testing.T) {
+	ds := Generate(MustSpec("a9a"), 7)
+	var sb strings.Builder
+	sub := ds.TrainA.Sparse.SliceRows(0, 50)
+	if err := WriteLibSVM(&sb, sub, ds.TrainY[:50]); err != nil {
+		t.Fatal(err)
+	}
+	x, y, err := ReadLibSVM(strings.NewReader(sb.String()), sub.Cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x.ToDense().Equal(sub.ToDense(), 0) {
+		t.Fatal("libsvm round trip changed features")
+	}
+	for i := range y {
+		if y[i] != ds.TrainY[i] {
+			t.Fatal("libsvm round trip changed labels")
+		}
+	}
+}
+
+func TestReadLibSVMNegativeLabels(t *testing.T) {
+	in := "-1 1:0.5 3:1\n+1 2:2\n"
+	x, y, err := ReadLibSVM(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows != 2 || x.Cols != 3 {
+		t.Fatalf("shape %d×%d", x.Rows, x.Cols)
+	}
+	if y[0] != 0 || y[1] != 1 {
+		t.Fatalf("labels = %v", y)
+	}
+}
+
+func TestReadLibSVMRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"x 1:1\n", "1 0:1\n", "1 a:1\n", "1 1:zz\n"} {
+		if _, _, err := ReadLibSVM(strings.NewReader(in), 0); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestPSIIntersection(t *testing.T) {
+	idsA := []string{"u1", "u2", "u3", "u5", "u9"}
+	idsB := []string{"u9", "u2", "u4", "u5", "u7"}
+	pa, pb := PSI(idsA, idsB)
+	if len(pa) != 3 {
+		t.Fatalf("intersection size = %d want 3", len(pa))
+	}
+	for k := range pa {
+		if idsA[pa[k]] != idsB[pb[k]] {
+			t.Fatalf("pair %d mismatch: %s vs %s", k, idsA[pa[k]], idsB[pb[k]])
+		}
+	}
+}
+
+func TestPSIEmptyIntersection(t *testing.T) {
+	pa, pb := PSI([]string{"a", "b"}, []string{"c", "d"})
+	if len(pa) != 0 || len(pb) != 0 {
+		t.Fatal("phantom intersection")
+	}
+}
+
+func TestAlignReordersLabels(t *testing.T) {
+	ds := Generate(MustSpec("higgs"), 8)
+	// A has instances [0..9], B has [5..14]; intersection = [5..9].
+	idsA := make([]string, 10)
+	idsB := make([]string, 10)
+	for i := range idsA {
+		idsA[i] = stringsRepeatID(i)
+		idsB[i] = stringsRepeatID(i + 5)
+	}
+	subA := ds.TrainA.Batch(seq(0, 10))
+	subB := ds.TrainB.Batch(seq(5, 15))
+	a, b, y := Align(idsA, idsB, subA, subB, ds.TrainY[5:15])
+	if a.Rows() != 5 || b.Rows() != 5 || len(y) != 5 {
+		t.Fatalf("aligned sizes %d/%d/%d", a.Rows(), b.Rows(), len(y))
+	}
+	// Row 0 of the aligned set is global instance 5 on both sides.
+	for j := 0; j < a.Dense.Cols; j++ {
+		if a.Dense.At(0, j) != ds.TrainA.Dense.At(5, j) {
+			t.Fatal("A side misaligned")
+		}
+	}
+	if y[0] != ds.TrainY[5] {
+		t.Fatal("labels misaligned")
+	}
+}
+
+func stringsRepeatID(i int) string { return string(rune('A'+i%26)) + string(rune('a'+i/26)) }
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

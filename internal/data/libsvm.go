@@ -1,0 +1,105 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"blindfl/internal/tensor"
+)
+
+// ReadLibSVM parses the LIBSVM sparse text format ("label idx:val idx:val…",
+// 1-based indices) into a CSR matrix and a label slice. Labels −1/+1 are
+// mapped to 0/1; non-negative integer labels are used as class indices.
+// dims fixes the column count; pass 0 to infer it from the data.
+func ReadLibSVM(r io.Reader, dims int) (*tensor.CSR, []int, error) {
+	type row struct {
+		cols []int
+		vals []float64
+	}
+	var rows []row
+	var labels []int
+	maxCol := -1
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		lab, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("data: line %d: bad label %q", lineNo, fields[0])
+		}
+		y := int(lab)
+		if y == -1 {
+			y = 0
+		}
+		var rw row
+		for _, f := range fields[1:] {
+			parts := strings.SplitN(f, ":", 2)
+			if len(parts) != 2 {
+				return nil, nil, fmt.Errorf("data: line %d: bad feature %q", lineNo, f)
+			}
+			idx, err := strconv.Atoi(parts[0])
+			if err != nil || idx < 1 {
+				return nil, nil, fmt.Errorf("data: line %d: bad index %q", lineNo, parts[0])
+			}
+			val, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("data: line %d: bad value %q", lineNo, parts[1])
+			}
+			col := idx - 1
+			if col > maxCol {
+				maxCol = col
+			}
+			rw.cols = append(rw.cols, col)
+			rw.vals = append(rw.vals, val)
+		}
+		rows = append(rows, rw)
+		labels = append(labels, y)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if dims == 0 {
+		dims = maxCol + 1
+	}
+	if maxCol >= dims {
+		return nil, nil, fmt.Errorf("data: feature index %d exceeds declared dims %d", maxCol+1, dims)
+	}
+	c := tensor.NewCSR(len(rows), dims, 0)
+	for _, rw := range rows {
+		c.AppendRow(rw.cols, rw.vals)
+	}
+	return c, labels, nil
+}
+
+// WriteLibSVM emits a CSR matrix with labels in LIBSVM format.
+func WriteLibSVM(w io.Writer, x *tensor.CSR, y []int) error {
+	if x.Rows != len(y) {
+		return fmt.Errorf("data: %d rows but %d labels", x.Rows, len(y))
+	}
+	bw := bufio.NewWriter(w)
+	for i := 0; i < x.Rows; i++ {
+		if _, err := fmt.Fprintf(bw, "%d", y[i]); err != nil {
+			return err
+		}
+		cols, vals := x.RowNNZ(i)
+		for k, c := range cols {
+			if _, err := fmt.Fprintf(bw, " %d:%g", c+1, vals[k]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

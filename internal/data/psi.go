@@ -1,0 +1,90 @@
+package data
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"math/big"
+	"sort"
+)
+
+// Private set intersection. The paper assumes instance alignment has been
+// done by PSI as a preprocessing step (Sec. 7.1); this file provides a
+// small Diffie–Hellman-style PSI so the repository is self-contained:
+// each party blinds the hash of every ID with a private exponent, the
+// double-blinded values h(id)^(ab) coincide exactly on the intersection,
+// and neither party learns IDs outside it. It runs in one process (the
+// function plays both parties) since its purpose here is preprocessing,
+// not a networked protocol demonstration.
+
+// dhPrime is a fixed 512-bit safe prime for the blinding group. PSI only
+// needs one-wayness of exponent blinding, not long-term secrecy, so a
+// moderate group keeps alignment fast.
+var dhPrime, _ = new(big.Int).SetString(
+	"F52AFF3CE1B1294018118D7C84A70A72D686C40319C807297ACA950CD9969FBA"+
+		"BEA963A2B02B5F9B0255F1034D2E56AC5C62C5C284C87D7C4A32A49034D3A7D3", 16)
+
+// hashToGroup maps an ID string into the multiplicative group.
+func hashToGroup(id string) *big.Int {
+	h := sha256.Sum256([]byte(id))
+	x := new(big.Int).SetBytes(h[:])
+	x.Mod(x, dhPrime)
+	if x.Sign() == 0 {
+		x.SetInt64(2)
+	}
+	return x
+}
+
+// PSI computes the intersection of two ID sets with DH blinding and returns
+// the matching index pairs (position in idsA, position in idsB), sorted by
+// position in idsA. Both parties learn only the intersection.
+func PSI(idsA, idsB []string) (pairsA, pairsB []int) {
+	q := new(big.Int).Sub(dhPrime, big.NewInt(1))
+	expA := mustRandExp(q)
+	expB := mustRandExp(q)
+
+	// A blinds its IDs with a, sends to B; B raises to b. And symmetrically.
+	doubleA := make(map[string]int, len(idsA)) // h(id)^(ab) -> index in A
+	for i, id := range idsA {
+		v := new(big.Int).Exp(hashToGroup(id), expA, dhPrime)
+		v.Exp(v, expB, dhPrime)
+		doubleA[v.String()] = i
+	}
+	type pair struct{ a, b int }
+	var matches []pair
+	for j, id := range idsB {
+		v := new(big.Int).Exp(hashToGroup(id), expB, dhPrime)
+		v.Exp(v, expA, dhPrime)
+		if i, ok := doubleA[v.String()]; ok {
+			matches = append(matches, pair{i, j})
+		}
+	}
+	sort.Slice(matches, func(x, y int) bool { return matches[x].a < matches[y].a })
+	for _, m := range matches {
+		pairsA = append(pairsA, m.a)
+		pairsB = append(pairsB, m.b)
+	}
+	return pairsA, pairsB
+}
+
+func mustRandExp(q *big.Int) *big.Int {
+	e, err := rand.Int(rand.Reader, q)
+	if err != nil {
+		panic(err)
+	}
+	if e.Sign() == 0 {
+		e.SetInt64(3)
+	}
+	return e
+}
+
+// Align reorders both parties' parts (and B's labels) to the PSI
+// intersection of their ID lists, producing the aligned virtual dataset the
+// training protocols consume.
+func Align(idsA, idsB []string, a, b Part, y []int) (Part, Part, []int) {
+	ia, ib := PSI(idsA, idsB)
+	ya := make([]int, len(ib))
+	for k, j := range ib {
+		ya[k] = y[j]
+	}
+	return a.Batch(ia), b.Batch(ib), ya
+}

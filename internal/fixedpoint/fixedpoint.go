@@ -1,0 +1,98 @@
+// Package fixedpoint converts between float64 and the signed fixed-point
+// integers that the cryptographic layers operate on. Two integer domains are
+// supported:
+//
+//   - Z_n (arbitrary-precision big.Int) for the Paillier plaintext space,
+//     where negative values are represented as n − |v| and a value is
+//     considered negative if it exceeds n/2;
+//   - Z_2^64 (uint64) for the additive secret-sharing ring used by the
+//     SecureML baseline, with the analogous two's-complement convention.
+//
+// A Codec carries the fractional precision F. A freshly encoded value has
+// scale 1 (meaning a multiplier of 2^F); the product of two scale-1 values
+// has scale 2 (multiplier 2^2F). Decoding takes the scale so that values can
+// be recovered exactly after one homomorphic multiplication without any
+// in-ciphertext truncation.
+package fixedpoint
+
+import (
+	"math"
+	"math/big"
+)
+
+// Codec encodes floats with F fractional bits.
+type Codec struct {
+	F uint // fractional bits per scale unit
+}
+
+// Default is the codec used throughout BlindFL: 24 fractional bits leaves
+// ample integer headroom in a ≥512-bit Paillier plaintext space even at
+// scale 2, while keeping rounding error below 1e-7.
+var Default = Codec{F: 24}
+
+// Encode converts v to a signed scaled integer: round(v · 2^(F·scale)).
+func (c Codec) Encode(v float64, scale uint) *big.Int {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		panic("fixedpoint: cannot encode NaN/Inf")
+	}
+	mult := math.Ldexp(1, int(c.F*scale))
+	scaled := math.Round(v * mult)
+	bi, _ := big.NewFloat(scaled).Int(nil)
+	return bi
+}
+
+// Decode converts a signed scaled integer back to float64.
+func (c Codec) Decode(x *big.Int, scale uint) float64 {
+	f, _ := new(big.Float).SetInt(x).Float64()
+	return math.Ldexp(f, -int(c.F*scale))
+}
+
+// ToRing maps a signed integer x into Z_n: x mod n, with negatives wrapped.
+func ToRing(x, n *big.Int) *big.Int {
+	r := new(big.Int).Mod(x, n)
+	if r.Sign() < 0 {
+		r.Add(r, n)
+	}
+	return r
+}
+
+// FromRing maps a Z_n element back to a signed integer using the convention
+// that values above n/2 are negative.
+func FromRing(x, n *big.Int) *big.Int {
+	half := new(big.Int).Rsh(n, 1)
+	out := new(big.Int).Set(x)
+	if out.Cmp(half) > 0 {
+		out.Sub(out, n)
+	}
+	return out
+}
+
+// EncodeRing encodes v directly into Z_n at the given scale.
+func (c Codec) EncodeRing(v float64, scale uint, n *big.Int) *big.Int {
+	return ToRing(c.Encode(v, scale), n)
+}
+
+// DecodeRing decodes a Z_n element at the given scale.
+func (c Codec) DecodeRing(x *big.Int, scale uint, n *big.Int) float64 {
+	return c.Decode(FromRing(x, n), scale)
+}
+
+// EncodeU64 encodes v into the Z_2^64 ring at the given scale.
+func (c Codec) EncodeU64(v float64, scale uint) uint64 {
+	mult := math.Ldexp(1, int(c.F*scale))
+	return uint64(int64(math.Round(v * mult)))
+}
+
+// DecodeU64 decodes a Z_2^64 element at the given scale.
+func (c Codec) DecodeU64(x uint64, scale uint) float64 {
+	return math.Ldexp(float64(int64(x)), -int(c.F*scale))
+}
+
+// TruncateU64 divides a scale-2 ring element by 2^F to return it to scale 1,
+// using the local-share truncation of SecureML (Mohassel & Zhang §4.1):
+// each party shifts its share arithmetically; the reconstruction is correct
+// up to an off-by-one in the last fixed-point bit with overwhelming
+// probability when |value| ≪ 2^63.
+func (c Codec) TruncateU64(x uint64) uint64 {
+	return uint64(int64(x) >> c.F)
+}

@@ -1,0 +1,168 @@
+package fixedpoint
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c := Default
+	for _, v := range []float64{0, 1, -1, 3.14159, -2.71828, 1e-6, -1e-6, 12345.678, -99999.5} {
+		got := c.Decode(c.Encode(v, 1), 1)
+		if math.Abs(got-v) > 1e-6*(1+math.Abs(v)) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestEncodeScale2(t *testing.T) {
+	c := Default
+	a, b := 3.5, -2.25
+	// Product of two scale-1 encodings is a scale-2 encoding of the product.
+	ea, eb := c.Encode(a, 1), c.Encode(b, 1)
+	prod := new(big.Int).Mul(ea, eb)
+	got := c.Decode(prod, 2)
+	if math.Abs(got-a*b) > 1e-6 {
+		t.Fatalf("scale-2 decode = %v want %v", got, a*b)
+	}
+}
+
+func TestRingRoundTrip(t *testing.T) {
+	c := Default
+	n := new(big.Int).Lsh(big.NewInt(1), 128)
+	n.Add(n, big.NewInt(159)) // arbitrary odd modulus
+	for _, v := range []float64{0, 5.5, -5.5, 1000.25, -1000.25} {
+		r := c.EncodeRing(v, 1, n)
+		if r.Sign() < 0 || r.Cmp(n) >= 0 {
+			t.Fatalf("ring element out of range: %v", r)
+		}
+		got := c.DecodeRing(r, 1, n)
+		if math.Abs(got-v) > 1e-6 {
+			t.Errorf("ring round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestRingAdditionHomomorphism(t *testing.T) {
+	c := Default
+	n := new(big.Int).Lsh(big.NewInt(1), 100)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 1e6)
+		b = math.Mod(b, 1e6)
+		ra, rb := c.EncodeRing(a, 1, n), c.EncodeRing(b, 1, n)
+		sum := new(big.Int).Add(ra, rb)
+		sum.Mod(sum, n)
+		got := c.DecodeRing(sum, 1, n)
+		return math.Abs(got-(a+b)) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	c := Default
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := (rng.Float64()*2 - 1) * 1e4
+		got := c.DecodeU64(c.EncodeU64(v, 1), 1)
+		if math.Abs(got-v) > 1e-6 {
+			t.Fatalf("u64 round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestU64AdditiveSharing(t *testing.T) {
+	// A value split into two random u64 shares reconstructs exactly.
+	c := Default
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		v := (rng.Float64()*2 - 1) * 100
+		x := c.EncodeU64(v, 1)
+		share := rng.Uint64()
+		other := x - share
+		if got := c.DecodeU64(share+other, 1); math.Abs(got-v) > 1e-6 {
+			t.Fatalf("share reconstruction %v -> %v", v, got)
+		}
+	}
+}
+
+func TestTruncateU64(t *testing.T) {
+	c := Default
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		a := (rng.Float64()*2 - 1) * 50
+		b := (rng.Float64()*2 - 1) * 50
+		// scale-2 product then truncate to scale 1.
+		prod := c.EncodeU64(a, 1) * c.EncodeU64(b, 1)
+		got := c.DecodeU64(c.TruncateU64(prod), 1)
+		if math.Abs(got-a*b) > 1e-4 {
+			t.Fatalf("truncated product %v*%v = %v", a, b, got)
+		}
+	}
+}
+
+func TestTruncateU64OnShares(t *testing.T) {
+	// SecureML-style: truncate each share separately. Reconstruction is
+	// correct up to one fixed-point ULP except with probability ≈ |x|/2^64
+	// per value (Mohassel & Zhang, Theorem 1), so for |v| ≤ 1e3 at scale 2
+	// (|x| ≈ 2^58) a ~1.5% failure rate is the expected behaviour, not a bug.
+	c := Default
+	rng := rand.New(rand.NewSource(4))
+	bad := 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		v := (rng.Float64()*2 - 1) * 1e3
+		x := c.EncodeU64(v, 2)
+		s0 := rng.Uint64()
+		s1 := x - s0
+		rec := c.TruncateU64(s0) + c.TruncateU64(s1)
+		got := c.DecodeU64(rec, 1)
+		if math.Abs(got-v) > 1e-5 {
+			bad++
+		}
+	}
+	if bad > trials/20 {
+		t.Fatalf("%d/%d share truncations failed; far above the theoretical bound", bad, trials)
+	}
+	// For small values (|x| ≈ 2^51) failures should be essentially absent.
+	bad = 0
+	for i := 0; i < trials; i++ {
+		v := rng.Float64()*2 - 1
+		x := c.EncodeU64(v, 2)
+		s0 := rng.Uint64()
+		s1 := x - s0
+		rec := c.TruncateU64(s0) + c.TruncateU64(s1)
+		if math.Abs(c.DecodeU64(rec, 1)-v) > 1e-5 {
+			bad++
+		}
+	}
+	if bad > 2 {
+		t.Fatalf("%d/%d small-value share truncations failed", bad, trials)
+	}
+}
+
+func TestFromRingNegative(t *testing.T) {
+	n := big.NewInt(1000)
+	if got := FromRing(big.NewInt(999), n); got.Cmp(big.NewInt(-1)) != 0 {
+		t.Fatalf("FromRing(999) = %v want -1", got)
+	}
+	if got := FromRing(big.NewInt(499), n); got.Cmp(big.NewInt(499)) != 0 {
+		t.Fatalf("FromRing(499) = %v want 499", got)
+	}
+}
+
+func TestEncodePanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Default.Encode(math.NaN(), 1)
+}

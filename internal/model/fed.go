@@ -1,0 +1,385 @@
+package model
+
+import (
+	"math/rand"
+
+	"blindfl/internal/core"
+	"blindfl/internal/data"
+	"blindfl/internal/nn"
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+// numericSrcA adapts the dense and sparse MatMul halves behind one facade.
+type numericSrcA struct {
+	dense  *core.MatMulA
+	sparse *core.SparseMatMulA
+}
+
+func (s *numericSrcA) forward(p data.Part) {
+	if s.sparse != nil {
+		s.sparse.Forward(p.Sparse)
+		return
+	}
+	s.dense.Forward(core.DenseFeatures{M: p.Dense})
+}
+
+func (s *numericSrcA) backward() {
+	if s.sparse != nil {
+		s.sparse.Backward()
+		return
+	}
+	s.dense.Backward()
+}
+
+type numericSrcB struct {
+	dense  *core.MatMulB
+	sparse *core.SparseMatMulB
+}
+
+func (s *numericSrcB) forward(p data.Part) *tensor.Dense {
+	if s.sparse != nil {
+		return s.sparse.Forward(p.Sparse)
+	}
+	return s.dense.Forward(core.DenseFeatures{M: p.Dense})
+}
+
+func (s *numericSrcB) backward(g *tensor.Dense) {
+	if s.sparse != nil {
+		s.sparse.Backward(g)
+		return
+	}
+	s.dense.Backward(g)
+}
+
+// FedA is Party A's half of a federated model: at most one numeric source
+// layer and one Embed-MatMul source layer, mirroring FedB.
+type FedA struct {
+	num *numericSrcA
+	emb *core.EmbedMatMulA
+}
+
+// FedB is Party B's half: the source layers plus the plaintext top model.
+type FedB struct {
+	kind    Kind
+	classes int
+	num     *numericSrcB
+	emb     *core.EmbedMatMulB
+	head    headB
+	opt     *nn.SGD
+}
+
+// headB maps source-layer outputs to logits and routes gradients back; one
+// implementation per model family.
+type headB interface {
+	forward(zNum, zEmb *tensor.Dense) *tensor.Dense
+	backward(grad *tensor.Dense) (gNum, gEmb *tensor.Dense)
+	params() []*nn.Param
+}
+
+// biasHead: logits = Z + b (LR and MLR).
+type biasHead struct{ bias *nn.Bias }
+
+func (h *biasHead) forward(zNum, _ *tensor.Dense) *tensor.Dense { return h.bias.Forward(zNum) }
+func (h *biasHead) backward(g *tensor.Dense) (*tensor.Dense, *tensor.Dense) {
+	return h.bias.Backward(g), nil
+}
+func (h *biasHead) params() []*nn.Param { return h.bias.Params() }
+
+// mlpHead: logits = MLP(Z) with a leading ReLU (the source layer is the
+// first linear layer).
+type mlpHead struct{ seq *nn.Sequential }
+
+func (h *mlpHead) forward(zNum, _ *tensor.Dense) *tensor.Dense { return h.seq.Forward(zNum) }
+func (h *mlpHead) backward(g *tensor.Dense) (*tensor.Dense, *tensor.Dense) {
+	return h.seq.Backward(g), nil
+}
+func (h *mlpHead) params() []*nn.Param { return h.seq.Params() }
+
+// wdlHead: logits = Z_wide + MLP(Z_deep) (paper Fig. 5).
+type wdlHead struct{ deep *nn.Sequential }
+
+func (h *wdlHead) forward(zNum, zEmb *tensor.Dense) *tensor.Dense {
+	return zNum.Add(h.deep.Forward(zEmb))
+}
+func (h *wdlHead) backward(g *tensor.Dense) (*tensor.Dense, *tensor.Dense) {
+	return g, h.deep.Backward(g)
+}
+func (h *wdlHead) params() []*nn.Param { return h.deep.Params() }
+
+// dlrmHead: logits = MLP(ReLU(Z_num + Z_emb)) — the simplified DLRM
+// interaction documented in DESIGN.md.
+type dlrmHead struct {
+	relu *nn.ReLU
+	seq  *nn.Sequential
+}
+
+func (h *dlrmHead) forward(zNum, zEmb *tensor.Dense) *tensor.Dense {
+	return h.seq.Forward(h.relu.Forward(zNum.Add(zEmb)))
+}
+func (h *dlrmHead) backward(g *tensor.Dense) (*tensor.Dense, *tensor.Dense) {
+	gz := h.relu.Backward(h.seq.Backward(g))
+	return gz, gz
+}
+func (h *dlrmHead) params() []*nn.Param { return h.seq.Params() }
+
+// buildMLPTop constructs ReLU→Linear chains from in through hidden to out.
+func buildMLPTop(rng *rand.Rand, in int, hidden []int, out int) *nn.Sequential {
+	mods := []nn.Module{&nn.ReLU{}}
+	prev := in
+	for _, hdim := range hidden {
+		mods = append(mods, nn.NewLinear(rng, prev, hdim), &nn.ReLU{})
+		prev = hdim
+	}
+	mods = append(mods, nn.NewLinear(rng, prev, out))
+	return nn.NewSequential(mods...)
+}
+
+// sourceOut returns the numeric source layer's output width for a family.
+func sourceOut(kind Kind, classes int, h Hyper) int {
+	switch kind {
+	case LR, WDL:
+		return 1
+	case MLR:
+		return outDim(classes)
+	case MLP:
+		return firstHidden(h)
+	case DLRM:
+		return firstHidden(h)
+	}
+	panic("model: unreachable")
+}
+
+func firstHidden(h Hyper) int {
+	if len(h.Hidden) == 0 {
+		return 16
+	}
+	return h.Hidden[0]
+}
+
+func restHidden(h Hyper) []int {
+	if len(h.Hidden) <= 1 {
+		return nil
+	}
+	return h.Hidden[1:]
+}
+
+// NewFedA builds Party A's model half. Must run concurrently with NewFedB.
+func NewFedA(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedA {
+	m := &FedA{}
+	cfg := core.Config{Out: sourceOut(kind, ds.Spec.Classes, h), LR: h.LR, Momentum: h.Momentum}
+	inA, inB := ds.TrainA.NumCols(), ds.TrainB.NumCols()
+	if ds.Spec.Dense() {
+		m.num = &numericSrcA{dense: core.NewMatMulA(p, cfg, inA, inB)}
+	} else {
+		m.num = &numericSrcA{sparse: core.NewSparseMatMulA(p, cfg, inA, inB)}
+	}
+	if kind.UsesEmbedding() {
+		m.emb = core.NewEmbedMatMulA(p, embedCfg(kind, ds, h))
+	}
+	return m
+}
+
+// NewFedB builds Party B's model half with the plaintext top model.
+func NewFedB(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedB {
+	classes := ds.Spec.Classes
+	m := &FedB{kind: kind, classes: classes}
+	cfg := core.Config{Out: sourceOut(kind, classes, h), LR: h.LR, Momentum: h.Momentum}
+	inA, inB := ds.TrainA.NumCols(), ds.TrainB.NumCols()
+	if ds.Spec.Dense() {
+		m.num = &numericSrcB{dense: core.NewMatMulB(p, cfg, inA, inB)}
+	} else {
+		m.num = &numericSrcB{sparse: core.NewSparseMatMulB(p, cfg, inA, inB)}
+	}
+	if kind.UsesEmbedding() {
+		m.emb = core.NewEmbedMatMulB(p, embedCfg(kind, ds, h))
+	}
+
+	rng := rand.New(rand.NewSource(h.Seed + 77))
+	out := outDim(classes)
+	switch kind {
+	case LR, MLR:
+		m.head = &biasHead{bias: nn.NewBias(out)}
+	case MLP:
+		m.head = &mlpHead{seq: buildMLPTop(rng, firstHidden(h), restHidden(h), out)}
+	case WDL:
+		deepIn := sourceOutEmbed(h)
+		m.head = &wdlHead{deep: buildMLPTop(rng, deepIn, restHidden(h), out)}
+	case DLRM:
+		m.head = &dlrmHead{relu: &nn.ReLU{}, seq: nn.NewSequential(nn.NewLinear(rng, firstHidden(h), out))}
+	}
+	m.opt = nn.NewSGD(h.LR, h.Momentum, m.head.params())
+	return m
+}
+
+// sourceOutEmbed is the Embed-MatMul output width (the deep tower input).
+func sourceOutEmbed(h Hyper) int { return firstHidden(h) }
+
+func embedCfg(kind Kind, ds *data.Dataset, h Hyper) core.EmbedConfig {
+	out := sourceOutEmbed(h)
+	if kind == DLRM {
+		out = firstHidden(h)
+	}
+	return core.EmbedConfig{
+		Config:  core.Config{Out: out, LR: h.LR, Momentum: h.Momentum},
+		VocabA:  ds.Spec.CatVocab,
+		VocabB:  ds.Spec.CatVocab,
+		FieldsA: ds.TrainA.Cat.Cols,
+		FieldsB: ds.TrainB.Cat.Cols,
+		Dim:     h.EmbDim,
+	}
+}
+
+// StepA runs Party A's forward and backward for one mini-batch.
+func (m *FedA) StepA(p data.Part) {
+	m.num.forward(p)
+	if m.emb != nil {
+		m.emb.Forward(p.Cat)
+	}
+	m.num.backward()
+	if m.emb != nil {
+		m.emb.Backward()
+	}
+}
+
+// ForwardA runs Party A's inference-only pass.
+func (m *FedA) ForwardA(p data.Part) {
+	m.num.forward(p)
+	if m.emb != nil {
+		m.emb.Forward(p.Cat)
+	}
+}
+
+// forwardB runs Party B's forward and returns the logits.
+func (m *FedB) forwardB(p data.Part) *tensor.Dense {
+	zNum := m.num.forward(p)
+	var zEmb *tensor.Dense
+	if m.emb != nil {
+		zEmb = m.emb.Forward(p.Cat)
+	}
+	return m.head.forward(zNum, zEmb)
+}
+
+// StepB runs Party B's full training step and returns the mini-batch loss.
+func (m *FedB) StepB(p data.Part, y []int) float64 {
+	logits := m.forwardB(p)
+	loss, grad := m.lossGrad(logits, y)
+	m.opt.ZeroGrad()
+	gNum, gEmb := m.head.backward(grad)
+	m.opt.Step()
+	m.num.backward(gNum)
+	if m.emb != nil {
+		m.emb.Backward(gEmb)
+	}
+	return loss
+}
+
+// ForwardB runs Party B's inference-only pass and returns the logits.
+func (m *FedB) ForwardB(p data.Part) *tensor.Dense { return m.forwardB(p) }
+
+func (m *FedB) lossGrad(logits *tensor.Dense, y []int) (float64, *tensor.Dense) {
+	if m.classes == 2 {
+		return nn.BCEWithLogits(logits, y)
+	}
+	return nn.SoftmaxCE(logits, y)
+}
+
+// TrainFederated trains a federated model end to end on an in-process
+// protocol session and returns Party B's training history. The mini-batch
+// order is derived from the shared hyper-parameter seed, standing in for the
+// order the parties would agree on at setup time.
+func TrainFederated(kind Kind, ds *data.Dataset, h Hyper, pa, pb *protocol.Peer) (*History, error) {
+	hist := &History{MetricName: metricName(ds.Spec.Classes)}
+	errA := make(chan error, 1)
+	go func() {
+		errA <- pa.Run(func() {
+			ma := NewFedA(pa, kind, ds, h)
+			order := rand.New(rand.NewSource(h.Seed + 999))
+			for e := 0; e < h.Epochs; e++ {
+				perm := data.Shuffle(order, ds.TrainA.Rows())
+				for _, idx := range batchesOf(perm, h.Batch) {
+					ma.StepA(ds.TrainA.Batch(idx))
+				}
+			}
+			for _, idx := range data.BatchIndices(ds.TestA.Rows(), h.Batch) {
+				ma.ForwardA(ds.TestA.Batch(idx))
+			}
+		})
+	}()
+	errB := pb.Run(func() {
+		mb := NewFedB(pb, kind, ds, h)
+		order := rand.New(rand.NewSource(h.Seed + 999))
+		for e := 0; e < h.Epochs; e++ {
+			perm := data.Shuffle(order, ds.TrainB.Rows())
+			for _, idx := range batchesOf(perm, h.Batch) {
+				loss := mb.StepB(ds.TrainB.Batch(idx), gather(ds.TrainY, idx))
+				hist.Losses = append(hist.Losses, loss)
+			}
+		}
+		hist.TestLogits = evalB(mb, ds, h)
+	})
+	if err := <-errA; err != nil {
+		return nil, err
+	}
+	if errB != nil {
+		return nil, errB
+	}
+	finishHistory(hist, ds)
+	return hist, nil
+}
+
+func evalB(mb *FedB, ds *data.Dataset, h Hyper) *tensor.Dense {
+	var rows []*tensor.Dense
+	for _, idx := range data.BatchIndices(ds.TestB.Rows(), h.Batch) {
+		rows = append(rows, mb.ForwardB(ds.TestB.Batch(idx)))
+	}
+	return vstack(rows)
+}
+
+func finishHistory(hist *History, ds *data.Dataset) {
+	if hist.TestLogits == nil {
+		return
+	}
+	if ds.Spec.Classes == 2 {
+		hist.TestMetric = nn.AUC(nn.Scores(hist.TestLogits), ds.TestY)
+	} else {
+		hist.TestMetric = nn.Accuracy(hist.TestLogits, ds.TestY)
+	}
+}
+
+func batchesOf(perm []int, batch int) [][]int {
+	var out [][]int
+	for lo := 0; lo < len(perm); lo += batch {
+		hi := lo + batch
+		if hi > len(perm) {
+			hi = len(perm)
+		}
+		out = append(out, perm[lo:hi])
+	}
+	return out
+}
+
+func gather(y []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}
+
+func vstack(rows []*tensor.Dense) *tensor.Dense {
+	if len(rows) == 0 {
+		return nil
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Rows
+	}
+	out := tensor.NewDense(total, rows[0].Cols)
+	off := 0
+	for _, r := range rows {
+		copy(out.Data[off:off+len(r.Data)], r.Data)
+		off += len(r.Data)
+	}
+	return out
+}

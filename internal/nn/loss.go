@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"math"
+	"sort"
+
+	"blindfl/internal/tensor"
+)
+
+// BCEWithLogits computes mean binary cross-entropy over logits (batch×1)
+// against {0,1} labels and the gradient w.r.t. the logits. The sigmoid is
+// folded in for numerical stability, as in torch.nn.BCEWithLogitsLoss.
+func BCEWithLogits(logits *tensor.Dense, y []int) (loss float64, grad *tensor.Dense) {
+	if logits.Rows != len(y) {
+		panic(shapeMsg("logits", logits.Rows, len(y)))
+	}
+	n := float64(len(y))
+	grad = tensor.NewDense(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		z := logits.At(i, 0)
+		t := float64(y[i])
+		// log(1+e^z) computed stably.
+		loss += math.Max(z, 0) - z*t + math.Log1p(math.Exp(-math.Abs(z)))
+		grad.Set(i, 0, (sigmoid(z)-t)/n)
+	}
+	return loss / n, grad
+}
+
+// SoftmaxCE computes mean softmax cross-entropy over logits (batch×C)
+// against class-index labels and the gradient w.r.t. the logits.
+func SoftmaxCE(logits *tensor.Dense, y []int) (loss float64, grad *tensor.Dense) {
+	if logits.Rows != len(y) {
+		panic(shapeMsg("logits", logits.Rows, len(y)))
+	}
+	n := float64(len(y))
+	grad = tensor.NewDense(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		m := row[0]
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - m)
+		}
+		logSum := math.Log(sum) + m
+		loss += logSum - row[y[i]]
+		grow := grad.Row(i)
+		for j, v := range row {
+			p := math.Exp(v - logSum)
+			if j == y[i] {
+				p -= 1
+			}
+			grow[j] = p / n
+		}
+	}
+	return loss / n, grad
+}
+
+// MSE computes mean squared error over predictions (batch×1) against
+// float targets and the gradient w.r.t. the predictions — the loss for the
+// generalized-linear-regression flavour of the source layers.
+func MSE(pred *tensor.Dense, y []float64) (loss float64, grad *tensor.Dense) {
+	if pred.Rows != len(y) {
+		panic(shapeMsg("predictions", pred.Rows, len(y)))
+	}
+	n := float64(len(y))
+	grad = tensor.NewDense(pred.Rows, pred.Cols)
+	for i := 0; i < pred.Rows; i++ {
+		d := pred.At(i, 0) - y[i]
+		loss += d * d
+		grad.Set(i, 0, 2*d/n)
+	}
+	return loss / n, grad
+}
+
+// Metrics over predictions.
+
+// AUC computes the area under the ROC curve for scores against {0,1}
+// labels via the rank statistic, with midrank handling for ties.
+func AUC(scores []float64, y []int) float64 {
+	type sc struct {
+		s float64
+		y int
+	}
+	n := len(scores)
+	items := make([]sc, n)
+	for i := range scores {
+		items[i] = sc{scores[i], y[i]}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].s < items[j].s })
+	// Midranks over tie groups.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j < n && items[j].s == items[i].s {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		i = j
+	}
+	var sumPos float64
+	var nPos, nNeg int
+	for i, it := range items {
+		if it.y == 1 {
+			sumPos += ranks[i]
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	return (sumPos - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg))
+}
+
+// Accuracy computes argmax accuracy for multi-class logits, or a 0.5
+// threshold on the single logit column for binary problems.
+func Accuracy(logits *tensor.Dense, y []int) float64 {
+	if logits.Rows == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		var pred int
+		if len(row) == 1 {
+			if row[0] > 0 {
+				pred = 1
+			}
+		} else {
+			for j, v := range row {
+				if v > row[pred] {
+					pred = j
+				}
+			}
+		}
+		if pred == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(logits.Rows)
+}
+
+// Scores extracts the single-column logits as a score slice for AUC.
+func Scores(logits *tensor.Dense) []float64 {
+	out := make([]float64, logits.Rows)
+	for i := range out {
+		out[i] = logits.At(i, 0)
+	}
+	return out
+}

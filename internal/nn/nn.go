@@ -1,0 +1,280 @@
+// Package nn is a minimal neural-network library providing the plaintext
+// modules BlindFL composes on top of its federated source layers: linear
+// layers, bias, activations, losses, and momentum SGD. It mirrors the
+// forward/backward Module style of the paper's PyTorch integration (Fig. 8)
+// without an autograd tape — each module caches what its backward needs.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"blindfl/internal/tensor"
+)
+
+// Param is one learnable tensor with its gradient accumulator.
+type Param struct {
+	W    *tensor.Dense
+	Grad *tensor.Dense
+}
+
+// NewParam wraps a weight tensor.
+func NewParam(w *tensor.Dense) *Param {
+	return &Param{W: w, Grad: tensor.NewDense(w.Rows, w.Cols)}
+}
+
+// Module is a differentiable block. Backward must be called after Forward
+// with the gradient w.r.t. the forward output and returns the gradient
+// w.r.t. the forward input, accumulating parameter gradients as a side
+// effect.
+type Module interface {
+	Forward(x *tensor.Dense) *tensor.Dense
+	Backward(grad *tensor.Dense) *tensor.Dense
+	Params() []*Param
+}
+
+// Linear is a fully connected layer y = x·W + b.
+type Linear struct {
+	W, B *Param
+	x    *tensor.Dense
+}
+
+// NewLinear builds an in×out layer with uniform(-s, s) init where
+// s = 1/sqrt(in) (the standard fan-in heuristic).
+func NewLinear(rng *rand.Rand, in, out int) *Linear {
+	s := 1 / math.Sqrt(float64(in))
+	return &Linear{
+		W: NewParam(tensor.RandDense(rng, in, out, s)),
+		B: NewParam(tensor.NewDense(1, out)),
+	}
+}
+
+// Forward computes x·W + b.
+func (l *Linear) Forward(x *tensor.Dense) *tensor.Dense {
+	l.x = x
+	y := x.MatMul(l.W.W)
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j, b := range l.B.W.Row(0) {
+			row[j] += b
+		}
+	}
+	return y
+}
+
+// Backward accumulates ∇W = xᵀ∇y and ∇b = Σ∇y, returning ∇x = ∇y·Wᵀ.
+func (l *Linear) Backward(grad *tensor.Dense) *tensor.Dense {
+	l.W.Grad.AddInPlace(l.x.TransposeMatMul(grad))
+	for i := 0; i < grad.Rows; i++ {
+		for j, g := range grad.Row(i) {
+			l.B.Grad.Data[j] += g
+		}
+	}
+	return grad.MatMulTranspose(l.W.W)
+}
+
+// Params returns the weight and bias.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// Bias adds a learnable row vector (the "+bias" top model of federated LR).
+type Bias struct {
+	B *Param
+	n int
+}
+
+// NewBias builds a zero-initialized bias over out columns.
+func NewBias(out int) *Bias { return &Bias{B: NewParam(tensor.NewDense(1, out)), n: out} }
+
+// Forward adds the bias to every row.
+func (b *Bias) Forward(x *tensor.Dense) *tensor.Dense {
+	y := x.Clone()
+	for i := 0; i < y.Rows; i++ {
+		row := y.Row(i)
+		for j, v := range b.B.W.Row(0) {
+			row[j] += v
+		}
+	}
+	return y
+}
+
+// Backward accumulates ∇b and passes the gradient through.
+func (b *Bias) Backward(grad *tensor.Dense) *tensor.Dense {
+	for i := 0; i < grad.Rows; i++ {
+		for j, g := range grad.Row(i) {
+			b.B.Grad.Data[j] += g
+		}
+	}
+	return grad
+}
+
+// Params returns the bias parameter.
+func (b *Bias) Params() []*Param { return []*Param{b.B} }
+
+// ReLU is the rectified linear activation.
+type ReLU struct{ mask *tensor.Dense }
+
+// Forward zeroes negative entries.
+func (r *ReLU) Forward(x *tensor.Dense) *tensor.Dense {
+	r.mask = tensor.NewDense(x.Rows, x.Cols)
+	y := tensor.NewDense(x.Rows, x.Cols)
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+			r.mask.Data[i] = 1
+		}
+	}
+	return y
+}
+
+// Backward gates the gradient by the forward mask.
+func (r *ReLU) Backward(grad *tensor.Dense) *tensor.Dense { return grad.Hadamard(r.mask) }
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation (used standalone for inference; losses
+// fold it in for numerical stability).
+type Sigmoid struct{ y *tensor.Dense }
+
+// Forward applies 1/(1+e^−x).
+func (s *Sigmoid) Forward(x *tensor.Dense) *tensor.Dense {
+	s.y = x.Apply(sigmoid)
+	return s.y
+}
+
+// Backward multiplies by y·(1−y).
+func (s *Sigmoid) Backward(grad *tensor.Dense) *tensor.Dense {
+	out := tensor.NewDense(grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
+		y := s.y.Data[i]
+		out.Data[i] = g * y * (1 - y)
+	}
+	return out
+}
+
+// Params returns nil; Sigmoid has no parameters.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+func sigmoid(v float64) float64 {
+	if v >= 0 {
+		return 1 / (1 + math.Exp(-v))
+	}
+	e := math.Exp(v)
+	return e / (1 + e)
+}
+
+// Sequential chains modules.
+type Sequential struct{ Mods []Module }
+
+// NewSequential builds a chain.
+func NewSequential(mods ...Module) *Sequential { return &Sequential{Mods: mods} }
+
+// Forward runs the chain left to right.
+func (s *Sequential) Forward(x *tensor.Dense) *tensor.Dense {
+	for _, m := range s.Mods {
+		x = m.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the chain right to left.
+func (s *Sequential) Backward(grad *tensor.Dense) *tensor.Dense {
+	for i := len(s.Mods) - 1; i >= 0; i-- {
+		grad = s.Mods[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params concatenates all parameters.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, m := range s.Mods {
+		out = append(out, m.Params()...)
+	}
+	return out
+}
+
+// Identity passes values through unchanged (a placeholder top model).
+type Identity struct{}
+
+// Forward returns x.
+func (Identity) Forward(x *tensor.Dense) *tensor.Dense { return x }
+
+// Backward returns grad.
+func (Identity) Backward(grad *tensor.Dense) *tensor.Dense { return grad }
+
+// Params returns nil.
+func (Identity) Params() []*Param { return nil }
+
+// Embedding is a plaintext embedding table with concatenated field lookup,
+// used by the non-federated baselines and the split-learning bottom models.
+type Embedding struct {
+	Q          *Param
+	Vocab, Dim int
+	x          *tensor.IntMatrix
+}
+
+// NewEmbedding builds a vocab×dim table with uniform(-s, s) init.
+func NewEmbedding(rng *rand.Rand, vocab, dim int, s float64) *Embedding {
+	return &Embedding{Q: NewParam(tensor.RandDense(rng, vocab, dim, s)), Vocab: vocab, Dim: dim}
+}
+
+// ForwardIdx looks up and concatenates the field embeddings.
+func (e *Embedding) ForwardIdx(x *tensor.IntMatrix) *tensor.Dense {
+	e.x = x
+	return tensor.Lookup(e.Q.W, x)
+}
+
+// BackwardIdx scatter-adds the gradient into the table and returns it (the
+// derivative ∇E itself, which the split-learning leakage experiments need).
+func (e *Embedding) BackwardIdx(grad *tensor.Dense) *tensor.Dense {
+	e.Q.Grad.AddInPlace(tensor.LookupBackward(grad, e.x, e.Vocab, e.Dim))
+	return grad
+}
+
+// Params returns the table.
+func (e *Embedding) Params() []*Param { return []*Param{e.Q} }
+
+// SGD is momentum stochastic gradient descent over a parameter set.
+type SGD struct {
+	LR, Momentum float64
+	params       []*Param
+	bufs         []*tensor.Dense
+}
+
+// NewSGD builds an optimizer for params.
+func NewSGD(lr, momentum float64, params []*Param) *SGD {
+	bufs := make([]*tensor.Dense, len(params))
+	for i, p := range params {
+		bufs[i] = tensor.NewDense(p.W.Rows, p.W.Cols)
+	}
+	return &SGD{LR: lr, Momentum: momentum, params: params, bufs: bufs}
+}
+
+// ZeroGrad clears all gradient accumulators.
+func (o *SGD) ZeroGrad() {
+	for _, p := range o.params {
+		p.Grad.Zero()
+	}
+}
+
+// Step applies one momentum SGD update.
+func (o *SGD) Step() {
+	for i, p := range o.params {
+		if o.Momentum != 0 {
+			buf := o.bufs[i]
+			for j, g := range p.Grad.Data {
+				buf.Data[j] = o.Momentum*buf.Data[j] + g
+			}
+			p.W.Axpy(-o.LR, buf)
+		} else {
+			p.W.Axpy(-o.LR, p.Grad)
+		}
+	}
+}
+
+// shapeMsg is a helper for loss shape panics.
+func shapeMsg(what string, rows, want int) string {
+	return fmt.Sprintf("nn: %s has %d rows, labels have %d", what, rows, want)
+}

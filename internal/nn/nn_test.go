@@ -1,0 +1,249 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blindfl/internal/tensor"
+)
+
+// numericalGrad estimates ∂loss/∂w[i] by central differences.
+func numericalGrad(f func() float64, w *tensor.Dense, i int) float64 {
+	const h = 1e-5
+	old := w.Data[i]
+	w.Data[i] = old + h
+	lp := f()
+	w.Data[i] = old - h
+	lm := f()
+	w.Data[i] = old
+	return (lp - lm) / (2 * h)
+}
+
+func TestLinearForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(rng, 3, 2)
+	l.W.W = tensor.FromSlice(3, 2, []float64{1, 0, 0, 1, 1, 1})
+	l.B.W = tensor.FromSlice(1, 2, []float64{10, 20})
+	x := tensor.FromSlice(1, 3, []float64{1, 2, 3})
+	got := l.Forward(x)
+	want := tensor.FromSlice(1, 2, []float64{14, 25})
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("Forward = %v", got.Data)
+	}
+}
+
+func TestLinearGradientNumerically(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLinear(rng, 4, 3)
+	x := tensor.RandDense(rng, 5, 4, 1)
+	y := []int{0, 2, 1, 0, 2}
+
+	lossOf := func() float64 {
+		loss, _ := SoftmaxCE(l.Forward(x), y)
+		return loss
+	}
+	l.W.Grad.Zero()
+	l.B.Grad.Zero()
+	_, grad := SoftmaxCE(l.Forward(x), y)
+	l.Backward(grad)
+
+	for _, i := range []int{0, 5, 11} {
+		want := numericalGrad(lossOf, l.W.W, i)
+		if got := l.W.Grad.Data[i]; math.Abs(got-want) > 1e-6 {
+			t.Errorf("∇W[%d] = %v want %v", i, got, want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		want := numericalGrad(lossOf, l.B.W, i)
+		if got := l.B.Grad.Data[i]; math.Abs(got-want) > 1e-6 {
+			t.Errorf("∇b[%d] = %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := &ReLU{}
+	x := tensor.FromSlice(1, 4, []float64{-1, 0, 2, -3})
+	y := r.Forward(x)
+	if !y.Equal(tensor.FromSlice(1, 4, []float64{0, 0, 2, 0}), 0) {
+		t.Fatalf("Forward = %v", y.Data)
+	}
+	g := r.Backward(tensor.FromSlice(1, 4, []float64{5, 5, 5, 5}))
+	if !g.Equal(tensor.FromSlice(1, 4, []float64{0, 0, 5, 0}), 0) {
+		t.Fatalf("Backward = %v", g.Data)
+	}
+}
+
+func TestSigmoidMatchesDerivative(t *testing.T) {
+	s := &Sigmoid{}
+	x := tensor.FromSlice(1, 1, []float64{0.7})
+	y := s.Forward(x)
+	g := s.Backward(tensor.FromSlice(1, 1, []float64{1}))
+	want := y.At(0, 0) * (1 - y.At(0, 0))
+	if math.Abs(g.At(0, 0)-want) > 1e-12 {
+		t.Fatalf("sigmoid grad = %v want %v", g.At(0, 0), want)
+	}
+}
+
+func TestBCEWithLogitsGradient(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	logits := tensor.RandDense(rng, 6, 1, 2)
+	y := []int{1, 0, 1, 1, 0, 0}
+	_, grad := BCEWithLogits(logits, y)
+	for i := 0; i < 6; i++ {
+		f := func() float64 {
+			l, _ := BCEWithLogits(logits, y)
+			return l
+		}
+		want := numericalGrad(f, logits, i)
+		if math.Abs(grad.Data[i]-want) > 1e-6 {
+			t.Errorf("∇logit[%d] = %v want %v", i, grad.Data[i], want)
+		}
+	}
+}
+
+func TestSoftmaxCEGradientSumsToZeroPerRow(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		logits := tensor.RandDense(rng, 4, 5, 3)
+		y := []int{0, 4, 2, 1}
+		_, grad := SoftmaxCE(logits, y)
+		for i := 0; i < 4; i++ {
+			var s float64
+			for _, v := range grad.Row(i) {
+				s += v
+			}
+			if math.Abs(s) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxCEIsStableForLargeLogits(t *testing.T) {
+	logits := tensor.FromSlice(1, 3, []float64{1000, 999, -1000})
+	loss, grad := SoftmaxCE(logits, []int{0})
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss = %v", loss)
+	}
+	for _, g := range grad.Data {
+		if math.IsNaN(g) {
+			t.Fatal("NaN gradient")
+		}
+	}
+}
+
+func TestSGDConvergesOnLinearRegressionStyleProblem(t *testing.T) {
+	// Learn XOR-free separable binary problem with LR: loss must decrease.
+	rng := rand.New(rand.NewSource(4))
+	n := 200
+	x := tensor.NewDense(n, 2)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		if a+2*b > 0 {
+			y[i] = 1
+		}
+	}
+	model := NewSequential(NewLinear(rng, 2, 1))
+	opt := NewSGD(0.5, 0.9, model.Params())
+	var first, last float64
+	for epoch := 0; epoch < 50; epoch++ {
+		opt.ZeroGrad()
+		logits := model.Forward(x)
+		loss, grad := BCEWithLogits(logits, y)
+		model.Backward(grad)
+		opt.Step()
+		if epoch == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	if last > first/3 {
+		t.Fatalf("SGD failed to converge: first %v last %v", first, last)
+	}
+	if acc := Accuracy(model.Forward(x), y); acc < 0.95 {
+		t.Fatalf("accuracy %v < 0.95", acc)
+	}
+}
+
+func TestEmbeddingForwardBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := NewEmbedding(rng, 4, 2, 0.1)
+	x := tensor.NewIntMatrix(2, 2)
+	x.Set(0, 0, 1)
+	x.Set(0, 1, 1)
+	x.Set(1, 0, 3)
+	out := e.ForwardIdx(x)
+	if out.Rows != 2 || out.Cols != 4 {
+		t.Fatalf("shape %d×%d", out.Rows, out.Cols)
+	}
+	g := tensor.FromSlice(2, 4, []float64{1, 1, 2, 2, 3, 3, 4, 4})
+	e.BackwardIdx(g)
+	// Row 1 of the table receives (1,1)+(2,2)=(3,3).
+	if e.Q.Grad.At(1, 0) != 3 || e.Q.Grad.At(1, 1) != 3 {
+		t.Fatalf("grad row1 = %v", e.Q.Grad.Row(1))
+	}
+	if e.Q.Grad.At(3, 0) != 3 {
+		t.Fatalf("grad row3 = %v", e.Q.Grad.Row(3))
+	}
+}
+
+func TestAUCPerfectAndRandom(t *testing.T) {
+	if got := AUC([]float64{0.1, 0.2, 0.8, 0.9}, []int{0, 0, 1, 1}); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	if got := AUC([]float64{0.9, 0.8, 0.2, 0.1}, []int{0, 0, 1, 1}); got != 0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	if got := AUC([]float64{0.5, 0.5, 0.5, 0.5}, []int{0, 1, 0, 1}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+	if got := AUC([]float64{1, 2, 3}, []int{1, 1, 1}); got != 0.5 {
+		t.Fatalf("degenerate AUC = %v", got)
+	}
+}
+
+func TestAUCHandlesTiesByMidrank(t *testing.T) {
+	// One positive tied with one negative at the top: AUC = 0.75.
+	got := AUC([]float64{0.9, 0.9, 0.1, 0.1}, []int{1, 0, 0, 1})
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("tie AUC = %v want 0.5", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	logits := tensor.FromSlice(3, 2, []float64{2, 1, 0, 3, 5, 4})
+	if got := Accuracy(logits, []int{0, 1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("multiclass accuracy = %v", got)
+	}
+	bin := tensor.FromSlice(2, 1, []float64{1.5, -0.5})
+	if got := Accuracy(bin, []int{1, 0}); got != 1 {
+		t.Fatalf("binary accuracy = %v", got)
+	}
+}
+
+func TestSequentialComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewSequential(NewLinear(rng, 3, 4), &ReLU{}, NewLinear(rng, 4, 2))
+	if len(m.Params()) != 4 {
+		t.Fatalf("params = %d", len(m.Params()))
+	}
+	x := tensor.RandDense(rng, 2, 3, 1)
+	y := m.Forward(x)
+	if y.Rows != 2 || y.Cols != 2 {
+		t.Fatalf("shape %d×%d", y.Rows, y.Cols)
+	}
+	g := m.Backward(tensor.RandDense(rng, 2, 2, 1))
+	if g.Rows != 2 || g.Cols != 3 {
+		t.Fatalf("input grad shape %d×%d", g.Rows, g.Cols)
+	}
+}

@@ -1,0 +1,40 @@
+// Package parallel provides the tiny goroutine fan-out helper used by the
+// encrypted-tensor operations, which are embarrassingly parallel across rows
+// and dominated by big.Int exponentiation.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For runs f(i) for i in [0, n) across up to GOMAXPROCS goroutines and waits
+// for completion. f must be safe to call concurrently for distinct i.
+func For(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,48 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	f := func(n8 uint8) bool {
+		n := int(n8)
+		counts := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForZero(t *testing.T) {
+	called := false
+	For(0, func(int) { called = true })
+	if called {
+		t.Fatal("f called for n=0")
+	}
+}
+
+func TestForOne(t *testing.T) {
+	var got int
+	For(1, func(i int) { got = i + 100 })
+	if got != 100 {
+		t.Fatal("f not called for n=1")
+	}
+}
+
+func TestForLarge(t *testing.T) {
+	var sum int64
+	For(10000, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 10000*9999/2 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

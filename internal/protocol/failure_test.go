@@ -1,0 +1,86 @@
+package protocol
+
+import (
+	"strings"
+	"testing"
+
+	"blindfl/internal/tensor"
+	"blindfl/internal/transport"
+)
+
+// Failure injection: protocols must surface transport failures as errors
+// from Run, never hang or panic through.
+
+func TestRecvOnClosedConnErrors(t *testing.T) {
+	a, b := newPipe(t, 20)
+	b.Conn.Close()
+	err := a.Run(func() { a.RecvDense() })
+	if err == nil || !strings.Contains(err.Error(), "recv") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSendOnClosedConnErrors(t *testing.T) {
+	a, _ := newPipe(t, 21)
+	a.Conn.Close()
+	err := a.Run(func() { a.Send(tensor.NewDense(1, 1)) })
+	if err == nil || !strings.Contains(err.Error(), "send") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMidProtocolDisconnect(t *testing.T) {
+	a, b := newPipe(t, 22)
+	err := RunParties(a, b,
+		func() {
+			a.Send(tensor.NewDense(2, 2))
+			a.Conn.Close() // drop mid-protocol
+		},
+		func() {
+			b.RecvDense()
+			b.RecvDense() // the second message never arrives
+		})
+	if err == nil {
+		t.Fatal("expected an error after mid-protocol disconnect")
+	}
+}
+
+func TestHE2SSRecvRejectsForeignKeyCiphertext(t *testing.T) {
+	a, b := newPipe(t, 23)
+	err := RunParties(a, b,
+		func() {
+			// A wrongly ships a ciphertext under its own key: the receiver
+			// cannot decrypt it and must fail loudly instead of decrypting
+			// garbage.
+			a.Send(a.Encrypt(tensor.NewDense(1, 1), 1))
+		},
+		func() {
+			b.HE2SSRecv()
+		})
+	if err == nil || !strings.Contains(err.Error(), "not under this party's key") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunDoesNotSwallowUnrelatedPanics(t *testing.T) {
+	a, _ := newPipe(t, 24)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unrelated panic should propagate")
+		}
+	}()
+	_ = a.Run(func() { panic("programming error") })
+}
+
+func TestPipeHandshakeAgainstHalfOpenPeer(t *testing.T) {
+	// A peer that closes during the handshake must produce an error, not a
+	// deadlock.
+	skA, skB := TestKeys()
+	ca, cb := transport.Pair(1)
+	a := NewPeer(PartyA, ca, skA, nil)
+	_ = NewPeer(PartyB, cb, skB, nil)
+	cb.Close()
+	if err := a.Handshake(); err == nil {
+		t.Fatal("handshake against closed peer succeeded")
+	}
+}

@@ -1,0 +1,258 @@
+// Package protocol provides the two-party runtime that BlindFL's federated
+// source layers are written against: a Peer (connection + own Paillier key +
+// the other party's public key + mask sampling), the HE↔SS conversion
+// sub-protocols of Algorithms 1 and 2, and a helper that runs both parties
+// of a protocol in one process over an in-memory transport.
+//
+// Typed Send/Recv helpers panic on transport or type errors; Run converts
+// such panics back into errors at the protocol boundary, which keeps the
+// per-line protocol code as close as possible to the paper's figures.
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blindfl/internal/hetensor"
+	"blindfl/internal/paillier"
+	"blindfl/internal/tensor"
+	"blindfl/internal/transport"
+)
+
+// Role identifies which side of the two-party protocol a Peer plays.
+// Party B owns the labels and the top model; Party A is the feature-only
+// party (the paper's "Party ⋄" without labels).
+type Role int
+
+const (
+	PartyA Role = iota
+	PartyB
+)
+
+func (r Role) String() string {
+	if r == PartyA {
+		return "PartyA"
+	}
+	return "PartyB"
+}
+
+// DefaultMaskMag is the default magnitude bound for HE2SS masks. Masks are
+// sampled uniformly from [−MaskMag, MaskMag), matching the bounded-range
+// masking of the paper's implementation (visible in its Figure 11, where
+// secret-share pieces of unit-scale weights span roughly ±50): masks must be
+// large relative to the hidden values but small enough that float64 shares
+// stay exact to fixed-point tolerance.
+const DefaultMaskMag = 1 << 20
+
+// Peer is one party's handle on the protocol session.
+type Peer struct {
+	Role    Role
+	Conn    transport.Conn
+	SK      *paillier.PrivateKey // this party's key pair
+	PeerPK  *paillier.PublicKey  // other party's public key
+	Rng     *rand.Rand           // local randomness for masks and init
+	MaskMag float64
+}
+
+// NewPeer assembles a Peer. Call Handshake before running any protocol to
+// exchange public keys (unless PeerPK is set by other means).
+func NewPeer(role Role, conn transport.Conn, sk *paillier.PrivateKey, rng *rand.Rand) *Peer {
+	return &Peer{Role: role, Conn: conn, SK: sk, Rng: rng, MaskMag: DefaultMaskMag}
+}
+
+// Handshake exchanges public keys with the peer. Party A sends first.
+func (p *Peer) Handshake() error {
+	if p.Role == PartyA {
+		if err := p.Conn.Send(&p.SK.PublicKey); err != nil {
+			return err
+		}
+		v, err := p.Conn.Recv()
+		if err != nil {
+			return err
+		}
+		pk, ok := v.(*paillier.PublicKey)
+		if !ok {
+			return fmt.Errorf("protocol: handshake got %T", v)
+		}
+		p.PeerPK = pk
+		return nil
+	}
+	v, err := p.Conn.Recv()
+	if err != nil {
+		return err
+	}
+	pk, ok := v.(*paillier.PublicKey)
+	if !ok {
+		return fmt.Errorf("protocol: handshake got %T", v)
+	}
+	p.PeerPK = pk
+	return p.Conn.Send(&p.SK.PublicKey)
+}
+
+// protoErr carries a protocol failure through panic/recover inside Run.
+type protoErr struct{ err error }
+
+// Run executes f, converting Peer helper panics into an error.
+func (p *Peer) Run(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(protoErr); ok {
+				err = fmt.Errorf("%s: %w", p.Role, pe.err)
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+func (p *Peer) fail(format string, args ...any) {
+	panic(protoErr{fmt.Errorf(format, args...)})
+}
+
+// Send transmits a message, panicking (inside Run) on failure.
+func (p *Peer) Send(v any) {
+	if err := p.Conn.Send(v); err != nil {
+		p.fail("send: %v", err)
+	}
+}
+
+func (p *Peer) recv() any {
+	v, err := p.Conn.Recv()
+	if err != nil {
+		p.fail("recv: %v", err)
+	}
+	return v
+}
+
+// RecvDense receives a *tensor.Dense.
+func (p *Peer) RecvDense() *tensor.Dense {
+	v := p.recv()
+	d, ok := v.(*tensor.Dense)
+	if !ok {
+		p.fail("recv: want *tensor.Dense, got %T", v)
+	}
+	return d
+}
+
+// RecvCipher receives a *hetensor.CipherMatrix. Ciphertexts arriving under
+// this party's own key get SK's public part attached so they can be used
+// homomorphically without trusting the sender's copy of the key.
+func (p *Peer) RecvCipher() *hetensor.CipherMatrix {
+	v := p.recv()
+	c, ok := v.(*hetensor.CipherMatrix)
+	if !ok {
+		p.fail("recv: want *hetensor.CipherMatrix, got %T", v)
+	}
+	if c.PK.N.Cmp(p.SK.N) == 0 {
+		c.PK = &p.SK.PublicKey
+	} else {
+		c.PK = p.PeerPK
+	}
+	return c
+}
+
+// RecvInts receives a []int (e.g. a touched-coordinate set).
+func (p *Peer) RecvInts() []int {
+	v := p.recv()
+	s, ok := v.([]int)
+	if !ok {
+		p.fail("recv: want []int, got %T", v)
+	}
+	return s
+}
+
+// RecvIntMatrix receives a *tensor.IntMatrix.
+func (p *Peer) RecvIntMatrix() *tensor.IntMatrix {
+	v := p.recv()
+	m, ok := v.(*tensor.IntMatrix)
+	if !ok {
+		p.fail("recv: want *tensor.IntMatrix, got %T", v)
+	}
+	return m
+}
+
+// Mask samples a rows×cols matrix of uniform values in [−MaskMag, MaskMag),
+// the obfuscation values (ε, φ, ξ, ρ …) of the paper's protocols.
+func (p *Peer) Mask(rows, cols int) *tensor.Dense {
+	return tensor.RandDense(p.Rng, rows, cols, p.MaskMag)
+}
+
+// Encrypt encrypts a plaintext matrix under this party's own key at scale.
+func (p *Peer) Encrypt(d *tensor.Dense, scale uint) *hetensor.CipherMatrix {
+	return hetensor.Encrypt(&p.SK.PublicKey, d, scale)
+}
+
+// EncryptAndSend encrypts d under this party's own key and ships it.
+func (p *Peer) EncryptAndSend(d *tensor.Dense, scale uint) {
+	p.Send(p.Encrypt(d, scale))
+}
+
+// HE2SSSend is the masking half of Algorithm 1, run by the party that holds
+// ⟦v⟧ under the *peer's* key: draw a mask φ, send ⟦v−φ⟧ (freshly
+// re-randomized), and keep φ as this party's share of v.
+func (p *Peer) HE2SSSend(c *hetensor.CipherMatrix) *tensor.Dense {
+	phi := p.Mask(c.Rows, c.Cols)
+	p.Send(c.SubPlainFresh(phi))
+	return phi
+}
+
+// HE2SSRecv is the decrypting half of Algorithm 1, run by the key owner:
+// receive ⟦v−φ⟧ and decrypt it as this party's share of v.
+func (p *Peer) HE2SSRecv() *tensor.Dense {
+	c := p.RecvCipher()
+	if c.PK.N.Cmp(p.SK.N) != 0 {
+		p.fail("HE2SSRecv: ciphertext is not under this party's key")
+	}
+	return hetensor.Decrypt(p.SK, c)
+}
+
+// SS2HE is Algorithm 2: both parties hold one additive piece of v; each
+// encrypts its piece under its own key and sends it; each returns
+// ⟦v⟧ under the *peer's* key by homomorphically adding its own plaintext
+// piece to the received encrypted piece. Party A sends first.
+func (p *Peer) SS2HE(piece *tensor.Dense, scale uint) *hetensor.CipherMatrix {
+	if p.Role == PartyA {
+		p.EncryptAndSend(piece, scale)
+		other := p.RecvCipher()
+		return other.AddPlain(piece)
+	}
+	other := p.RecvCipher()
+	p.EncryptAndSend(piece, scale)
+	return other.AddPlain(piece)
+}
+
+// Pipe wires two in-process peers together: it generates (or reuses) key
+// pairs, connects them over a buffered channel transport, and completes the
+// handshake. Intended for tests, benchmarks and single-binary simulation.
+func Pipe(skA, skB *paillier.PrivateKey, seed int64) (*Peer, *Peer, error) {
+	ca, cb := transport.Pair(4096)
+	a := NewPeer(PartyA, ca, skA, rand.New(rand.NewSource(seed)))
+	b := NewPeer(PartyB, cb, skB, rand.New(rand.NewSource(seed+1)))
+	errs := make(chan error, 2)
+	go func() { errs <- a.Handshake() }()
+	go func() { errs <- b.Handshake() }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			return nil, nil, err
+		}
+	}
+	return a, b, nil
+}
+
+// RunParties executes both party functions concurrently and returns the
+// first error (or nil). It is the standard way to drive a whole protocol in
+// one process.
+func RunParties(a, b *Peer, fa, fb func()) error {
+	errs := make(chan error, 2)
+	go func() { errs <- a.Run(fa) }()
+	go func() { errs <- b.Run(fb) }()
+	var first error
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

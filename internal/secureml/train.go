@@ -1,0 +1,128 @@
+package secureml
+
+import (
+	"math/rand"
+
+	"blindfl/internal/nn"
+	"blindfl/internal/paillier"
+	"blindfl/internal/tensor"
+)
+
+// Mode selects how Beaver triples are produced.
+type Mode int
+
+// Triple-generation modes.
+const (
+	ClientAided Mode = iota // dealer-generated, no cryptography
+	HEGenerated             // two-party Paillier generation
+)
+
+// System is a two-server SecureML deployment for a linear model: features
+// and weights live only as shares. It exists for functional verification
+// and the Table 5 timing runs.
+type System struct {
+	Mode Mode
+	rng  *rand.Rand
+	sk0  *paillier.PrivateKey
+	sk1  *paillier.PrivateKey
+
+	n, d, out int
+	x0, x1    *Ring // outsourced feature shares (n×d), scale 1
+	w0, w1    *Ring // weight shares (d×out), scale 1
+	y         []int
+}
+
+// NewSystem outsources a dataset: X is encoded, shared and (notably) stored
+// dense regardless of its original sparsity. Keys are only needed in
+// HEGenerated mode.
+func NewSystem(rng *rand.Rand, mode Mode, x *tensor.Dense, y []int, out int,
+	sk0, sk1 *paillier.PrivateKey) *System {
+
+	s := &System{Mode: mode, rng: rng, sk0: sk0, sk1: sk1, n: x.Rows, d: x.Cols, out: out, y: y}
+	s.x0, s.x1 = Share(rng, Encode(x))
+	w := tensor.RandDense(rng, x.Cols, out, 0.1)
+	s.w0, s.w1 = Share(rng, Encode(w))
+	return s
+}
+
+// triple produces a Beaver triple for an (n×d)·(d×m) product in the
+// configured mode.
+func (s *System) triple(n, d, m int) *Triple {
+	if s.Mode == ClientAided {
+		return GenTripleDealer(s.rng, n, d, m)
+	}
+	return GenTriplePaillier(s.rng, s.sk0, s.sk1, n, d, m)
+}
+
+// ForwardBatch computes shares of the batch logits Z = X_B·W (scale 1 after
+// truncation). This is the operation Table 5 times.
+func (s *System) ForwardBatch(rows []int) (*Ring, *Ring) {
+	xb0, xb1 := gatherRing(s.x0, rows), gatherRing(s.x1, rows)
+	t := s.triple(len(rows), s.d, s.out)
+	z0, z1 := MatMulBeaver(xb0, xb1, s.w0, s.w1, t)
+	return z0.Truncate(), z1.Truncate()
+}
+
+// BackwardBatch computes shares of ∇W = X_Bᵀ·∇Z given gradient shares and
+// applies the SGD update with learning rate lr.
+func (s *System) BackwardBatch(rows []int, g0, g1 *Ring, lr float64) {
+	xb0, xb1 := gatherRing(s.x0, rows), gatherRing(s.x1, rows)
+	xt0, xt1 := xb0.Transpose(), xb1.Transpose()
+	t := s.triple(s.d, len(rows), s.out)
+	gw0, gw1 := MatMulBeaver(xt0, xt1, g0, g1, t)
+	gw0, gw1 = gw0.Truncate(), gw1.Truncate()
+	// W −= lr·∇W on each share; lr is public.
+	lrFix := Codec.EncodeU64(lr, 1)
+	for i := range s.w0.V {
+		s.w0.V[i] -= Codec.TruncateU64(lrFix * gw0.V[i])
+		s.w1.V[i] -= Codec.TruncateU64(lrFix * gw1.V[i])
+	}
+}
+
+// TrainLogistic runs mini-batch logistic regression. The sigmoid/loss step
+// reconstructs the logits in the clear — standing in for SecureML's garbled
+// circuit, which is outside the matmul-focused scope of the reproduction —
+// then re-shares the gradient. Returns the final plaintext weights for
+// evaluation.
+func (s *System) TrainLogistic(epochs, batch int, lr float64) *tensor.Dense {
+	for e := 0; e < epochs; e++ {
+		for lo := 0; lo < s.n; lo += batch {
+			hi := lo + batch
+			if hi > s.n {
+				hi = s.n
+			}
+			rows := seq(lo, hi)
+			z0, z1 := s.ForwardBatch(rows)
+			logits := Decode(Reconstruct(z0, z1), 1)
+			yb := make([]int, len(rows))
+			for i, r := range rows {
+				yb[i] = s.y[r]
+			}
+			_, grad := nn.BCEWithLogits(logits, yb)
+			g0, g1 := Share(s.rng, Encode(grad))
+			s.BackwardBatch(rows, g0, g1, lr)
+		}
+	}
+	return s.Weights()
+}
+
+// Weights reconstructs the current model (evaluation only).
+func (s *System) Weights() *tensor.Dense {
+	return Decode(Reconstruct(s.w0, s.w1), 1)
+}
+
+func gatherRing(r *Ring, rows []int) *Ring {
+	out := NewRing(len(rows), r.Cols)
+	for i, src := range rows {
+		copy(out.V[i*r.Cols:(i+1)*r.Cols], r.V[src*r.Cols:(src+1)*r.Cols])
+	}
+	return out
+}
+
+func seq(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

@@ -1,0 +1,247 @@
+// Package splitlearn implements the split-learning VFL baseline the paper
+// anatomizes in Sections 3 and 7.2: each party runs a local bottom model in
+// plaintext and exchanges forward activations and backward derivatives. It
+// exists to reproduce the leakage experiments — the package deliberately
+// exposes to Party A everything the paradigm exposes (its bottom weights
+// W_A, its activations X_A·W_A, and the derivatives ∇E_A), so the attack
+// package can quantify how much of Party B's label information leaks.
+//
+// Three weight-handling variants of the linear bottom model are provided,
+// matching the Figure 9 ablation:
+//
+//	PlainBottom — A owns W_A outright (classic split learning);
+//	ModelSSNoGradSS — W_A = U_A + V_A is secret-shared at initialization
+//	    but A receives plaintext gradients and updates only U_A, with
+//	    ‖V_A‖ scaled by VAScale;
+//	(full ModelSS+GradSS is BlindFL itself, in internal/core.)
+package splitlearn
+
+import (
+	"math/rand"
+
+	"blindfl/internal/data"
+	"blindfl/internal/nn"
+	"blindfl/internal/tensor"
+)
+
+// Variant selects the Fig. 9 weight-handling ablation.
+type Variant int
+
+// Variants of the linear split model.
+const (
+	PlainBottom Variant = iota
+	ModelSSNoGradSS
+)
+
+// Config carries the split-learning training settings.
+type Config struct {
+	Variant  Variant
+	VAScale  float64 // ‖V_A‖ multiplier for ModelSSNoGradSS (1, 5, 10 in Fig. 9)
+	LR       float64
+	Momentum float64
+	Batch    int
+	Epochs   int
+	Seed     int64
+}
+
+// LinearResult records, per epoch, the model's real test metric and the
+// adversarial metric Party A achieves by predicting labels with the forward
+// activations it can compute locally (X_A·W_A, or X_A·U_A under ModelSS).
+type LinearResult struct {
+	FullMetric   []float64 // B's model on Z = Z_A + Z_B (test set)
+	AttackMetric []float64 // A predicting with its locally computable Z_A (test set)
+	MetricName   string
+}
+
+// TrainLinear trains split LR (binary) or MLR (multi-class) and measures
+// the forward-activation label attack after each epoch.
+func TrainLinear(ds *data.Dataset, cfg Config) *LinearResult {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	classes := ds.Spec.Classes
+	out := 1
+	if classes > 2 {
+		out = classes
+	}
+	inA, inB := ds.TrainA.NumCols(), ds.TrainB.NumCols()
+
+	// Party A's bottom weights. Under ModelSS, A holds U_A and B holds a
+	// static V_A; the effective bottom is W_A = U_A + V_A but A updates U_A
+	// with the full plaintext gradient.
+	uA := tensor.RandDense(rng, inA, out, 0.1)
+	var vA *tensor.Dense
+	if cfg.Variant == ModelSSNoGradSS {
+		vA = tensor.RandDense(rng, inA, out, 0.1*cfg.VAScale)
+	} else {
+		vA = tensor.NewDense(inA, out)
+	}
+	wB := tensor.RandDense(rng, inB, out, 0.1)
+	bias := tensor.NewDense(1, out)
+
+	momA := tensor.NewDense(inA, out)
+	momB := tensor.NewDense(inB, out)
+	momBias := tensor.NewDense(1, out)
+
+	res := &LinearResult{MetricName: "auc"}
+	if classes > 2 {
+		res.MetricName = "accuracy"
+	}
+
+	order := rand.New(rand.NewSource(cfg.Seed + 1))
+	for e := 0; e < cfg.Epochs; e++ {
+		perm := data.Shuffle(order, ds.TrainA.Rows())
+		for lo := 0; lo < len(perm); lo += cfg.Batch {
+			hi := lo + cfg.Batch
+			if hi > len(perm) {
+				hi = len(perm)
+			}
+			idx := perm[lo:hi]
+			xA := numeric(ds.TrainA.Batch(idx))
+			xB := numeric(ds.TrainB.Batch(idx))
+			y := gather(ds.TrainY, idx)
+
+			// Forward: A sends Z_A in plaintext (the leaky step).
+			zA := xA.MatMul(uA).Add(xA.MatMul(vA))
+			zB := xB.MatMul(wB)
+			logits := addBias(zA.Add(zB), bias)
+
+			var grad *tensor.Dense
+			if classes == 2 {
+				_, grad = nn.BCEWithLogits(logits, y)
+			} else {
+				_, grad = nn.SoftmaxCE(logits, y)
+			}
+
+			// Backward: B returns ∇Z_A = grad in plaintext; A updates its
+			// piece with the full gradient (no GradSS).
+			stepMomentum(uA, momA, xA.TransposeMatMul(grad), cfg.LR, cfg.Momentum)
+			stepMomentum(wB, momB, xB.TransposeMatMul(grad), cfg.LR, cfg.Momentum)
+			gBias := tensor.NewDense(1, out)
+			for i := 0; i < grad.Rows; i++ {
+				for j, g := range grad.Row(i) {
+					gBias.Data[j] += g
+				}
+			}
+			stepMomentum(bias, momBias, gBias, cfg.LR, cfg.Momentum)
+		}
+
+		// Evaluate on the test set.
+		xA := numeric(ds.TestA)
+		xB := numeric(ds.TestB)
+		full := addBias(xA.MatMul(uA).Add(xA.MatMul(vA)).Add(xB.MatMul(wB)), bias)
+		// Party A's local inference: X_A·U_A is all it can compute (this
+		// equals X_A·W_A for PlainBottom since V_A = 0).
+		local := xA.MatMul(uA)
+		res.FullMetric = append(res.FullMetric, metric(full, ds.TestY, classes))
+		res.AttackMetric = append(res.AttackMetric, metric(local, ds.TestY, classes))
+	}
+	return res
+}
+
+// WDLResult records the per-iteration success of the backward-derivative
+// label attack (Fig. 10): Party A predicts the labels of each training
+// batch from the ∇E_A it receives.
+type WDLResult struct {
+	AttackAccuracy []float64 // per iteration, over the batch's labels
+}
+
+// TrainWDLDerivativeLeak trains a split WDL model — Party A owns its
+// embedding table locally and receives plaintext ∇E_A — with `hiddens`
+// hidden layers between the embeddings and the loss, and measures the
+// cosine-direction label attack on every iteration.
+func TrainWDLDerivativeLeak(ds *data.Dataset, cfg Config, embDim, hidden, hiddens int,
+	attack func(gradE *tensor.Dense, y []int) float64) *WDLResult {
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	inA, inB := ds.TrainA.NumCols(), ds.TrainB.NumCols()
+	fldsA, fldsB := ds.TrainA.Cat.Cols, ds.TrainB.Cat.Cols
+	vocab := ds.Spec.CatVocab
+
+	// Wide part (numeric) and deep part (categorical) bottoms.
+	wWideA := nn.NewParam(tensor.RandDense(rng, inA, 1, 0.1))
+	wWideB := nn.NewParam(tensor.RandDense(rng, inB, 1, 0.1))
+	embA := nn.NewEmbedding(rng, vocab, embDim, 0.1)
+	embB := nn.NewEmbedding(rng, vocab, embDim, 0.1)
+
+	// Deep tower at B: hiddens hidden layers then a single logit.
+	var mods []nn.Module
+	prev := (fldsA + fldsB) * embDim
+	for l := 0; l < hiddens; l++ {
+		mods = append(mods, nn.NewLinear(rng, prev, hidden), &nn.ReLU{})
+		prev = hidden
+	}
+	mods = append(mods, nn.NewLinear(rng, prev, 1))
+	deep := nn.NewSequential(mods...)
+
+	params := []*nn.Param{wWideA, wWideB, embA.Q, embB.Q}
+	params = append(params, deep.Params()...)
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, params)
+
+	res := &WDLResult{}
+	order := rand.New(rand.NewSource(cfg.Seed + 1))
+	for e := 0; e < cfg.Epochs; e++ {
+		perm := data.Shuffle(order, ds.TrainA.Rows())
+		for lo := 0; lo < len(perm); lo += cfg.Batch {
+			hi := lo + cfg.Batch
+			if hi > len(perm) {
+				hi = len(perm)
+			}
+			idx := perm[lo:hi]
+			pA, pB := ds.TrainA.Batch(idx), ds.TrainB.Batch(idx)
+			y := gather(ds.TrainY, idx)
+
+			xA, xB := numeric(pA), numeric(pB)
+			eA := embA.ForwardIdx(pA.Cat)
+			eB := embB.ForwardIdx(pB.Cat)
+			e0 := tensor.HStack(eA, eB)
+			logits := xA.MatMul(wWideA.W).Add(xB.MatMul(wWideB.W)).Add(deep.Forward(e0))
+
+			_, grad := nn.BCEWithLogits(logits, y)
+			opt.ZeroGrad()
+			gradE := deep.Backward(grad)
+			gradEA := gradE.SliceCols(0, fldsA*embDim) // what A receives
+			res.AttackAccuracy = append(res.AttackAccuracy, attack(gradEA, y))
+
+			embA.BackwardIdx(gradEA)
+			embB.BackwardIdx(gradE.SliceCols(fldsA*embDim, gradE.Cols))
+			wWideA.Grad.AddInPlace(xA.TransposeMatMul(grad))
+			wWideB.Grad.AddInPlace(xB.TransposeMatMul(grad))
+			opt.Step()
+		}
+	}
+	return res
+}
+
+func numeric(p data.Part) *tensor.Dense { return p.NumericDense() }
+
+func addBias(z, bias *tensor.Dense) *tensor.Dense {
+	out := z.Clone()
+	for i := 0; i < out.Rows; i++ {
+		row := out.Row(i)
+		for j, b := range bias.Row(0) {
+			row[j] += b
+		}
+	}
+	return out
+}
+
+func stepMomentum(w, buf, grad *tensor.Dense, lr, mu float64) {
+	for i, g := range grad.Data {
+		buf.Data[i] = mu*buf.Data[i] + g
+	}
+	w.Axpy(-lr, buf)
+}
+
+func metric(logits *tensor.Dense, y []int, classes int) float64 {
+	if classes == 2 {
+		return nn.AUC(nn.Scores(logits), y)
+	}
+	return nn.Accuracy(logits, y)
+}
+
+func gather(y []int, idx []int) []int {
+	out := make([]int, len(idx))
+	for i, j := range idx {
+		out[i] = y[j]
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+package tensor
+
+import "fmt"
+
+// IntMatrix is a batch×fields matrix of categorical indices. Entry (i, f) is
+// the category of field f for instance i, indexing into that field's region
+// of a shared embedding table.
+type IntMatrix struct {
+	Rows, Cols int
+	Data       []int
+}
+
+// NewIntMatrix allocates a zeroed rows×cols index matrix.
+func NewIntMatrix(rows, cols int) *IntMatrix {
+	return &IntMatrix{Rows: rows, Cols: cols, Data: make([]int, rows*cols)}
+}
+
+// At returns the index at (i, j).
+func (m *IntMatrix) At(i, j int) int { return m.Data[i*m.Cols+j] }
+
+// Set writes the index at (i, j).
+func (m *IntMatrix) Set(i, j, v int) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *IntMatrix) Row(i int) []int { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// GatherRows returns the IntMatrix whose i-th row is m.Row(idx[i]).
+func (m *IntMatrix) GatherRows(idx []int) *IntMatrix {
+	out := NewIntMatrix(len(idx), m.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), m.Row(r))
+	}
+	return out
+}
+
+// Lookup implements E = lkup(Q, X): for each instance i, the embeddings of
+// its categorical fields are concatenated, so E is batch×(fields·dim) given
+// the vocab×dim table Q. Indices must lie in [0, vocab).
+func Lookup(q *Dense, x *IntMatrix) *Dense {
+	dim := q.Cols
+	out := NewDense(x.Rows, x.Cols*dim)
+	for i := 0; i < x.Rows; i++ {
+		dst := out.Row(i)
+		for f, idx := range x.Row(i) {
+			if idx < 0 || idx >= q.Rows {
+				panic(fmt.Sprintf("tensor: Lookup index %d out of vocab %d", idx, q.Rows))
+			}
+			copy(dst[f*dim:(f+1)*dim], q.Row(idx))
+		}
+	}
+	return out
+}
+
+// LookupBackward implements ∇Q = lkup_bw(∇E, X): the scatter-add adjoint of
+// Lookup. gradE is batch×(fields·dim); the result has the table's shape.
+func LookupBackward(gradE *Dense, x *IntMatrix, vocab, dim int) *Dense {
+	if gradE.Rows != x.Rows || gradE.Cols != x.Cols*dim {
+		panic(fmt.Sprintf("tensor: LookupBackward shape mismatch ∇E %d×%d vs X %d×%d (dim %d)",
+			gradE.Rows, gradE.Cols, x.Rows, x.Cols, dim))
+	}
+	out := NewDense(vocab, dim)
+	for i := 0; i < x.Rows; i++ {
+		src := gradE.Row(i)
+		for f, idx := range x.Row(i) {
+			dst := out.Row(idx)
+			for k := 0; k < dim; k++ {
+				dst[k] += src[f*dim+k]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBasics(t *testing.T) {
+	d := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	if d.At(0, 2) != 3 || d.At(1, 0) != 4 {
+		t.Fatalf("At wrong: %v", d.Data)
+	}
+	d.Set(1, 1, 50)
+	if d.At(1, 1) != 50 {
+		t.Fatal("Set failed")
+	}
+	c := d.Clone()
+	c.Set(0, 0, -1)
+	if d.At(0, 0) == -1 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestDenseAddSubScale(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 2, []float64{5, 6, 7, 8})
+	if got := a.Add(b); !got.Equal(FromSlice(2, 2, []float64{6, 8, 10, 12}), 0) {
+		t.Fatalf("Add = %v", got.Data)
+	}
+	if got := b.Sub(a); !got.Equal(FromSlice(2, 2, []float64{4, 4, 4, 4}), 0) {
+		t.Fatalf("Sub = %v", got.Data)
+	}
+	if got := a.Scale(2); !got.Equal(FromSlice(2, 2, []float64{2, 4, 6, 8}), 0) {
+		t.Fatalf("Scale = %v", got.Data)
+	}
+	c := a.Clone()
+	c.Axpy(-0.5, b)
+	if !c.Equal(FromSlice(2, 2, []float64{-1.5, -1, -0.5, 0}), 1e-12) {
+		t.Fatalf("Axpy = %v", c.Data)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	got := a.MatMul(b)
+	want := FromSlice(2, 2, []float64{58, 64, 139, 154})
+	if !got.Equal(want, 1e-12) {
+		t.Fatalf("MatMul = %v want %v", got.Data, want.Data)
+	}
+}
+
+func TestTransposeMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := RandDense(rng, 7, 4, 1)
+	b := RandDense(rng, 7, 5, 1)
+	got := a.TransposeMatMul(b)
+	want := a.Transpose().MatMul(b)
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("TransposeMatMul disagrees with Transpose().MatMul")
+	}
+}
+
+func TestMatMulTransposeAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := RandDense(rng, 6, 4, 1)
+	b := RandDense(rng, 5, 4, 1)
+	got := a.MatMulTranspose(b)
+	want := a.MatMul(b.Transpose())
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("MatMulTranspose disagrees with MatMul of Transpose")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on inner dim mismatch")
+		}
+	}()
+	NewDense(2, 3).MatMul(NewDense(2, 3))
+}
+
+func TestHStackAndSlices(t *testing.T) {
+	a := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := FromSlice(2, 1, []float64{9, 10})
+	h := HStack(a, b)
+	want := FromSlice(2, 3, []float64{1, 2, 9, 3, 4, 10})
+	if !h.Equal(want, 0) {
+		t.Fatalf("HStack = %v", h.Data)
+	}
+	if got := h.SliceCols(2, 3); !got.Equal(b, 0) {
+		t.Fatalf("SliceCols = %v", got.Data)
+	}
+	if got := h.SliceCols(0, 2); !got.Equal(a, 0) {
+		t.Fatalf("SliceCols = %v", got.Data)
+	}
+	if got := h.SliceRows(1, 2); !got.Equal(FromSlice(1, 3, []float64{3, 4, 10}), 0) {
+		t.Fatalf("SliceRows = %v", got.Data)
+	}
+	if got := h.GatherRows([]int{1, 0, 1}); got.Rows != 3 || got.At(0, 2) != 10 || got.At(1, 2) != 9 {
+		t.Fatalf("GatherRows = %v", got.Data)
+	}
+}
+
+func TestCSRRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := RandDense(rng, 10, 8, 1)
+	// Zero most entries to make it genuinely sparse.
+	for i := range d.Data {
+		if rng.Float64() < 0.7 {
+			d.Data[i] = 0
+		}
+	}
+	c := DenseToCSR(d)
+	if !c.ToDense().Equal(d, 0) {
+		t.Fatal("CSR round trip lost values")
+	}
+}
+
+func TestCSRMatMulAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := RandCSR(rng, 12, 30, 4)
+	w := RandDense(rng, 30, 5, 1)
+	got := c.MatMul(w)
+	want := c.ToDense().MatMul(w)
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("CSR MatMul disagrees with dense")
+	}
+}
+
+func TestCSRTransposeMatMulAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := RandCSR(rng, 12, 30, 4)
+	g := RandDense(rng, 12, 5, 1)
+	got := c.TransposeMatMul(g)
+	want := c.ToDense().Transpose().MatMul(g)
+	if !got.Equal(want, 1e-10) {
+		t.Fatal("CSR TransposeMatMul disagrees with dense")
+	}
+}
+
+func TestCSRSlices(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := RandCSR(rng, 10, 20, 3)
+	d := c.ToDense()
+	if !c.SliceRows(2, 7).ToDense().Equal(d.SliceRows(2, 7), 0) {
+		t.Fatal("CSR SliceRows mismatch")
+	}
+	if !c.SliceCols(5, 15).ToDense().Equal(d.SliceCols(5, 15), 0) {
+		t.Fatal("CSR SliceCols mismatch")
+	}
+	if !c.GatherRows([]int{3, 3, 9}).ToDense().Equal(d.GatherRows([]int{3, 3, 9}), 0) {
+		t.Fatal("CSR GatherRows mismatch")
+	}
+}
+
+func TestCSRSparsity(t *testing.T) {
+	c := NewCSR(2, 4, 2)
+	c.AppendRow([]int{1}, []float64{5})
+	c.AppendRow([]int{0, 3}, []float64{1, 2})
+	if got := c.Sparsity(); math.Abs(got-5.0/8.0) > 1e-12 {
+		t.Fatalf("Sparsity = %v", got)
+	}
+	if c.NNZ() != 3 {
+		t.Fatalf("NNZ = %d", c.NNZ())
+	}
+}
+
+func TestAppendRowSortsColumns(t *testing.T) {
+	c := NewCSR(1, 5, 3)
+	c.AppendRow([]int{4, 0, 2}, []float64{40, 0.5, 20})
+	cols, vals := c.RowNNZ(0)
+	if cols[0] != 0 || cols[1] != 2 || cols[2] != 4 {
+		t.Fatalf("cols not sorted: %v", cols)
+	}
+	if vals[0] != 0.5 || vals[1] != 20 || vals[2] != 40 {
+		t.Fatalf("vals not permuted with cols: %v", vals)
+	}
+}
+
+func TestLookupAndBackward(t *testing.T) {
+	q := FromSlice(4, 2, []float64{
+		0, 1,
+		10, 11,
+		20, 21,
+		30, 31,
+	})
+	x := NewIntMatrix(2, 2)
+	x.Set(0, 0, 1)
+	x.Set(0, 1, 3)
+	x.Set(1, 0, 0)
+	x.Set(1, 1, 1)
+	e := Lookup(q, x)
+	want := FromSlice(2, 4, []float64{10, 11, 30, 31, 0, 1, 10, 11})
+	if !e.Equal(want, 0) {
+		t.Fatalf("Lookup = %v", e.Data)
+	}
+	gradE := FromSlice(2, 4, []float64{1, 1, 2, 2, 3, 3, 4, 4})
+	gq := LookupBackward(gradE, x, 4, 2)
+	// idx 1 receives (1,1) from instance 0 field 0 and (4,4) from instance 1 field 1.
+	wantQ := FromSlice(4, 2, []float64{3, 3, 5, 5, 0, 0, 2, 2})
+	if !gq.Equal(wantQ, 0) {
+		t.Fatalf("LookupBackward = %v", gq.Data)
+	}
+}
+
+// Property: lookup-backward is the adjoint of lookup, i.e.
+// ⟨lkup(Q,X), G⟩ = ⟨Q, lkup_bw(G,X)⟩ for all Q, G.
+func TestLookupAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vocab, dim, batch, fields := 6, 3, 4, 2
+		q := RandDense(rng, vocab, dim, 1)
+		g := RandDense(rng, batch, fields*dim, 1)
+		x := NewIntMatrix(batch, fields)
+		for i := range x.Data {
+			x.Data[i] = rng.Intn(vocab)
+		}
+		e := Lookup(q, x)
+		gq := LookupBackward(g, x, vocab, dim)
+		var lhs, rhs float64
+		for i := range e.Data {
+			lhs += e.Data[i] * g.Data[i]
+		}
+		for i := range q.Data {
+			rhs += q.Data[i] * gq.Data[i]
+		}
+		return math.Abs(lhs-rhs) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A+B)·W = A·W + B·W (matmul distributes over addition). This is
+// the algebraic identity the secret-shared forward pass relies on.
+func TestMatMulDistributesOverAdd(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := RandDense(rng, 5, 4, 2)
+		b := RandDense(rng, 5, 4, 2)
+		w := RandDense(rng, 4, 3, 2)
+		lhs := a.Add(b).MatMul(w)
+		rhs := a.MatMul(w).Add(b.MatMul(w))
+		return lhs.Equal(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	d := RandDense(rng, 5, 7, 3)
+	if !d.Transpose().Transpose().Equal(d, 0) {
+		t.Fatal("double transpose changed the matrix")
+	}
+}
+
+func TestMaxAbsFrobenius(t *testing.T) {
+	d := FromSlice(1, 3, []float64{3, -4, 0})
+	if d.MaxAbs() != 4 {
+		t.Fatalf("MaxAbs = %v", d.MaxAbs())
+	}
+	if math.Abs(d.Frobenius()-5) > 1e-12 {
+		t.Fatalf("Frobenius = %v", d.Frobenius())
+	}
+}
+
+func TestHadamardApply(t *testing.T) {
+	a := FromSlice(1, 3, []float64{1, -2, 3})
+	b := FromSlice(1, 3, []float64{2, 2, 2})
+	if got := a.Hadamard(b); !got.Equal(FromSlice(1, 3, []float64{2, -4, 6}), 0) {
+		t.Fatalf("Hadamard = %v", got.Data)
+	}
+	if got := a.Apply(math.Abs); !got.Equal(FromSlice(1, 3, []float64{1, 2, 3}), 0) {
+		t.Fatalf("Apply = %v", got.Data)
+	}
+}
+
+func TestRandCSRShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	c := RandCSR(rng, 20, 100, 5)
+	if c.NNZ() != 100 {
+		t.Fatalf("expected 100 nnz, got %d", c.NNZ())
+	}
+	for i := 0; i < c.Rows; i++ {
+		cols, _ := c.RowNNZ(i)
+		for k := 1; k < len(cols); k++ {
+			if cols[k] <= cols[k-1] {
+				t.Fatal("columns not strictly increasing")
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package transport moves protocol messages between the two parties. A Conn
+// is an ordered, reliable, bidirectional message pipe. Two implementations
+// are provided: an in-process channel pair (Pair) used by tests, benchmarks
+// and single-binary simulations, and a TCP transport with gob encoding
+// (Listen/Dial) for genuinely distributed deployments.
+//
+// All message types that cross a Conn must be registered with gob; the
+// package registers the tensor and ciphertext types used by the BlindFL
+// protocols in init.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"blindfl/internal/hetensor"
+	"blindfl/internal/paillier"
+	"blindfl/internal/tensor"
+)
+
+func init() {
+	gob.Register(&tensor.Dense{})
+	gob.Register(&tensor.CSR{})
+	gob.Register(&tensor.IntMatrix{})
+	gob.Register(&hetensor.CipherMatrix{})
+	gob.Register(&paillier.PublicKey{})
+	gob.Register(&paillier.Ciphertext{})
+	gob.Register([]int(nil))
+	gob.Register([]uint64(nil))
+	gob.Register([][]uint64(nil))
+}
+
+// Conn is an ordered message pipe between exactly two parties.
+type Conn interface {
+	// Send transmits one message. The sender must not mutate v afterwards.
+	Send(v any) error
+	// Recv blocks for the next message.
+	Recv() (any, error)
+	// Stats returns cumulative message and byte counters. The in-process
+	// transport estimates bytes via gob sizing only when counting is enabled.
+	Stats() (msgs, bytes int64)
+	Close() error
+}
+
+// chanConn is one endpoint of an in-process pair.
+type chanConn struct {
+	in     <-chan any
+	out    chan<- any
+	closed chan struct{}
+	once   sync.Once
+
+	mu    sync.Mutex
+	msgs  int64
+	bytes int64
+}
+
+// Pair returns two connected in-process endpoints with the given channel
+// capacity. Messages are passed by reference: the protocols never mutate a
+// value after sending it, so no copy is needed.
+func Pair(buffer int) (Conn, Conn) {
+	ab := make(chan any, buffer)
+	ba := make(chan any, buffer)
+	a := &chanConn{in: ba, out: ab, closed: make(chan struct{})}
+	b := &chanConn{in: ab, out: ba, closed: a.closed}
+	return a, b
+}
+
+// ErrClosed is returned by operations on a closed Conn.
+var ErrClosed = errors.New("transport: connection closed")
+
+func (c *chanConn) Send(v any) error {
+	// Check for closure first so a Send after Close deterministically fails
+	// even when the buffer has space.
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case <-c.closed:
+		return ErrClosed
+	case c.out <- v:
+		c.mu.Lock()
+		c.msgs++
+		c.mu.Unlock()
+		return nil
+	}
+}
+
+func (c *chanConn) Recv() (any, error) {
+	// Drain already-delivered messages before honouring closure.
+	select {
+	case v := <-c.in:
+		return v, nil
+	default:
+	}
+	select {
+	case <-c.closed:
+		return nil, ErrClosed
+	case v := <-c.in:
+		return v, nil
+	}
+}
+
+func (c *chanConn) Stats() (int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.msgs, c.bytes
+}
+
+func (c *chanConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// gobConn is a TCP endpoint with gob framing. Sends are asynchronous: a
+// single writer goroutine drains a buffered queue, so two peers that both
+// send large ciphertext matrices before receiving cannot deadlock on full
+// kernel socket buffers — the send ordering the federated protocols use
+// (compute, send, then receive) stays safe over real networks.
+type gobConn struct {
+	c   net.Conn
+	cw  *countWriter
+	enc *gob.Encoder
+	dec *gob.Decoder
+
+	sendQ  chan envelope
+	done   chan struct{}
+	recvMu sync.Mutex
+	mu     sync.Mutex
+	msgs   int64
+	err    error
+	once   sync.Once
+}
+
+// envelope wraps messages so any registered concrete type can cross the wire.
+type envelope struct{ V any }
+
+// NewGobConn wraps an established net.Conn (or any io.ReadWriteCloser
+// satisfying net.Conn) as a transport Conn.
+func NewGobConn(c net.Conn) Conn {
+	cw := &countWriter{w: c}
+	g := &gobConn{
+		c: c, cw: cw,
+		enc:   gob.NewEncoder(cw),
+		dec:   gob.NewDecoder(c),
+		sendQ: make(chan envelope, 256),
+		done:  make(chan struct{}),
+	}
+	go g.writeLoop()
+	return g
+}
+
+func (g *gobConn) writeLoop() {
+	for {
+		select {
+		case <-g.done:
+			return
+		case e := <-g.sendQ:
+			if err := g.enc.Encode(e); err != nil {
+				g.mu.Lock()
+				if g.err == nil {
+					g.err = fmt.Errorf("transport: send: %w", err)
+				}
+				g.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+type countWriter struct {
+	w io.Writer
+	n atomic.Int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n.Add(int64(n))
+	return n, err
+}
+
+func (g *gobConn) Send(v any) error {
+	g.mu.Lock()
+	err := g.err
+	g.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case <-g.done:
+		return ErrClosed
+	case g.sendQ <- envelope{V: v}:
+	}
+	g.mu.Lock()
+	g.msgs++
+	g.mu.Unlock()
+	return nil
+}
+
+func (g *gobConn) Recv() (any, error) {
+	g.recvMu.Lock()
+	defer g.recvMu.Unlock()
+	var e envelope
+	if err := g.dec.Decode(&e); err != nil {
+		return nil, fmt.Errorf("transport: recv: %w", err)
+	}
+	return e.V, nil
+}
+
+func (g *gobConn) Stats() (int64, int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.msgs, g.cw.n.Load()
+}
+
+func (g *gobConn) Close() error {
+	g.once.Do(func() { close(g.done) })
+	return g.c.Close()
+}
+
+// Listen accepts exactly one connection on addr and returns it as a Conn.
+func Listen(addr string) (Conn, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	c, err := l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewGobConn(c), nil
+}
+
+// Dial connects to a listening peer at addr.
+func Dial(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewGobConn(c), nil
+}

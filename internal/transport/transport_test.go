@@ -1,0 +1,194 @@
+package transport
+
+import (
+	"net"
+	"testing"
+
+	"blindfl/internal/tensor"
+)
+
+func TestPairRoundTrip(t *testing.T) {
+	a, b := Pair(4)
+	d := tensor.FromSlice(1, 2, []float64{1, 2})
+	if err := a.Send(d); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*tensor.Dense)
+	if !ok || !got.Equal(d, 0) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestPairOrdering(t *testing.T) {
+	a, b := Pair(16)
+	for i := 0; i < 10; i++ {
+		if err := a.Send(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		v, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(int) != i {
+			t.Fatalf("out of order: got %v want %d", v, i)
+		}
+	}
+}
+
+func TestPairClose(t *testing.T) {
+	a, b := Pair(1)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1); err != ErrClosed {
+		t.Fatalf("Send after close: %v", err)
+	}
+	if _, err := b.Recv(); err != ErrClosed {
+		t.Fatalf("Recv after close: %v", err)
+	}
+}
+
+func TestPairStats(t *testing.T) {
+	a, _ := Pair(4)
+	_ = a.Send(1)
+	_ = a.Send(2)
+	msgs, _ := a.Stats()
+	if msgs != 2 {
+		t.Fatalf("msgs = %d", msgs)
+	}
+}
+
+func TestPairBidirectional(t *testing.T) {
+	a, b := Pair(4)
+	done := make(chan error, 2)
+	go func() {
+		if err := a.Send("ping"); err != nil {
+			done <- err
+			return
+		}
+		v, err := a.Recv()
+		if err == nil && v.(string) != "pong" {
+			t.Errorf("a got %v", v)
+		}
+		done <- err
+	}()
+	go func() {
+		v, err := b.Recv()
+		if err == nil && v.(string) != "ping" {
+			t.Errorf("b got %v", v)
+		}
+		if err == nil {
+			err = b.Send("pong")
+		}
+		done <- err
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func tcpPair(t *testing.T) (Conn, Conn) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			accepted <- nil
+			return
+		}
+		accepted <- NewGobConn(c)
+	}()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := <-accepted
+	if server == nil {
+		t.Fatal("accept failed")
+	}
+	l.Close()
+	return server, client
+}
+
+func TestGobConnTensorRoundTrip(t *testing.T) {
+	s, c := tcpPair(t)
+	defer s.Close()
+	defer c.Close()
+
+	d := tensor.FromSlice(2, 2, []float64{1, -2, 3.5, 0})
+	if err := c.Send(d); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*tensor.Dense)
+	if !ok || !got.Equal(d, 0) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestGobConnSparseAndIntMatrix(t *testing.T) {
+	s, c := tcpPair(t)
+	defer s.Close()
+	defer c.Close()
+
+	cs := tensor.NewCSR(2, 4, 2)
+	cs.AppendRow([]int{1, 3}, []float64{5, 6})
+	cs.AppendRow(nil, nil)
+	if err := c.Send(cs); err != nil {
+		t.Fatal(err)
+	}
+	im := tensor.NewIntMatrix(1, 2)
+	im.Set(0, 1, 7)
+	if err := c.Send(im); err != nil {
+		t.Fatal(err)
+	}
+
+	v1, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCSR := v1.(*tensor.CSR)
+	if !gotCSR.ToDense().Equal(cs.ToDense(), 0) {
+		t.Fatal("CSR mismatch over TCP")
+	}
+	v2, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.(*tensor.IntMatrix).At(0, 1) != 7 {
+		t.Fatal("IntMatrix mismatch over TCP")
+	}
+}
+
+func TestGobConnStatsCountBytes(t *testing.T) {
+	s, c := tcpPair(t)
+	defer s.Close()
+	defer c.Close()
+	if err := c.Send(tensor.NewDense(8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	msgs, bytes := c.Stats()
+	if msgs != 1 || bytes <= 0 {
+		t.Fatalf("stats = %d msgs %d bytes", msgs, bytes)
+	}
+}
