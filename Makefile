@@ -1,0 +1,30 @@
+# BlindFL build and test entry points. CI (.github/workflows/ci.yml) invokes
+# exactly these targets so local runs reproduce the CI lanes.
+
+GO ?= go
+
+.PHONY: build test test-full bench fmt fmt-check vet
+
+build:
+	$(GO) build ./...
+
+# Short lane: skips the long federated-training suites (testing.Short).
+test:
+	$(GO) test -short -race ./...
+
+# Full lane: everything, including the ~4 min federated model suite.
+test-full:
+	$(GO) test ./...
+
+# Throughput-engine benchmarks: packed/pooled encryption and fed-step.
+bench:
+	$(GO) test -run XXX -bench 'FedStep|Encrypt|MulPlainLeft|PoolEnc' -benchtime 10x ./ ./internal/hetensor/ ./internal/paillier/
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...

@@ -16,6 +16,7 @@ import (
 	"blindfl/internal/bench"
 	"blindfl/internal/data"
 	"blindfl/internal/model"
+	"blindfl/internal/paillier"
 	"blindfl/internal/protocol"
 )
 
@@ -28,6 +29,8 @@ func main() {
 	train := flag.Int("train", 0, "override training instances (0 = spec default)")
 	test := flag.Int("test", 0, "override test instances")
 	seed := flag.Int64("seed", 1, "data/model seed")
+	packed := flag.Bool("packed", false, "ciphertext packing on the source-layer hot paths")
+	pool := flag.Int("pool", 0, "Paillier blinding-pool capacity per key (0 disables)")
 	flag.Parse()
 
 	kind, err := model.ParseKind(*kindStr)
@@ -60,9 +63,15 @@ func main() {
 	h.Batch = *batch
 	h.LR = *lr
 	h.Seed = *seed
+	h.Packed = *packed
 
 	fmt.Println("training federated BlindFL model (both parties in-process)...")
 	skA, skB := protocol.TestKeys()
+	if *pool > 0 {
+		for _, sk := range []*paillier.PrivateKey{skA, skB} {
+			paillier.RegisterPool(paillier.NewPool(&sk.PublicKey, *pool, 0, paillier.Rand))
+		}
+	}
 	pa, pb, err := protocol.Pipe(skA, skB, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,3 @@
+module blindfl
+
+go 1.24

@@ -6,24 +6,52 @@ import (
 
 	"blindfl/internal/core"
 	"blindfl/internal/data"
+	"blindfl/internal/paillier"
 	"blindfl/internal/protocol"
 	"blindfl/internal/secureml"
 	"blindfl/internal/tensor"
 )
+
+// StepperOpts selects the throughput-engine features a stepper exercises.
+type StepperOpts struct {
+	// Packed enables ciphertext packing on the dense MatMul source layer.
+	Packed bool
+	// PoolCapacity, when positive, registers a blinding-randomness pool of
+	// that capacity for each party's key so every encryption site takes the
+	// precomputed fast path. A pool already registered for the key is
+	// replaced and closed. The new pools stay registered for the process
+	// (benchmarks that care unregister and close them via paillier.PoolFor).
+	PoolCapacity int
+}
 
 // NewBlindFLStepper builds a federated MatMul source layer for a dataset
 // spec and returns a closure that runs one forward+backward mini-batch
 // (both parties, in process). Setup cost is paid here, not in the step.
 // Used by both TimeBlindFLBatch and the testing.B benchmark suite.
 func NewBlindFLStepper(spec data.Spec, batch, out int) func() {
+	return NewBlindFLStepperOpts(spec, batch, out, StepperOpts{})
+}
+
+// NewBlindFLStepperOpts is NewBlindFLStepper with the packing and
+// randomness-pool features configurable.
+func NewBlindFLStepperOpts(spec data.Spec, batch, out int, opts StepperOpts) func() {
 	skA, skB := protocol.TestKeys()
 	pa, pb, err := protocol.Pipe(skA, skB, 7)
 	if err != nil {
 		panic(err)
 	}
+	if opts.PoolCapacity > 0 {
+		for _, sk := range []*paillier.PrivateKey{skA, skB} {
+			old := paillier.PoolFor(&sk.PublicKey)
+			paillier.RegisterPool(paillier.NewPool(&sk.PublicKey, opts.PoolCapacity, 0, paillier.Rand))
+			if old != nil {
+				old.Close()
+			}
+		}
+	}
 	rng := rand.New(rand.NewSource(11))
 	half := spec.Feats / 2
-	cfg := core.Config{Out: out, LR: 0.05}
+	cfg := core.Config{Out: out, LR: 0.05, Packed: opts.Packed}
 
 	runStep := func(fa, fb func()) {
 		if err := protocol.RunParties(pa, pb, fa, fb); err != nil {

@@ -20,17 +20,18 @@ import (
 
 // matMulAState mirrors MatMulA's persistent fields for gob.
 type matMulAState struct {
-	Cfg   Config
-	UA    *tensor.Dense
-	VB    *tensor.Dense
-	EncVA *hetensor.CipherMatrix
-	MomUA *tensor.Dense
-	MomVB *tensor.Dense
+	Cfg    Config
+	UA     *tensor.Dense
+	VB     *tensor.Dense
+	EncVA  *hetensor.CipherMatrix
+	PackVA *hetensor.PackedMatrix
+	MomUA  *tensor.Dense
+	MomVB  *tensor.Dense
 }
 
 // Save writes Party A's half of the layer.
 func (l *MatMulA) Save(w io.Writer) error {
-	st := matMulAState{Cfg: l.cfg, UA: l.UA, VB: l.VB, EncVA: l.encVA,
+	st := matMulAState{Cfg: l.cfg, UA: l.UA, VB: l.VB, EncVA: l.encVA, PackVA: l.packVA,
 		MomUA: l.momUA.buf, MomVB: l.momVB.buf}
 	if err := gob.NewEncoder(w).Encode(&st); err != nil {
 		return fmt.Errorf("core: save MatMulA: %w", err)
@@ -47,9 +48,12 @@ func LoadMatMulA(r io.Reader, p *protocol.Peer) (*MatMulA, error) {
 	if st.EncVA != nil {
 		st.EncVA.PK = p.PeerPK
 	}
+	if st.PackVA != nil {
+		st.PackVA.PK = p.PeerPK
+	}
 	return &MatMulA{
 		cfg: st.Cfg, peer: p,
-		UA: st.UA, VB: st.VB, encVA: st.EncVA,
+		UA: st.UA, VB: st.VB, encVA: st.EncVA, packVA: st.PackVA,
 		momUA: momentum{mu: st.Cfg.Momentum, buf: st.MomUA},
 		momVB: momentum{mu: st.Cfg.Momentum, buf: st.MomVB},
 	}, nil
@@ -57,17 +61,18 @@ func LoadMatMulA(r io.Reader, p *protocol.Peer) (*MatMulA, error) {
 
 // matMulBState mirrors MatMulB's persistent fields for gob.
 type matMulBState struct {
-	Cfg   Config
-	UB    *tensor.Dense
-	VA    *tensor.Dense
-	EncVB *hetensor.CipherMatrix
-	MomUB *tensor.Dense
-	MomVA *tensor.Dense
+	Cfg    Config
+	UB     *tensor.Dense
+	VA     *tensor.Dense
+	EncVB  *hetensor.CipherMatrix
+	PackVB *hetensor.PackedMatrix
+	MomUB  *tensor.Dense
+	MomVA  *tensor.Dense
 }
 
 // Save writes Party B's half of the layer.
 func (l *MatMulB) Save(w io.Writer) error {
-	st := matMulBState{Cfg: l.cfg, UB: l.UB, VA: l.VA, EncVB: l.encVB,
+	st := matMulBState{Cfg: l.cfg, UB: l.UB, VA: l.VA, EncVB: l.encVB, PackVB: l.packVB,
 		MomUB: l.momUB.buf, MomVA: l.momVA.buf}
 	if err := gob.NewEncoder(w).Encode(&st); err != nil {
 		return fmt.Errorf("core: save MatMulB: %w", err)
@@ -84,9 +89,12 @@ func LoadMatMulB(r io.Reader, p *protocol.Peer) (*MatMulB, error) {
 	if st.EncVB != nil {
 		st.EncVB.PK = p.PeerPK
 	}
+	if st.PackVB != nil {
+		st.PackVB.PK = p.PeerPK
+	}
 	return &MatMulB{
 		cfg: st.Cfg, peer: p,
-		UB: st.UB, VA: st.VA, encVB: st.EncVB,
+		UB: st.UB, VA: st.VA, encVB: st.EncVB, packVB: st.PackVB,
 		momUB: momentum{mu: st.Cfg.Momentum, buf: st.MomUB},
 		momVA: momentum{mu: st.Cfg.Momentum, buf: st.MomVA},
 	}, nil
@@ -97,6 +105,7 @@ type embedAState struct {
 	Cfg                        EmbedConfig
 	SA, TB, UA, VB             *tensor.Dense
 	EncTA, EncVA, EncUB        *hetensor.CipherMatrix
+	PackTA                     *hetensor.PackedMatrix
 	MomSA, MomTB, MomUA, MomVB *tensor.Dense
 }
 
@@ -104,7 +113,7 @@ type embedAState struct {
 func (l *EmbedMatMulA) Save(w io.Writer) error {
 	st := embedAState{Cfg: l.cfg,
 		SA: l.SA, TB: l.TB, UA: l.UA, VB: l.VB,
-		EncTA: l.encTA, EncVA: l.encVA, EncUB: l.encUB,
+		EncTA: l.encTA, EncVA: l.encVA, EncUB: l.encUB, PackTA: l.packTA,
 		MomSA: l.momSA.buf, MomTB: l.momTB.buf, MomUA: l.momUA.buf, MomVB: l.momVB.buf}
 	if err := gob.NewEncoder(w).Encode(&st); err != nil {
 		return fmt.Errorf("core: save EmbedMatMulA: %w", err)
@@ -123,11 +132,14 @@ func LoadEmbedMatMulA(r io.Reader, p *protocol.Peer) (*EmbedMatMulA, error) {
 			c.PK = p.PeerPK
 		}
 	}
+	if st.PackTA != nil {
+		st.PackTA.PK = p.PeerPK
+	}
 	mu := st.Cfg.Momentum
 	return &EmbedMatMulA{
 		cfg: st.Cfg, peer: p,
 		SA: st.SA, TB: st.TB, UA: st.UA, VB: st.VB,
-		encTA: st.EncTA, encVA: st.EncVA, encUB: st.EncUB,
+		encTA: st.EncTA, encVA: st.EncVA, encUB: st.EncUB, packTA: st.PackTA,
 		momSA: momentum{mu: mu, buf: st.MomSA}, momTB: momentum{mu: mu, buf: st.MomTB},
 		momUA: momentum{mu: mu, buf: st.MomUA}, momVB: momentum{mu: mu, buf: st.MomVB},
 	}, nil
@@ -138,6 +150,7 @@ type embedBState struct {
 	Cfg                        EmbedConfig
 	SB, TA, UB, VA             *tensor.Dense
 	EncTB, EncVB, EncUA        *hetensor.CipherMatrix
+	PackTB                     *hetensor.PackedMatrix
 	MomSB, MomTA, MomUB, MomVA *tensor.Dense
 }
 
@@ -145,7 +158,7 @@ type embedBState struct {
 func (l *EmbedMatMulB) Save(w io.Writer) error {
 	st := embedBState{Cfg: l.cfg,
 		SB: l.SB, TA: l.TA, UB: l.UB, VA: l.VA,
-		EncTB: l.encTB, EncVB: l.encVB, EncUA: l.encUA,
+		EncTB: l.encTB, EncVB: l.encVB, EncUA: l.encUA, PackTB: l.packTB,
 		MomSB: l.momSB.buf, MomTA: l.momTA.buf, MomUB: l.momUB.buf, MomVA: l.momVA.buf}
 	if err := gob.NewEncoder(w).Encode(&st); err != nil {
 		return fmt.Errorf("core: save EmbedMatMulB: %w", err)
@@ -164,11 +177,14 @@ func LoadEmbedMatMulB(r io.Reader, p *protocol.Peer) (*EmbedMatMulB, error) {
 			c.PK = p.PeerPK
 		}
 	}
+	if st.PackTB != nil {
+		st.PackTB.PK = p.PeerPK
+	}
 	mu := st.Cfg.Momentum
 	return &EmbedMatMulB{
 		cfg: st.Cfg, peer: p,
 		SB: st.SB, TA: st.TA, UB: st.UB, VA: st.VA,
-		encTB: st.EncTB, encVB: st.EncVB, encUA: st.EncUA,
+		encTB: st.EncTB, encVB: st.EncVB, encUA: st.EncUA, packTB: st.PackTB,
 		momSB: momentum{mu: mu, buf: st.MomSB}, momTA: momentum{mu: mu, buf: st.MomTA},
 		momUB: momentum{mu: mu, buf: st.MomUB}, momVA: momentum{mu: mu, buf: st.MomVA},
 	}, nil

@@ -36,9 +36,10 @@ type EmbedMatMulA struct {
 	UA *tensor.Dense // A's piece of W_A (FieldsA·Dim×Out)
 	VB *tensor.Dense // A's piece of W_B (FieldsB·Dim×Out)
 
-	encTA *hetensor.CipherMatrix // ⟦T_A⟧ under B's key
-	encVA *hetensor.CipherMatrix // ⟦V_A⟧ under B's key
-	encUB *hetensor.CipherMatrix // ⟦U_B⟧ under B's key
+	encTA  *hetensor.CipherMatrix // ⟦T_A⟧ under B's key
+	packTA *hetensor.PackedMatrix // packed ⟦T_A⟧ when cfg.Packed
+	encVA  *hetensor.CipherMatrix // ⟦V_A⟧ under B's key
+	encUB  *hetensor.CipherMatrix // ⟦U_B⟧ under B's key
 
 	momSA, momTB, momUA, momVB momentum
 
@@ -58,9 +59,10 @@ type EmbedMatMulB struct {
 	UB *tensor.Dense // B's piece of W_B
 	VA *tensor.Dense // B's piece of W_A
 
-	encTB *hetensor.CipherMatrix // ⟦T_B⟧ under A's key
-	encVB *hetensor.CipherMatrix // ⟦V_B⟧ under A's key
-	encUA *hetensor.CipherMatrix // ⟦U_A⟧ under A's key
+	encTB  *hetensor.CipherMatrix // ⟦T_B⟧ under A's key
+	packTB *hetensor.PackedMatrix // packed ⟦T_B⟧ when cfg.Packed
+	encVB  *hetensor.CipherMatrix // ⟦V_B⟧ under A's key
+	encUA  *hetensor.CipherMatrix // ⟦U_A⟧ under A's key
 
 	momSB, momTA, momUB, momVA momentum
 
@@ -83,10 +85,18 @@ func NewEmbedMatMulA(p *protocol.Peer, cfg EmbedConfig) *EmbedMatMulA {
 		momSA: momentum{mu: cfg.Momentum}, momTB: momentum{mu: cfg.Momentum},
 		momUA: momentum{mu: cfg.Momentum}, momVB: momentum{mu: cfg.Momentum},
 	}
-	p.EncryptAndSend(l.TB, 1)
+	if cfg.Packed {
+		p.EncryptAndSendPacked(l.TB, 1)
+	} else {
+		p.EncryptAndSend(l.TB, 1)
+	}
 	p.EncryptAndSend(l.UA, 1)
 	p.EncryptAndSend(l.VB, 1)
-	l.encTA = p.RecvCipher()
+	if cfg.Packed {
+		l.packTA = p.RecvPacked()
+	} else {
+		l.encTA = p.RecvCipher()
+	}
 	l.encUB = p.RecvCipher()
 	l.encVA = p.RecvCipher()
 	return l
@@ -104,10 +114,18 @@ func NewEmbedMatMulB(p *protocol.Peer, cfg EmbedConfig) *EmbedMatMulB {
 		momSB: momentum{mu: cfg.Momentum}, momTA: momentum{mu: cfg.Momentum},
 		momUB: momentum{mu: cfg.Momentum}, momVA: momentum{mu: cfg.Momentum},
 	}
-	l.encTB = p.RecvCipher()
+	if cfg.Packed {
+		l.packTB = p.RecvPacked()
+	} else {
+		l.encTB = p.RecvCipher()
+	}
 	l.encUA = p.RecvCipher()
 	l.encVB = p.RecvCipher()
-	p.EncryptAndSend(l.TA, 1)
+	if cfg.Packed {
+		p.EncryptAndSendPacked(l.TA, 1)
+	} else {
+		p.EncryptAndSend(l.TA, 1)
+	}
 	p.EncryptAndSend(l.UB, 1)
 	p.EncryptAndSend(l.VA, 1)
 	return l
@@ -125,11 +143,28 @@ func embedStage(p *protocol.Peer, encT *hetensor.CipherMatrix, s *tensor.Dense, 
 	return psi, otherShare
 }
 
+// embedStagePacked is embedStage over a packed table: the lookup gathers
+// packed rows and the HE2SS conversion masks K lanes per blinding
+// exponentiation. The table's per-row lane layout carries through the
+// batch×(fields·dim) lookup result (Block = dim).
+func embedStagePacked(p *protocol.Peer, packT *hetensor.PackedMatrix, s *tensor.Dense, x *tensor.IntMatrix) (psi, otherShare *tensor.Dense) {
+	encLk := hetensor.LookupPacked(packT, x)
+	eps := p.HE2SSSendPacked(encLk)
+	otherShare = p.HE2SSRecvPacked()
+	psi = eps.Add(tensor.Lookup(s, x))
+	return psi, otherShare
+}
+
 // Forward runs Party A's forward pass (Fig. 7 lines 5–11). A outputs
 // nothing; its share Z'_A is shipped to B.
 func (l *EmbedMatMulA) Forward(x *tensor.IntMatrix) {
 	l.x = x
-	psiA, ebmPsi := embedStage(l.peer, l.encTA, l.SA, x)
+	var psiA, ebmPsi *tensor.Dense
+	if l.cfg.Packed {
+		psiA, ebmPsi = embedStagePacked(l.peer, l.packTA, l.SA, x)
+	} else {
+		psiA, ebmPsi = embedStage(l.peer, l.encTA, l.SA, x)
+	}
 	l.psiA, l.ebmPsi = psiA, ebmPsi
 
 	// Line 8: Z'_1,A = MatMulFw(ψ_A, U_A, ⟦V_A⟧).
@@ -144,7 +179,12 @@ func (l *EmbedMatMulA) Forward(x *tensor.IntMatrix) {
 // Forward runs Party B's forward pass and returns Z = E_A·W_A + E_B·W_B.
 func (l *EmbedMatMulB) Forward(x *tensor.IntMatrix) *tensor.Dense {
 	l.x = x
-	psiB, eamPsi := embedStage(l.peer, l.encTB, l.SB, x)
+	var psiB, eamPsi *tensor.Dense
+	if l.cfg.Packed {
+		psiB, eamPsi = embedStagePacked(l.peer, l.packTB, l.SB, x)
+	} else {
+		psiB, eamPsi = embedStage(l.peer, l.encTB, l.SB, x)
+	}
 	l.psiB, l.eamPsi = psiB, eamPsi
 
 	z1 := forwardHalf(l.peer, DenseFeatures{psiB}, l.UB, l.encVB)
@@ -192,8 +232,13 @@ func (l *EmbedMatMulA) Backward() {
 	l.momTB.step(l.TB, gradTBshare, l.cfg.LR)
 
 	// Refresh encrypted table copies: T_B changed here, T_A at B.
-	p.EncryptAndSend(l.TB, 1)
-	l.encTA = p.RecvCipher()
+	if l.cfg.Packed {
+		p.EncryptAndSendPacked(l.TB, 1)
+		l.packTA = p.RecvPacked()
+	} else {
+		p.EncryptAndSend(l.TB, 1)
+		l.encTA = p.RecvCipher()
+	}
 
 	l.x, l.psiA, l.ebmPsi = nil, nil, nil
 }
@@ -239,8 +284,13 @@ func (l *EmbedMatMulB) Backward(gradZ *tensor.Dense) {
 	l.momSB.step(l.SB, rhoB, l.cfg.LR)
 
 	// Refresh encrypted table copies.
-	l.encTB = p.RecvCipher()
-	p.EncryptAndSend(l.TA, 1)
+	if l.cfg.Packed {
+		l.packTB = p.RecvPacked()
+		p.EncryptAndSendPacked(l.TA, 1)
+	} else {
+		l.encTB = p.RecvCipher()
+		p.EncryptAndSend(l.TA, 1)
+	}
 
 	l.x, l.psiB, l.eamPsi = nil, nil, nil
 }

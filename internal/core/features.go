@@ -35,6 +35,10 @@ type Numeric interface {
 	MulCipher(w *hetensor.CipherMatrix) *hetensor.CipherMatrix
 	// TransposeMulCipher returns ⟦Xᵀ·G⟧ for encrypted G.
 	TransposeMulCipher(g *hetensor.CipherMatrix) *hetensor.CipherMatrix
+	// MulCipherPacked returns ⟦X·W⟧ for packed encrypted W.
+	MulCipherPacked(w *hetensor.PackedMatrix) *hetensor.PackedMatrix
+	// TransposeMulCipherPacked returns ⟦Xᵀ·G⟧ for packed encrypted G.
+	TransposeMulCipherPacked(g *hetensor.PackedMatrix) *hetensor.PackedMatrix
 }
 
 // DenseFeatures adapts a dense matrix to the Numeric interface.
@@ -64,6 +68,16 @@ func (f DenseFeatures) TransposeMulCipher(g *hetensor.CipherMatrix) *hetensor.Ci
 	return hetensor.TransposeMulLeft(f.M, g)
 }
 
+// MulCipherPacked returns ⟦X·W⟧ over packed ciphertexts.
+func (f DenseFeatures) MulCipherPacked(w *hetensor.PackedMatrix) *hetensor.PackedMatrix {
+	return hetensor.MulPlainLeftPacked(f.M, w)
+}
+
+// TransposeMulCipherPacked returns ⟦Xᵀ·G⟧ over packed ciphertexts.
+func (f DenseFeatures) TransposeMulCipherPacked(g *hetensor.PackedMatrix) *hetensor.PackedMatrix {
+	return hetensor.TransposeMulLeftPacked(f.M, g)
+}
+
 // SparseFeatures adapts a CSR matrix to the Numeric interface.
 type SparseFeatures struct{ M *tensor.CSR }
 
@@ -89,4 +103,16 @@ func (f SparseFeatures) MulCipher(w *hetensor.CipherMatrix) *hetensor.CipherMatr
 // TransposeMulCipher returns ⟦Xᵀ·G⟧ visiting only non-zeros.
 func (f SparseFeatures) TransposeMulCipher(g *hetensor.CipherMatrix) *hetensor.CipherMatrix {
 	return hetensor.TransposeMulLeftCSR(f.M, g)
+}
+
+// MulCipherPacked returns ⟦X·W⟧ over packed ciphertexts, visiting only
+// non-zeros.
+func (f SparseFeatures) MulCipherPacked(w *hetensor.PackedMatrix) *hetensor.PackedMatrix {
+	return hetensor.MulPlainLeftCSRPacked(f.M, w)
+}
+
+// TransposeMulCipherPacked returns ⟦Xᵀ·G⟧ over packed ciphertexts, visiting
+// only non-zeros.
+func (f SparseFeatures) TransposeMulCipherPacked(g *hetensor.PackedMatrix) *hetensor.PackedMatrix {
+	return hetensor.TransposeMulLeftCSRPacked(f.M, g)
 }

@@ -15,6 +15,9 @@ import (
 // same MatMul protocol with an MSE top loss solves least squares without
 // any change to the federated machinery.
 func TestFederatedLinearRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("federated linreg training skipped in -short")
+	}
 	pa, pb := pipe(t, 950)
 	cfg := Config{Out: 1, LR: 0.25}
 	const inA, inB, n = 4, 4, 64

@@ -24,7 +24,8 @@ type MatMulA struct {
 	UA *tensor.Dense // A's piece of W_A (InA×Out)
 	VB *tensor.Dense // A's piece of W_B (InB×Out)
 
-	encVA *hetensor.CipherMatrix // ⟦V_A⟧ under B's key, refreshed per step
+	encVA  *hetensor.CipherMatrix // ⟦V_A⟧ under B's key, refreshed per step
+	packVA *hetensor.PackedMatrix // packed ⟦V_A⟧ when cfg.Packed
 
 	momUA momentum
 	momVB momentum
@@ -40,7 +41,8 @@ type MatMulB struct {
 	UB *tensor.Dense // B's piece of W_B (InB×Out)
 	VA *tensor.Dense // B's piece of W_A (InA×Out)
 
-	encVB *hetensor.CipherMatrix // ⟦V_B⟧ under A's key, refreshed per step
+	encVB  *hetensor.CipherMatrix // ⟦V_B⟧ under A's key, refreshed per step
+	packVB *hetensor.PackedMatrix // packed ⟦V_B⟧ when cfg.Packed
 
 	momUB momentum
 	momVA momentum
@@ -60,8 +62,13 @@ func NewMatMulA(p *protocol.Peer, cfg Config, inA, inB int) *MatMulA {
 		momUA: momentum{mu: cfg.Momentum},
 		momVB: momentum{mu: cfg.Momentum},
 	}
-	p.EncryptAndSend(l.VB, 1)
-	l.encVA = p.RecvCipher()
+	if cfg.Packed {
+		p.EncryptAndSendPacked(l.VB, 1)
+		l.packVA = p.RecvPacked()
+	} else {
+		p.EncryptAndSend(l.VB, 1)
+		l.encVA = p.RecvCipher()
+	}
 	return l
 }
 
@@ -75,8 +82,13 @@ func NewMatMulB(p *protocol.Peer, cfg Config, inA, inB int) *MatMulB {
 		momUB: momentum{mu: cfg.Momentum},
 		momVA: momentum{mu: cfg.Momentum},
 	}
-	l.encVB = p.RecvCipher()
-	p.EncryptAndSend(l.VA, 1)
+	if cfg.Packed {
+		l.packVB = p.RecvPacked()
+		p.EncryptAndSendPacked(l.VA, 1)
+	} else {
+		l.encVB = p.RecvCipher()
+		p.EncryptAndSend(l.VA, 1)
+	}
 	return l
 }
 
@@ -93,11 +105,29 @@ func forwardHalf(p *protocol.Peer, x Numeric, u *tensor.Dense, encV *hetensor.Ci
 	return z
 }
 
+// forwardHalfPacked is forwardHalf over packed ciphertexts: the homomorphic
+// product, the masked send, and the peer's decryption all touch ~K× fewer
+// ciphertexts. Both parties must run the packed variant.
+func forwardHalfPacked(p *protocol.Peer, x Numeric, u *tensor.Dense, packV *hetensor.PackedMatrix) *tensor.Dense {
+	prod := x.MulCipherPacked(packV)
+	eps := p.HE2SSSendPacked(prod)
+	other := p.HE2SSRecvPacked()
+	z := x.MatMul(u)
+	z.AddInPlace(eps)
+	z.AddInPlace(other)
+	return z
+}
+
 // Forward runs Party A's forward pass. A learns nothing: its share Z'_A is
 // shipped to B and the random masks cancel in the sum (Fig. 6 lines 5–8).
 func (l *MatMulA) Forward(x Numeric) {
 	l.x = x
-	zA := forwardHalf(l.peer, x, l.UA, l.encVA)
+	var zA *tensor.Dense
+	if l.cfg.Packed {
+		zA = forwardHalfPacked(l.peer, x, l.UA, l.packVA)
+	} else {
+		zA = forwardHalf(l.peer, x, l.UA, l.encVA)
+	}
 	l.peer.Send(zA)
 }
 
@@ -105,7 +135,12 @@ func (l *MatMulA) Forward(x Numeric) {
 // Z = X_A·W_A + X_B·W_B, the only forward value B is allowed to see.
 func (l *MatMulB) Forward(x Numeric) *tensor.Dense {
 	l.x = x
-	zB := forwardHalf(l.peer, x, l.UB, l.encVB)
+	var zB *tensor.Dense
+	if l.cfg.Packed {
+		zB = forwardHalfPacked(l.peer, x, l.UB, l.packVB)
+	} else {
+		zB = forwardHalf(l.peer, x, l.UB, l.encVB)
+	}
 	zA := l.peer.RecvDense()
 	return zA.Add(zB)
 }
@@ -115,6 +150,15 @@ func (l *MatMulB) Forward(x Numeric) *tensor.Dense {
 // an SS pair ⟨φ, ∇W_A−φ⟩, updates U_A with its share φ, and receives the
 // refreshed ⟦V_A⟧ for the next step. A never sees ∇Z, ∇W_A, or W_A.
 func (l *MatMulA) Backward() {
+	if l.cfg.Packed {
+		encGradZ := l.peer.RecvPacked()                     // packed ⟦∇Z⟧ under B's key
+		encGradWA := l.x.TransposeMulCipherPacked(encGradZ) // packed ⟦X_Aᵀ∇Z⟧, scale 2
+		phi := l.peer.HE2SSSendPacked(encGradWA)            // keep φ, B gets ∇W_A − φ
+		l.momUA.step(l.UA, phi, l.cfg.LR)
+		l.packVA = l.peer.RecvPacked()
+		l.x = nil
+		return
+	}
 	encGradZ := l.peer.RecvCipher()               // ⟦∇Z⟧ under B's key
 	encGradWA := l.x.TransposeMulCipher(encGradZ) // ⟦X_Aᵀ∇Z⟧, scale 2
 	phi := l.peer.HE2SSSend(encGradWA)            // keep φ, B gets ∇W_A − φ
@@ -130,6 +174,14 @@ func (l *MatMulB) Backward(gradZ *tensor.Dense) {
 	gradWB := l.x.TransposeMatMul(gradZ)
 	l.momUB.step(l.UB, gradWB, l.cfg.LR)
 
+	if l.cfg.Packed {
+		l.peer.EncryptAndSendPacked(gradZ, 1)
+		gradVAshare := l.peer.HE2SSRecvPacked() // ∇W_A − φ
+		l.momVA.step(l.VA, gradVAshare, l.cfg.LR)
+		l.peer.EncryptAndSendPacked(l.VA, 1) // refresh packed ⟦V_A⟧ at A
+		l.x = nil
+		return
+	}
 	l.peer.EncryptAndSend(gradZ, 1)
 	gradVAshare := l.peer.HE2SSRecv() // ∇W_A − φ
 	l.momVA.step(l.VA, gradVAshare, l.cfg.LR)

@@ -53,6 +53,14 @@ type Config struct {
 	LR        float64 // learning rate η
 	Momentum  float64 // momentum coefficient μ (0 disables)
 	InitScale float64 // uniform init range for weight pieces; 0 means 0.1
+
+	// Packed enables ciphertext packing (K fixed-point lanes per Paillier
+	// plaintext) on the layer's homomorphic hot paths: the dense MatMul
+	// layer end to end and the Embed-MatMul lookup path. Both parties must
+	// agree on the flag; results match the unpacked protocol to fixed-point
+	// tolerance. The sparse MatMul layer ignores the flag (its on-demand
+	// row-cache protocol is already bandwidth-bound, not blinding-bound).
+	Packed bool
 }
 
 func (c Config) initScale() float64 {

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+// The packed source layers must agree with the unpacked protocol — which the
+// sibling tests pin against plaintext training — to fixed-point tolerance.
+
+func TestPackedMatMulForwardMatchesPlaintext(t *testing.T) {
+	pa, pb := pipe(t, 700)
+	cfg := Config{Out: 3, LR: 0.1, Packed: true}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 5, 4)
+
+	rng := rand.New(rand.NewSource(1))
+	xA := tensor.RandDense(rng, 6, 5, 1)
+	xB := tensor.RandDense(rng, 6, 4, 1)
+
+	want := xA.MatMul(DebugWeightsA(la, lb)).Add(xB.MatMul(DebugWeightsB(la, lb)))
+	var z *tensor.Dense
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(DenseFeatures{xA}) },
+		func() { z = lb.Forward(DenseFeatures{xB}) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if !z.Equal(want, 1e-4) {
+		t.Fatalf("packed federated Z diverges from plaintext:\n got %v\nwant %v", z.Data, want.Data)
+	}
+}
+
+func TestPackedMatMulForwardSparseMatchesDense(t *testing.T) {
+	pa, pb := pipe(t, 701)
+	cfg := Config{Out: 2, LR: 0.1, Packed: true}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 20, 4)
+
+	rng := rand.New(rand.NewSource(2))
+	xA := tensor.RandCSR(rng, 5, 20, 3)
+	xB := tensor.RandDense(rng, 5, 4, 1)
+
+	want := xA.ToDense().MatMul(DebugWeightsA(la, lb)).Add(xB.MatMul(DebugWeightsB(la, lb)))
+	var z *tensor.Dense
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(SparseFeatures{xA}) },
+		func() { z = lb.Forward(DenseFeatures{xB}) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if !z.Equal(want, 1e-4) {
+		t.Fatal("packed sparse federated forward diverges from plaintext")
+	}
+}
+
+func TestPackedMatMulBackwardMatchesSGD(t *testing.T) {
+	pa, pb := pipe(t, 702)
+	cfg := Config{Out: 2, LR: 0.05, Packed: true}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 3, 4)
+
+	rng := rand.New(rand.NewSource(3))
+	xA := tensor.RandDense(rng, 4, 3, 1)
+	xB := tensor.RandDense(rng, 4, 4, 1)
+	gradZ := tensor.RandDense(rng, 4, 2, 1)
+
+	wantWA := DebugWeightsA(la, lb).Sub(xA.TransposeMatMul(gradZ).Scale(cfg.LR))
+	wantWB := DebugWeightsB(la, lb).Sub(xB.TransposeMatMul(gradZ).Scale(cfg.LR))
+
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(DenseFeatures{xA}); la.Backward() },
+		func() { lb.Forward(DenseFeatures{xB}); lb.Backward(gradZ) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := DebugWeightsA(la, lb); !got.Equal(wantWA, 1e-4) {
+		t.Fatalf("packed W_A update wrong:\n got %v\nwant %v", got.Data, wantWA.Data)
+	}
+	if got := DebugWeightsB(la, lb); !got.Equal(wantWB, 1e-4) {
+		t.Fatalf("packed W_B update wrong:\n got %v\nwant %v", got.Data, wantWB.Data)
+	}
+}
+
+// TestPackedMatMulMultiStep drives several packed forward+backward rounds so
+// the refreshed packed ⟦V⟧ copies are exercised, and cross-checks the final
+// weights against plaintext SGD.
+func TestPackedMatMulMultiStep(t *testing.T) {
+	pa, pb := pipe(t, 703)
+	cfg := Config{Out: 2, LR: 0.05, Packed: true}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 4, 3)
+
+	rng := rand.New(rand.NewSource(4))
+	wA := DebugWeightsA(la, lb)
+	wB := DebugWeightsB(la, lb)
+	for step := 0; step < 3; step++ {
+		xA := tensor.RandDense(rng, 5, 4, 1)
+		xB := tensor.RandDense(rng, 5, 3, 1)
+		gradZ := tensor.RandDense(rng, 5, 2, 1)
+		wA = wA.Sub(xA.TransposeMatMul(gradZ).Scale(cfg.LR))
+		wB = wB.Sub(xB.TransposeMatMul(gradZ).Scale(cfg.LR))
+		if err := protocol.RunParties(pa, pb,
+			func() { la.Forward(DenseFeatures{xA}); la.Backward() },
+			func() { lb.Forward(DenseFeatures{xB}); lb.Backward(gradZ) },
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := DebugWeightsA(la, lb); !got.Equal(wA, 1e-3) {
+		t.Fatal("packed multi-step W_A diverges from plaintext SGD")
+	}
+	if got := DebugWeightsB(la, lb); !got.Equal(wB, 1e-3) {
+		t.Fatal("packed multi-step W_B diverges from plaintext SGD")
+	}
+}
+
+func TestPackedEmbedMatMulForwardMatchesPlaintext(t *testing.T) {
+	pa, pb := pipe(t, 704)
+	cfg := embedTestCfg()
+	cfg.Packed = true
+	la, lb := newEmbedPair(t, pa, pb, cfg)
+
+	rng := rand.New(rand.NewSource(5))
+	xA := randIdx(rng, 4, cfg.FieldsA, cfg.VocabA)
+	xB := randIdx(rng, 4, cfg.FieldsB, cfg.VocabB)
+	want := plaintextZ(la, lb, xA, xB)
+
+	var z *tensor.Dense
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(xA) },
+		func() { z = lb.Forward(xB) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if !z.Equal(want, 1e-5) {
+		t.Fatalf("packed embed federated Z diverges:\n got %v\nwant %v", z.Data, want.Data)
+	}
+}
+
+// TestPackedEmbedMatMulMultiStep runs packed embed forward+backward rounds —
+// covering the packed lookup HE2SS and the packed table refresh — and checks
+// the step still matches the unpacked protocol's training trajectory.
+func TestPackedEmbedMatMulMultiStep(t *testing.T) {
+	runSteps := func(packed bool) (*tensor.Dense, *tensor.Dense) {
+		pa, pb := pipe(t, 705) // same seed: identical init and masks per run
+		cfg := embedTestCfg()
+		cfg.Packed = packed
+		la, lb := newEmbedPair(t, pa, pb, cfg)
+		rng := rand.New(rand.NewSource(6))
+		for step := 0; step < 2; step++ {
+			xA := randIdx(rng, 3, cfg.FieldsA, cfg.VocabA)
+			xB := randIdx(rng, 3, cfg.FieldsB, cfg.VocabB)
+			gradZ := tensor.RandDense(rng, 3, cfg.Out, 0.5)
+			if err := protocol.RunParties(pa, pb,
+				func() { la.Forward(xA); la.Backward() },
+				func() { lb.Forward(xB); lb.Backward(gradZ) },
+			); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return DebugTableA(la, lb), DebugEmbedWeightsA(la, lb)
+	}
+	qPacked, wPacked := runSteps(true)
+	qPlain, wPlain := runSteps(false)
+	if !qPacked.Equal(qPlain, 1e-4) {
+		t.Fatal("packed embed table trajectory diverges from unpacked")
+	}
+	if !wPacked.Equal(wPlain, 1e-4) {
+		t.Fatal("packed embed weight trajectory diverges from unpacked")
+	}
+}
+
+// TestPackedMatMulCheckpointRoundTrip saves and restores a packed layer pair
+// mid-training: the packed ⟦V⟧ copies must survive the gob state.
+func TestPackedMatMulCheckpointRoundTrip(t *testing.T) {
+	pa, pb := pipe(t, 706)
+	cfg := Config{Out: 2, LR: 0.1, Momentum: 0.9, Packed: true}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 3, 3)
+
+	rng := rand.New(rand.NewSource(7))
+	step := func(a *MatMulA, b *MatMulB) {
+		xA := tensor.RandDense(rng, 4, 3, 1)
+		xB := tensor.RandDense(rng, 4, 3, 1)
+		g := tensor.RandDense(rng, 4, 2, 1)
+		if err := protocol.RunParties(pa, pb,
+			func() { a.Forward(DenseFeatures{xA}); a.Backward() },
+			func() { b.Forward(DenseFeatures{xB}); b.Backward(g) },
+		); err != nil {
+			t.Fatal(err)
+		}
+	}
+	step(la, lb)
+
+	var bufA, bufB bytes.Buffer
+	if err := la.Save(&bufA); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Save(&bufB); err != nil {
+		t.Fatal(err)
+	}
+	la2, err := LoadMatMulA(&bufA, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb2, err := LoadMatMulB(&bufB, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !DebugWeightsA(la2, lb2).Equal(DebugWeightsA(la, lb), 0) {
+		t.Fatal("restored packed W_A differs")
+	}
+	rng = rand.New(rand.NewSource(8))
+	step(la, lb)
+	rng = rand.New(rand.NewSource(8))
+	step(la2, lb2)
+	if !DebugWeightsA(la2, lb2).Equal(DebugWeightsA(la, lb), 1e-6) {
+		t.Fatal("packed training diverged after checkpoint restore")
+	}
+}

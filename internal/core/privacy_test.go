@@ -20,6 +20,9 @@ import (
 // checks that Party A predicting labels with X_A·U_A — everything it can
 // compute locally — performs at chance level, while the full model learns.
 func TestFigure9BlindFLActivationAttackIsChance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attack training skipped in -short")
+	}
 	spec := data.Spec{Name: "fig9", Feats: 40, AvgNNZ: 6, Classes: 2,
 		Train: 256, Test: 256, Margin: 6}
 	ds := data.Generate(spec, 91)
@@ -70,6 +73,9 @@ func TestFigure9BlindFLActivationAttackIsChance(t *testing.T) {
 // TestFigure11SharesHideWeights checks the Fig. 11 property on a trained
 // MatMul layer: the share is uncorrelated with the weights and far larger.
 func TestFigure11SharesHideWeights(t *testing.T) {
+	if testing.Short() {
+		t.Skip("share-divergence training skipped in -short")
+	}
 	pa, pb := pipe(t, 901)
 	cfg := Config{Out: 1, LR: 0.1, Momentum: 0.9}
 	la, lb := newMatMulPair(t, pa, pb, cfg, 30, 30)

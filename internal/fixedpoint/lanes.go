@@ -1,0 +1,101 @@
+package fixedpoint
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Lane packing: a single Paillier plaintext of Z_n is ~512–2048 bits wide,
+// while one scale-2 fixed-point value needs only ~120 of them. A LaneCodec
+// packs K signed fixed-point lanes of W bits each into one integer
+//
+//	P = Σ_i v_i · 2^(i·W),   |v_i| < 2^(W−1),
+//
+// evaluated over the signed integers and then mapped into Z_n. Because the
+// representation is a plain integer polynomial in 2^W, ring addition adds
+// lane-wise and multiplication by a shared scalar multiplies every lane —
+// exactly the homomorphic operations Paillier supports — as long as no lane
+// magnitude reaches 2^(W−1) and the total stays below n/2.
+//
+// Extraction walks the lanes from least significant: the low W bits of the
+// remaining integer are the two's-complement image of the current lane;
+// subtracting the recovered signed lane cancels its borrow/carry before the
+// shift, so signed lanes round-trip exactly.
+type LaneCodec struct {
+	Codec      // fractional precision per lane
+	W     uint // lane width in bits
+	K     int  // lanes per packed integer
+}
+
+// NewLaneCodec sizes a lane layout for an n-bit modulus: lanes are wide
+// enough for a scale-maxScale value plus headroom bits of integer growth
+// (accumulation, masks), and as many lanes are used as fit below n/2.
+func NewLaneCodec(c Codec, modulusBits int, maxScale, headroom uint) (LaneCodec, error) {
+	w := c.F*maxScale + headroom + 1 // +1 sign bit
+	k := (uint(modulusBits) - 1) / w
+	if k < 1 {
+		return LaneCodec{}, fmt.Errorf("fixedpoint: %d-bit modulus cannot hold one %d-bit lane", modulusBits, w)
+	}
+	return LaneCodec{Codec: c, W: w, K: int(k)}, nil
+}
+
+// Pack encodes up to K values into one signed packed integer at the given
+// scale. Fewer than K values occupy the low lanes; the rest are zero.
+func (lc LaneCodec) Pack(vals []float64, scale uint) *big.Int {
+	if len(vals) > lc.K {
+		panic(fmt.Sprintf("fixedpoint: Pack of %d values into %d lanes", len(vals), lc.K))
+	}
+	out := new(big.Int)
+	for i := len(vals) - 1; i >= 0; i-- {
+		out.Lsh(out, lc.W)
+		out.Add(out, lc.Encode(vals[i], scale))
+	}
+	return out
+}
+
+// PackRing packs vals and maps the result into Z_n.
+func (lc LaneCodec) PackRing(vals []float64, scale uint, n *big.Int) *big.Int {
+	return ToRing(lc.Pack(vals, scale), n)
+}
+
+// Unpack recovers k signed lanes from a packed integer at the given scale.
+func (lc LaneCodec) Unpack(x *big.Int, k int, scale uint) []float64 {
+	out := make([]float64, k)
+	rem := new(big.Int).Set(x)
+	mask := new(big.Int).Lsh(big.NewInt(1), lc.W)
+	mask.Sub(mask, big.NewInt(1))
+	half := new(big.Int).Lsh(big.NewInt(1), lc.W-1)
+	full := new(big.Int).Lsh(big.NewInt(1), lc.W)
+	lane := new(big.Int)
+	for i := 0; i < k; i++ {
+		// Two's-complement low W bits (big.Int bitwise ops treat negative
+		// values as infinite two's complement, so And is exactly x mod 2^W).
+		lane.And(rem, mask)
+		if lane.Cmp(half) >= 0 {
+			lane.Sub(lane, full)
+		}
+		out[i] = lc.Decode(lane, scale)
+		rem.Sub(rem, lane)
+		rem.Rsh(rem, lc.W)
+	}
+	return out
+}
+
+// UnpackRing lifts a Z_n element to a signed integer and unpacks k lanes.
+func (lc LaneCodec) UnpackRing(x *big.Int, k int, scale uint, n *big.Int) []float64 {
+	return lc.Unpack(FromRing(x, n), k, scale)
+}
+
+// PackEncoded packs pre-encoded lane integers (as returned by Encode) into
+// one signed packed integer. Used to build packed plaintext multipliers.
+func (lc LaneCodec) PackEncoded(lanes []*big.Int) *big.Int {
+	if len(lanes) > lc.K {
+		panic(fmt.Sprintf("fixedpoint: PackEncoded of %d values into %d lanes", len(lanes), lc.K))
+	}
+	out := new(big.Int)
+	for i := len(lanes) - 1; i >= 0; i-- {
+		out.Lsh(out, lc.W)
+		out.Add(out, lanes[i])
+	}
+	return out
+}

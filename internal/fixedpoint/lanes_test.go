@@ -1,0 +1,113 @@
+package fixedpoint
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func testLaneCodec(t *testing.T) LaneCodec {
+	t.Helper()
+	lc, err := NewLaneCodec(Codec{F: 40}, 512, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lc
+}
+
+func TestNewLaneCodecSizing(t *testing.T) {
+	lc := testLaneCodec(t)
+	if lc.W != 40*2+42+1 {
+		t.Fatalf("W = %d", lc.W)
+	}
+	if lc.K != int(511/lc.W) {
+		t.Fatalf("K = %d", lc.K)
+	}
+	if uint(lc.K)*lc.W >= 512 {
+		t.Fatalf("lanes overflow the modulus: %d×%d", lc.K, lc.W)
+	}
+	if _, err := NewLaneCodec(Codec{F: 40}, 100, 2, 42); err == nil {
+		t.Fatal("accepted a modulus too small for one lane")
+	}
+}
+
+func TestLanePackUnpackRoundTrip(t *testing.T) {
+	lc := testLaneCodec(t)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(lc.K)
+		scale := uint(1 + rng.Intn(2))
+		vals := make([]float64, k)
+		for i := range vals {
+			// Mix signs and magnitudes up to mask scale (2^20).
+			vals[i] = (rng.Float64()*2 - 1) * math.Ldexp(1, rng.Intn(21))
+		}
+		got := lc.Unpack(lc.Pack(vals, scale), k, scale)
+		for i := range vals {
+			if math.Abs(got[i]-vals[i]) > 1e-6 {
+				t.Fatalf("trial %d lane %d: %v != %v", trial, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestLaneRingRoundTrip(t *testing.T) {
+	lc := testLaneCodec(t)
+	n := new(big.Int).Lsh(big.NewInt(1), 512)
+	n.Sub(n, big.NewInt(569)) // arbitrary odd modulus-like value
+	vals := []float64{-1.5, 0, 3.25, -1e6}
+	got := lc.UnpackRing(lc.PackRing(vals, 1, n), len(vals), 1, n)
+	for i := range vals {
+		if math.Abs(got[i]-vals[i]) > 1e-9 {
+			t.Fatalf("lane %d: %v != %v", i, got[i], vals[i])
+		}
+	}
+}
+
+// TestLaneArithmetic verifies the homomorphic contract: integer addition of
+// packed values adds lane-wise, and multiplication by a scalar encoding
+// multiplies every lane, raising the scale.
+func TestLaneArithmetic(t *testing.T) {
+	lc := testLaneCodec(t)
+	a := []float64{1.5, -2.25, 3}
+	b := []float64{-0.5, 4, 2.125}
+	pa, pb := lc.Pack(a, 1), lc.Pack(b, 1)
+
+	sum := lc.Unpack(new(big.Int).Add(pa, pb), 3, 1)
+	for i := range a {
+		if math.Abs(sum[i]-(a[i]+b[i])) > 1e-6 {
+			t.Fatalf("sum lane %d: %v != %v", i, sum[i], a[i]+b[i])
+		}
+	}
+
+	s := -1.75
+	prod := lc.Unpack(new(big.Int).Mul(pa, lc.Encode(s, 1)), 3, 2)
+	for i := range a {
+		if math.Abs(prod[i]-a[i]*s) > 1e-6 {
+			t.Fatalf("prod lane %d: %v != %v", i, prod[i], a[i]*s)
+		}
+	}
+}
+
+func TestPackEncodedMatchesPack(t *testing.T) {
+	lc := testLaneCodec(t)
+	vals := []float64{0.5, -3, 7.75}
+	lanes := make([]*big.Int, len(vals))
+	for i, v := range vals {
+		lanes[i] = lc.Encode(v, 1)
+	}
+	if lc.PackEncoded(lanes).Cmp(lc.Pack(vals, 1)) != 0 {
+		t.Fatal("PackEncoded differs from Pack")
+	}
+}
+
+func TestPackRejectsTooManyLanes(t *testing.T) {
+	lc := testLaneCodec(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pack accepted more than K lanes")
+		}
+	}()
+	lc.Pack(make([]float64, lc.K+1), 1)
+}

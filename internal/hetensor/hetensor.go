@@ -62,12 +62,14 @@ func (m *CipherMatrix) shapeCheck(rows, cols int, op string) {
 	}
 }
 
-// Encrypt encrypts a dense matrix elementwise at the given scale.
+// Encrypt encrypts a dense matrix elementwise at the given scale. When a
+// paillier blinding pool is registered for pk, encryption takes the
+// precomputed-randomness fast path.
 func Encrypt(pk *paillier.PublicKey, d *tensor.Dense, scale uint) *CipherMatrix {
 	out := &CipherMatrix{Rows: d.Rows, Cols: d.Cols, Scale: scale, PK: pk, C: make([]*paillier.Ciphertext, len(d.Data))}
 	parallel.For(len(d.Data), func(i int) {
 		m := Codec.EncodeRing(d.Data[i], scale, pk.N)
-		c, err := pk.Encrypt(paillier.Rand, m)
+		c, err := paillier.EncryptPooled(pk, m)
 		if err != nil {
 			panic(fmt.Sprintf("hetensor: encrypt: %v", err))
 		}
@@ -119,7 +121,7 @@ func (m *CipherMatrix) SubPlainFresh(d *tensor.Dense) *CipherMatrix {
 	}
 	out := &CipherMatrix{Rows: m.Rows, Cols: m.Cols, Scale: m.Scale, PK: m.PK, C: make([]*paillier.Ciphertext, len(m.C))}
 	parallel.For(len(m.C), func(i int) {
-		neg, err := m.PK.Encrypt(paillier.Rand, Codec.EncodeRing(-d.Data[i], m.Scale, m.PK.N))
+		neg, err := paillier.EncryptPooled(m.PK, Codec.EncodeRing(-d.Data[i], m.Scale, m.PK.N))
 		if err != nil {
 			panic(fmt.Sprintf("hetensor: SubPlainFresh: %v", err))
 		}

@@ -52,6 +52,7 @@ type Hyper struct {
 	Hidden   []int // hidden layer widths for MLP and the WDL/DLRM deep part
 	EmbDim   int
 	Seed     int64
+	Packed   bool // ciphertext packing on the source-layer hot paths
 }
 
 // DefaultHyper returns the paper's protocol settings.

@@ -99,6 +99,9 @@ func TestFederatedSparseLR(t *testing.T) {
 }
 
 func TestFederatedMLR(t *testing.T) {
+	if testing.Short() {
+		t.Skip("federated MLR training skipped in -short")
+	}
 	ds := data.Generate(tinySpec("t-mlr", 20, 20, 3, false), 5)
 	h := tinyHyper()
 	h.Epochs = 6

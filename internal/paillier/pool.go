@@ -1,0 +1,181 @@
+package paillier
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"blindfl/internal/parallel"
+)
+
+// Encryption cost is dominated by the blinding exponentiation r^N mod N²,
+// which depends only on the public key — not on the plaintext. A Pool
+// precomputes blinding factors in background workers so that the latency of
+// Enc on the protocol's critical path collapses to two multiplications, and
+// otherwise-idle cores are put to work between protocol rounds.
+
+// Pool precomputes Paillier blinding factors r^N mod N² for one public key.
+type Pool struct {
+	pk      *PublicKey
+	buf     chan *big.Int
+	workers *parallel.Workers
+
+	// rmu serializes draws from random so that a deterministic reader yields
+	// a reproducible sequence of blinding bases (exponentiation, the costly
+	// part, still runs concurrently).
+	rmu    sync.Mutex
+	random io.Reader
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	lost   atomic.Int64 // slots permanently dropped (reader error, closed workers)
+}
+
+// PoolStats reports pool effectiveness counters.
+type PoolStats struct {
+	Hits      int64 // encryptions served from precomputed blindings
+	Misses    int64 // encryptions that fell back to inline exponentiation
+	Available int   // blindings currently buffered
+}
+
+// NewPool starts a blinding-factor pool for pk holding up to capacity
+// precomputed factors, refilled by the given number of background workers
+// (GOMAXPROCS if workers <= 0). random is the randomness source; pass a
+// deterministic reader in tests for reproducible blindings (with workers=1
+// the buffered order is deterministic too). Close the pool when done.
+func NewPool(pk *PublicKey, capacity, workers int, random io.Reader) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := &Pool{
+		pk:      pk,
+		buf:     make(chan *big.Int, capacity),
+		workers: parallel.NewWorkers(workers, capacity),
+		random:  random,
+	}
+	for i := 0; i < capacity; i++ {
+		p.workers.Submit(p.refill)
+	}
+	return p
+}
+
+// refill computes one blinding factor and buffers it. One refill job is in
+// flight (queued, running, or buffered) per pool slot, so the buffered send
+// cannot block indefinitely.
+func (p *Pool) refill() {
+	p.rmu.Lock()
+	r, err := randUnit(p.random, p.pk.N)
+	p.rmu.Unlock()
+	if err != nil {
+		p.lost.Add(1) // degrade: the slot is lost, Enc falls back inline
+		return
+	}
+	p.buf <- new(big.Int).Exp(r, p.pk.N, p.pk.N2)
+}
+
+// blinding returns a precomputed factor, or nil if the pool is drained.
+// Taking a factor schedules its replacement.
+func (p *Pool) blinding() *big.Int {
+	select {
+	case rn := <-p.buf:
+		p.hits.Add(1)
+		if !p.workers.Submit(p.refill) {
+			p.lost.Add(1) // workers closed: the slot will never refill
+		}
+		return rn
+	default:
+		p.misses.Add(1)
+		return nil
+	}
+}
+
+// Enc encrypts m ∈ Z_N like PublicKey.Encrypt but takes the blinding factor
+// from the pool when one is available, falling back to an inline
+// exponentiation when drained.
+func (p *Pool) Enc(m *big.Int) (*Ciphertext, error) {
+	if m.Sign() < 0 || m.Cmp(p.pk.N) >= 0 {
+		return nil, fmt.Errorf("paillier: plaintext out of Z_N range")
+	}
+	rn := p.blinding()
+	if rn == nil {
+		p.rmu.Lock()
+		r, err := randUnit(p.random, p.pk.N)
+		p.rmu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		rn = new(big.Int).Exp(r, p.pk.N, p.pk.N2)
+	}
+	gm := new(big.Int).Mul(m, p.pk.N)
+	gm.Add(gm, one)
+	gm.Mod(gm, p.pk.N2)
+	c := gm.Mul(gm, rn)
+	c.Mod(c, p.pk.N2)
+	return &Ciphertext{C: c}, nil
+}
+
+// Stats returns effectiveness counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{Hits: p.hits.Load(), Misses: p.misses.Load(), Available: len(p.buf)}
+}
+
+// WaitAvailable blocks until at least n blinding factors are buffered,
+// capped at the fill level still reachable (capacity minus permanently lost
+// slots — reader errors, closed workers — so it cannot spin forever on a
+// degraded or closed pool). With workers=1 and a sequential consumer that
+// calls WaitAvailable(1) before each Enc, every encryption is served from
+// the pool in FIFO draw order, so a deterministic reader yields fully
+// reproducible ciphertexts — the mode the test suite uses.
+func (p *Pool) WaitAvailable(n int) {
+	for {
+		max := cap(p.buf) - int(p.lost.Load())
+		target := n
+		if target > max {
+			target = max
+		}
+		if len(p.buf) >= target {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+// Close stops the background workers, waiting for in-flight refills. The pool
+// remains usable afterwards (Enc falls back inline once the buffer drains).
+func (p *Pool) Close() { p.workers.Close() }
+
+// poolReg maps a public-key modulus (decimal string) to its registered pool.
+// Keys are compared by modulus value because distinct PublicKey allocations
+// for the same key circulate through the protocol layer.
+var poolReg sync.Map
+
+// RegisterPool makes p the process-wide pool for its public key, so that
+// EncryptPooled (and through it the hetensor encryption paths) transparently
+// use the fast path. It replaces any previous registration for the key.
+func RegisterPool(p *Pool) { poolReg.Store(p.pk.N.String(), p) }
+
+// UnregisterPool removes the registration for pk (the pool is not closed).
+func UnregisterPool(pk *PublicKey) { poolReg.Delete(pk.N.String()) }
+
+// PoolFor returns the registered pool for pk, or nil.
+func PoolFor(pk *PublicKey) *Pool {
+	v, ok := poolReg.Load(pk.N.String())
+	if !ok {
+		return nil
+	}
+	return v.(*Pool)
+}
+
+// EncryptPooled encrypts m under pk, using the registered blinding pool for
+// pk when one exists and package randomness otherwise. This is the entry
+// point the vectorized layers use, so enabling a pool accelerates every
+// encryption site at once.
+func EncryptPooled(pk *PublicKey, m *big.Int) (*Ciphertext, error) {
+	if p := PoolFor(pk); p != nil {
+		return p.Enc(m)
+	}
+	return pk.Encrypt(Rand, m)
+}

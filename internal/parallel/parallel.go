@@ -1,40 +1,131 @@
-// Package parallel provides the tiny goroutine fan-out helper used by the
+// Package parallel provides the goroutine fan-out helpers used by the
 // encrypted-tensor operations, which are embarrassingly parallel across rows
-// and dominated by big.Int exponentiation.
+// and dominated by big.Int exponentiation, plus a reusable background worker
+// pool for precompute tasks such as Paillier blinding-factor generation.
 package parallel
 
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// chunksPerWorker controls the granularity of the chunked scheduler: each
+// worker expects to claim about this many chunks over the life of one For
+// call. Larger values improve load balance when iteration costs vary (e.g.
+// sparse rows); smaller values reduce scheduling overhead. 8 keeps the
+// per-chunk atomic increment negligible against big.Int exponentiation while
+// still absorbing a 'one slow row' imbalance.
+const chunksPerWorker = 8
 
 // For runs f(i) for i in [0, n) across up to GOMAXPROCS goroutines and waits
 // for completion. f must be safe to call concurrently for distinct i.
+// Scheduling is chunked: workers claim contiguous index ranges from an atomic
+// cursor, so the per-index synchronization cost is amortized over the chunk.
 func For(n int, f func(i int)) {
+	ForChunks(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
+// ForChunks runs f(lo, hi) over a partition of [0, n) into contiguous chunks,
+// in parallel: the scheduler underneath For, with the inner loop handed to
+// the caller for workloads that amortize per-call setup (scratch buffers,
+// big.Int allocations) across a whole range.
+func ForChunks(n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
+		f(0, n)
 		return
 	}
+	chunk := n / (workers * chunksPerWorker)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
-	next := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				f(i)
+			for {
+				hi := int(cursor.Add(int64(chunk)))
+				lo := hi - chunk
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				f(lo, hi)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
+}
+
+// Workers is a reusable pool of background goroutines draining a job queue.
+// Unlike For, which spins up goroutines per call and waits, a Workers pool
+// lives for the duration of a longer process (e.g. a training session) and
+// accepts work incrementally — the substrate for the Paillier
+// blinding-randomness precompute pool.
+type Workers struct {
+	mu     sync.Mutex
+	jobs   chan func()
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewWorkers starts n background workers (GOMAXPROCS if n <= 0) with a job
+// queue of the given capacity (n if queue <= 0).
+func NewWorkers(n, queue int) *Workers {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = n
+	}
+	w := &Workers{jobs: make(chan func(), queue)}
+	w.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer w.wg.Done()
+			for job := range w.jobs {
+				job()
+			}
+		}()
+	}
+	return w
+}
+
+// Submit enqueues a job, blocking if the queue is full. It reports false if
+// the pool has been closed (the job is dropped).
+func (w *Workers) Submit(job func()) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	w.jobs <- job
+	return true
+}
+
+// Close stops accepting jobs and waits for queued and in-flight jobs to
+// finish. Close is idempotent.
+func (w *Workers) Close() {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		close(w.jobs)
+	}
+	w.mu.Unlock()
+	w.wg.Wait()
 }

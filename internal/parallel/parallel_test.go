@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -31,11 +32,37 @@ func TestForZero(t *testing.T) {
 	}
 }
 
+func TestForNegative(t *testing.T) {
+	called := false
+	For(-3, func(int) { called = true })
+	if called {
+		t.Fatal("f called for n<0")
+	}
+}
+
 func TestForOne(t *testing.T) {
 	var got int
 	For(1, func(i int) { got = i + 100 })
 	if got != 100 {
 		t.Fatal("f not called for n=1")
+	}
+}
+
+func TestForFewerIndicesThanWorkers(t *testing.T) {
+	// n smaller than GOMAXPROCS must still visit each index exactly once.
+	n := 3
+	if p := runtime.GOMAXPROCS(0); p <= n {
+		n = p - 1
+		if n <= 0 {
+			t.Skip("single-proc environment")
+		}
+	}
+	counts := make([]int32, n)
+	For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
 	}
 }
 
@@ -45,4 +72,56 @@ func TestForLarge(t *testing.T) {
 	if sum != 10000*9999/2 {
 		t.Fatalf("sum = %d", sum)
 	}
+}
+
+func TestForChunksCoverDisjointRanges(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 10000} {
+		counts := make([]int32, n)
+		ForChunks(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, n)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestWorkersRunAllJobs(t *testing.T) {
+	w := NewWorkers(4, 8)
+	var sum atomic.Int64
+	for i := 1; i <= 100; i++ {
+		i := i
+		if !w.Submit(func() { sum.Add(int64(i)) }) {
+			t.Fatal("Submit refused before Close")
+		}
+	}
+	w.Close()
+	if got := sum.Load(); got != 100*101/2 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+func TestWorkersSubmitAfterCloseIsRefused(t *testing.T) {
+	w := NewWorkers(1, 1)
+	w.Close()
+	if w.Submit(func() { t.Error("job ran after Close") }) {
+		t.Fatal("Submit accepted after Close")
+	}
+	w.Close() // idempotent
+}
+
+func TestWorkersDefaults(t *testing.T) {
+	w := NewWorkers(0, 0) // GOMAXPROCS workers, default queue
+	done := make(chan struct{})
+	w.Submit(func() { close(done) })
+	<-done
+	w.Close()
 }

@@ -173,6 +173,22 @@ func (p *Peer) RecvIntMatrix() *tensor.IntMatrix {
 	return m
 }
 
+// RecvPacked receives a *hetensor.PackedMatrix, reattaching the trusted
+// public key as RecvCipher does.
+func (p *Peer) RecvPacked() *hetensor.PackedMatrix {
+	v := p.recv()
+	c, ok := v.(*hetensor.PackedMatrix)
+	if !ok {
+		p.fail("recv: want *hetensor.PackedMatrix, got %T", v)
+	}
+	if c.PK.N.Cmp(p.SK.N) == 0 {
+		c.PK = &p.SK.PublicKey
+	} else {
+		c.PK = p.PeerPK
+	}
+	return c
+}
+
 // Mask samples a rows×cols matrix of uniform values in [−MaskMag, MaskMag),
 // the obfuscation values (ε, φ, ξ, ρ …) of the paper's protocols.
 func (p *Peer) Mask(rows, cols int) *tensor.Dense {
@@ -187,6 +203,13 @@ func (p *Peer) Encrypt(d *tensor.Dense, scale uint) *hetensor.CipherMatrix {
 // EncryptAndSend encrypts d under this party's own key and ships it.
 func (p *Peer) EncryptAndSend(d *tensor.Dense, scale uint) {
 	p.Send(p.Encrypt(d, scale))
+}
+
+// EncryptAndSendPacked encrypts d packed (K values per ciphertext) under
+// this party's own key and ships it: the refresh path of the packed source
+// layers, at 1/K of the unpacked blinding cost.
+func (p *Peer) EncryptAndSendPacked(d *tensor.Dense, scale uint) {
+	p.Send(hetensor.PackEncrypt(&p.SK.PublicKey, d, scale))
 }
 
 // HE2SSSend is the masking half of Algorithm 1, run by the party that holds
@@ -206,6 +229,25 @@ func (p *Peer) HE2SSRecv() *tensor.Dense {
 		p.fail("HE2SSRecv: ciphertext is not under this party's key")
 	}
 	return hetensor.Decrypt(p.SK, c)
+}
+
+// HE2SSSendPacked is HE2SSSend for a packed ciphertext matrix: the fresh
+// re-randomizing encryptions of the mask are packed too, so the conversion
+// costs 1/K of the unpacked blinding exponentiations.
+func (p *Peer) HE2SSSendPacked(c *hetensor.PackedMatrix) *tensor.Dense {
+	phi := p.Mask(c.Rows, c.Cols)
+	p.Send(c.SubPlainFresh(phi))
+	return phi
+}
+
+// HE2SSRecvPacked is the decrypting half of Algorithm 1 for a packed
+// matrix: receive packed ⟦v−φ⟧ and decrypt-unpack it as this party's share.
+func (p *Peer) HE2SSRecvPacked() *tensor.Dense {
+	c := p.RecvPacked()
+	if c.PK.N.Cmp(p.SK.N) != 0 {
+		p.fail("HE2SSRecvPacked: ciphertext is not under this party's key")
+	}
+	return hetensor.DecryptPacked(p.SK, c)
 }
 
 // SS2HE is Algorithm 2: both parties hold one additive piece of v; each

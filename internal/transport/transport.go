@@ -28,6 +28,7 @@ func init() {
 	gob.Register(&tensor.CSR{})
 	gob.Register(&tensor.IntMatrix{})
 	gob.Register(&hetensor.CipherMatrix{})
+	gob.Register(&hetensor.PackedMatrix{})
 	gob.Register(&paillier.PublicKey{})
 	gob.Register(&paillier.Ciphertext{})
 	gob.Register([]int(nil))

@@ -4,6 +4,8 @@ import (
 	"net"
 	"testing"
 
+	"blindfl/internal/hetensor"
+	"blindfl/internal/paillier"
 	"blindfl/internal/tensor"
 )
 
@@ -190,5 +192,35 @@ func TestGobConnStatsCountBytes(t *testing.T) {
 	msgs, bytes := c.Stats()
 	if msgs != 1 || bytes <= 0 {
 		t.Fatalf("stats = %d msgs %d bytes", msgs, bytes)
+	}
+}
+
+// TestGobConnPackedMatrixRoundTrip ships a packed ciphertext matrix over a
+// real TCP connection: the packed federated layers must survive the gob
+// transport, not just the in-process channel pair.
+func TestGobConnPackedMatrixRoundTrip(t *testing.T) {
+	s, c := tcpPair(t)
+	defer s.Close()
+	defer c.Close()
+
+	sk, err := paillier.GenerateKey(paillier.Rand, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tensor.FromSlice(2, 6, []float64{1, -2, 3.5, 0, -0.25, 7, 0.5, -1, 2, 4, -8, 0.125})
+	m := hetensor.PackEncrypt(&sk.PublicKey, d, 1)
+	if err := c.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := v.(*hetensor.PackedMatrix)
+	if !ok {
+		t.Fatalf("got %T", v)
+	}
+	if dec := hetensor.DecryptPacked(sk, got); !dec.Equal(d, 1e-6) {
+		t.Fatalf("packed round trip decrypts to %v", dec.Data)
 	}
 }
