@@ -3,18 +3,25 @@
 
 GO ?= go
 
-.PHONY: build test test-full bench fmt fmt-check vet
+.PHONY: build test test-full bench examples fmt fmt-check vet
 
 build:
 	$(GO) build ./...
 
 # Short lane: skips the long federated-training suites (testing.Short).
+# The -timeout turns a reintroduced protocol hang (e.g. RunParties stuck on
+# a one-sided failure) into a fast CI failure instead of a stalled job.
 test:
-	$(GO) test -short -race ./...
+	$(GO) test -short -race -timeout 10m ./...
 
 # Full lane: everything, including the ~4 min federated model suite.
 test-full:
-	$(GO) test ./...
+	$(GO) test -timeout 30m ./...
+
+# Examples lane: compile every example and smoke-run the quickstart.
+examples:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart -short
 
 # Throughput-engine benchmarks: packed/pooled encryption and fed-step.
 bench:

@@ -20,6 +20,7 @@ package blindfl_test
 import (
 	"io"
 	"testing"
+	"time"
 
 	"blindfl/internal/bench"
 	"blindfl/internal/data"
@@ -95,6 +96,35 @@ func BenchmarkFedStepUnpacked(b *testing.B) { benchFedStep(b, bench.StepperOpts{
 func BenchmarkFedStepPacked(b *testing.B)   { benchFedStep(b, bench.StepperOpts{Packed: true}) }
 func BenchmarkFedStepPackedPooled(b *testing.B) {
 	benchFedStep(b, bench.StepperOpts{Packed: true, PoolCapacity: 4096})
+}
+
+// Streamed variants: chunked transfers pipeline one party's encryption
+// against the other's decryption/accumulation, so the step's serial
+// encrypt→ship→decrypt phases overlap (the PR's acceptance benchmark is
+// PackedStreamed vs Packed, and the WAN pair below for the
+// compute/communication overlap on a modeled link).
+func BenchmarkFedStepStreamed(b *testing.B) { benchFedStep(b, bench.StepperOpts{Stream: true}) }
+func BenchmarkFedStepPackedStreamed(b *testing.B) {
+	benchFedStep(b, bench.StepperOpts{Packed: true, Stream: true})
+}
+
+// WAN pair: 5 ms one-way latency, 2 Mbit/s per direction over
+// transport.SimPair (wire time releases the CPU, as on a real link).
+// Monolithic sends pay encrypt→transfer→decrypt serially; streamed chunks
+// hide the transfer behind the production of the next chunk. The bandwidth
+// is chosen so wire time is comparable to this benchmark's (deliberately
+// small) crypto time — the regime any deployment with faster crypto or
+// bigger batches lands in at ordinary WAN bandwidths.
+const (
+	wanLatency   = 5 * time.Millisecond
+	wanBandwidth = 250e3 // bytes/sec
+)
+
+func BenchmarkFedStepPackedWAN(b *testing.B) {
+	benchFedStep(b, bench.StepperOpts{Packed: true, SimLatency: wanLatency, SimBandwidth: wanBandwidth})
+}
+func BenchmarkFedStepPackedStreamedWAN(b *testing.B) {
+	benchFedStep(b, bench.StepperOpts{Packed: true, Stream: true, SimLatency: wanLatency, SimBandwidth: wanBandwidth})
 }
 
 // --- Table 5: per-batch training time, BlindFL vs SecureML variants ---

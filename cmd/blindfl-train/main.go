@@ -31,6 +31,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "data/model seed")
 	packed := flag.Bool("packed", false, "ciphertext packing on the source-layer hot paths")
 	pool := flag.Int("pool", 0, "Paillier blinding-pool capacity per key (0 disables)")
+	stream := flag.Bool("stream", false, "chunk-streamed ciphertext transfers (compute/comm overlap)")
+	chunk := flag.Int("chunk", 0, "rows per streamed chunk (0 = protocol default)")
 	flag.Parse()
 
 	kind, err := model.ParseKind(*kindStr)
@@ -64,6 +66,7 @@ func main() {
 	h.LR = *lr
 	h.Seed = *seed
 	h.Packed = *packed
+	h.Stream = *stream
 
 	fmt.Println("training federated BlindFL model (both parties in-process)...")
 	skA, skB := protocol.TestKeys()
@@ -77,6 +80,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	pa.ChunkRows, pb.ChunkRows = *chunk, *chunk
 	fed, err := model.TrainFederated(kind, ds, h, pa, pb)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

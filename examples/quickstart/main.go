@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -21,10 +22,18 @@ import (
 )
 
 func main() {
+	short := flag.Bool("short", false, "smoke-test sizes (one epoch, small split) for CI")
+	flag.Parse()
+
 	// A small learnable dataset, vertically split: Party A holds 10
 	// feature columns, Party B holds the other 10 plus the labels.
 	spec := data.Spec{Name: "quickstart", Feats: 20, AvgNNZ: 20, Classes: 2,
 		Train: 512, Test: 256, Margin: 4}
+	epochs, batch := 4, 64
+	if *short {
+		spec.Train, spec.Test = 128, 64
+		epochs = 1
+	}
 	ds := data.Generate(spec, 7)
 
 	// Session setup: each party generates a Paillier key pair and they
@@ -36,7 +45,6 @@ func main() {
 		log.Fatal(err)
 	}
 
-	const epochs, batch = 4, 64
 	cfg := core.Config{Out: 1, LR: 0.1, Momentum: 0.9}
 	inA, inB := ds.TrainA.NumCols(), ds.TrainB.NumCols()
 

@@ -10,12 +10,25 @@ import (
 	"blindfl/internal/protocol"
 	"blindfl/internal/secureml"
 	"blindfl/internal/tensor"
+	"blindfl/internal/transport"
 )
 
 // StepperOpts selects the throughput-engine features a stepper exercises.
 type StepperOpts struct {
 	// Packed enables ciphertext packing on the dense MatMul source layer.
 	Packed bool
+	// Stream chunk-streams the layer's ciphertext transfers so one party's
+	// encryption overlaps the other's decryption/accumulation.
+	Stream bool
+	// ChunkRows overrides the rows per streamed chunk (0 = protocol default).
+	ChunkRows int
+	// SimLatency/SimBandwidth, when either is set, run the parties over a
+	// transport.SimPair link with that one-way propagation delay and
+	// bytes/sec bandwidth instead of the zero-cost channel pair: the
+	// configuration under which streaming's compute/communication overlap
+	// is visible on any machine (wire time releases the CPU).
+	SimLatency   time.Duration
+	SimBandwidth float64
 	// PoolCapacity, when positive, registers a blinding-randomness pool of
 	// that capacity for each party's key so every encryption site takes the
 	// precomputed fast path. A pool already registered for the key is
@@ -36,7 +49,14 @@ func NewBlindFLStepper(spec data.Spec, batch, out int) func() {
 // randomness-pool features configurable.
 func NewBlindFLStepperOpts(spec data.Spec, batch, out int, opts StepperOpts) func() {
 	skA, skB := protocol.TestKeys()
-	pa, pb, err := protocol.Pipe(skA, skB, 7)
+	var pa, pb *protocol.Peer
+	var err error
+	if opts.SimLatency > 0 || opts.SimBandwidth > 0 {
+		ca, cb := transport.SimPair(4096, opts.SimLatency, opts.SimBandwidth)
+		pa, pb, err = protocol.PipeOn(ca, cb, skA, skB, 7)
+	} else {
+		pa, pb, err = protocol.Pipe(skA, skB, 7)
+	}
 	if err != nil {
 		panic(err)
 	}
@@ -49,9 +69,10 @@ func NewBlindFLStepperOpts(spec data.Spec, batch, out int, opts StepperOpts) fun
 			}
 		}
 	}
+	pa.ChunkRows, pb.ChunkRows = opts.ChunkRows, opts.ChunkRows
 	rng := rand.New(rand.NewSource(11))
 	half := spec.Feats / 2
-	cfg := core.Config{Out: out, LR: 0.05, Packed: opts.Packed}
+	cfg := core.Config{Out: out, LR: 0.05, Packed: opts.Packed, Stream: opts.Stream}
 
 	runStep := func(fa, fb func()) {
 		if err := protocol.RunParties(pa, pb, fa, fb); err != nil {

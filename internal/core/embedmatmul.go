@@ -86,19 +86,19 @@ func NewEmbedMatMulA(p *protocol.Peer, cfg EmbedConfig) *EmbedMatMulA {
 		momUA: momentum{mu: cfg.Momentum}, momVB: momentum{mu: cfg.Momentum},
 	}
 	if cfg.Packed {
-		p.EncryptAndSendPacked(l.TB, 1)
+		encryptAndSendPacked(p, cfg.Stream, l.TB, 1)
 	} else {
-		p.EncryptAndSend(l.TB, 1)
+		encryptAndSend(p, cfg.Stream, l.TB, 1)
 	}
-	p.EncryptAndSend(l.UA, 1)
-	p.EncryptAndSend(l.VB, 1)
+	encryptAndSend(p, cfg.Stream, l.UA, 1)
+	encryptAndSend(p, cfg.Stream, l.VB, 1)
 	if cfg.Packed {
-		l.packTA = p.RecvPacked()
+		l.packTA = recvPacked(p, cfg.Stream)
 	} else {
-		l.encTA = p.RecvCipher()
+		l.encTA = recvCipher(p, cfg.Stream)
 	}
-	l.encUB = p.RecvCipher()
-	l.encVA = p.RecvCipher()
+	l.encUB = recvCipher(p, cfg.Stream)
+	l.encVA = recvCipher(p, cfg.Stream)
 	return l
 }
 
@@ -115,19 +115,19 @@ func NewEmbedMatMulB(p *protocol.Peer, cfg EmbedConfig) *EmbedMatMulB {
 		momUB: momentum{mu: cfg.Momentum}, momVA: momentum{mu: cfg.Momentum},
 	}
 	if cfg.Packed {
-		l.packTB = p.RecvPacked()
+		l.packTB = recvPacked(p, cfg.Stream)
 	} else {
-		l.encTB = p.RecvCipher()
+		l.encTB = recvCipher(p, cfg.Stream)
 	}
-	l.encUA = p.RecvCipher()
-	l.encVB = p.RecvCipher()
+	l.encUA = recvCipher(p, cfg.Stream)
+	l.encVB = recvCipher(p, cfg.Stream)
 	if cfg.Packed {
-		p.EncryptAndSendPacked(l.TA, 1)
+		encryptAndSendPacked(p, cfg.Stream, l.TA, 1)
 	} else {
-		p.EncryptAndSend(l.TA, 1)
+		encryptAndSend(p, cfg.Stream, l.TA, 1)
 	}
-	p.EncryptAndSend(l.UB, 1)
-	p.EncryptAndSend(l.VA, 1)
+	encryptAndSend(p, cfg.Stream, l.UB, 1)
+	encryptAndSend(p, cfg.Stream, l.VA, 1)
 	return l
 }
 
@@ -135,10 +135,10 @@ func NewEmbedMatMulB(p *protocol.Peer, cfg EmbedConfig) *EmbedMatMulB {
 // peer-generated piece ⟦T⟧ with the local indices, convert to shares, and
 // assemble ψ = ε + lkup(S, X). It returns ψ (this party's share of its own
 // E) and the peer's complementary share E' − ψ' obtained from HE2SS.
-func embedStage(p *protocol.Peer, encT *hetensor.CipherMatrix, s *tensor.Dense, x *tensor.IntMatrix) (psi, otherShare *tensor.Dense) {
-	encLk := hetensor.Lookup(encT, x) // ⟦lkup(T, X)⟧ under the peer's key
-	eps := p.HE2SSSend(encLk)         // peer receives lkup(T, X) − ε
-	otherShare = p.HE2SSRecv()        // this party's share of the peer's E
+func embedStage(p *protocol.Peer, stream bool, encT *hetensor.CipherMatrix, s *tensor.Dense, x *tensor.IntMatrix) (psi, otherShare *tensor.Dense) {
+	encLk := hetensor.Lookup(encT, x)  // ⟦lkup(T, X)⟧ under the peer's key
+	eps := he2ssSend(p, stream, encLk) // peer receives lkup(T, X) − ε
+	otherShare = he2ssRecv(p, stream)  // this party's share of the peer's E
 	psi = eps.Add(tensor.Lookup(s, x))
 	return psi, otherShare
 }
@@ -147,10 +147,10 @@ func embedStage(p *protocol.Peer, encT *hetensor.CipherMatrix, s *tensor.Dense, 
 // packed rows and the HE2SS conversion masks K lanes per blinding
 // exponentiation. The table's per-row lane layout carries through the
 // batch×(fields·dim) lookup result (Block = dim).
-func embedStagePacked(p *protocol.Peer, packT *hetensor.PackedMatrix, s *tensor.Dense, x *tensor.IntMatrix) (psi, otherShare *tensor.Dense) {
+func embedStagePacked(p *protocol.Peer, stream bool, packT *hetensor.PackedMatrix, s *tensor.Dense, x *tensor.IntMatrix) (psi, otherShare *tensor.Dense) {
 	encLk := hetensor.LookupPacked(packT, x)
-	eps := p.HE2SSSendPacked(encLk)
-	otherShare = p.HE2SSRecvPacked()
+	eps := he2ssSendPacked(p, stream, encLk)
+	otherShare = he2ssRecvPacked(p, stream)
 	psi = eps.Add(tensor.Lookup(s, x))
 	return psi, otherShare
 }
@@ -161,16 +161,16 @@ func (l *EmbedMatMulA) Forward(x *tensor.IntMatrix) {
 	l.x = x
 	var psiA, ebmPsi *tensor.Dense
 	if l.cfg.Packed {
-		psiA, ebmPsi = embedStagePacked(l.peer, l.packTA, l.SA, x)
+		psiA, ebmPsi = embedStagePacked(l.peer, l.cfg.Stream, l.packTA, l.SA, x)
 	} else {
-		psiA, ebmPsi = embedStage(l.peer, l.encTA, l.SA, x)
+		psiA, ebmPsi = embedStage(l.peer, l.cfg.Stream, l.encTA, l.SA, x)
 	}
 	l.psiA, l.ebmPsi = psiA, ebmPsi
 
 	// Line 8: Z'_1,A = MatMulFw(ψ_A, U_A, ⟦V_A⟧).
-	z1 := forwardHalf(l.peer, DenseFeatures{psiA}, l.UA, l.encVA)
+	z1 := forwardHalf(l.peer, l.cfg.Stream, DenseFeatures{psiA}, l.UA, l.encVA)
 	// Line 9: Z'_2,A = MatMulFw(E_B−ψ_B, V_B, ⟦U_B⟧).
-	z2 := forwardHalf(l.peer, DenseFeatures{ebmPsi}, l.VB, l.encUB)
+	z2 := forwardHalf(l.peer, l.cfg.Stream, DenseFeatures{ebmPsi}, l.VB, l.encUB)
 
 	z1.AddInPlace(z2)
 	l.peer.Send(z1) // line 10: ship Z'_A
@@ -181,14 +181,14 @@ func (l *EmbedMatMulB) Forward(x *tensor.IntMatrix) *tensor.Dense {
 	l.x = x
 	var psiB, eamPsi *tensor.Dense
 	if l.cfg.Packed {
-		psiB, eamPsi = embedStagePacked(l.peer, l.packTB, l.SB, x)
+		psiB, eamPsi = embedStagePacked(l.peer, l.cfg.Stream, l.packTB, l.SB, x)
 	} else {
-		psiB, eamPsi = embedStage(l.peer, l.encTB, l.SB, x)
+		psiB, eamPsi = embedStage(l.peer, l.cfg.Stream, l.encTB, l.SB, x)
 	}
 	l.psiB, l.eamPsi = psiB, eamPsi
 
-	z1 := forwardHalf(l.peer, DenseFeatures{psiB}, l.UB, l.encVB)
-	z2 := forwardHalf(l.peer, DenseFeatures{eamPsi}, l.VA, l.encUA)
+	z1 := forwardHalf(l.peer, l.cfg.Stream, DenseFeatures{psiB}, l.UB, l.encVB)
+	z2 := forwardHalf(l.peer, l.cfg.Stream, DenseFeatures{eamPsi}, l.VA, l.encUA)
 
 	z1.AddInPlace(z2)
 	zA := l.peer.RecvDense()
@@ -197,10 +197,10 @@ func (l *EmbedMatMulB) Forward(x *tensor.IntMatrix) *tensor.Dense {
 
 // Backward runs Party A's backward pass (Fig. 7 lines 12–26).
 func (l *EmbedMatMulA) Backward() {
-	p := l.peer
+	p, stream := l.peer, l.cfg.Stream
 	// Line 12: receive ⟦∇Z⟧ and ⟦∇Z·V_Aᵀ⟧ under B's key.
-	encGradZ := p.RecvCipher()
-	encGradZVAT := p.RecvCipher()
+	encGradZ := recvCipher(p, stream)
+	encGradZVAT := recvCipher(p, stream)
 
 	// Line 21, first term: ⟦∇Z⟧·U_Aᵀ must use the forward-pass U_A, so it
 	// is computed before the MatMul-part update below touches U_A.
@@ -208,36 +208,36 @@ func (l *EmbedMatMulA) Backward() {
 
 	// --- Backward of the MatMul part (lines 13–20) ---
 	// ∇W_A = ψ_Aᵀ∇Z + (E_A−ψ_A)ᵀ∇Z; A computes the first term encrypted.
-	phi := p.HE2SSSend(hetensor.TransposeMulLeft(l.psiA, encGradZ))
+	phi := he2ssSend(p, stream, hetensor.TransposeMulLeft(l.psiA, encGradZ))
 	l.momUA.step(l.UA, phi, l.cfg.LR)
 
 	// ∇W_B = ψ_Bᵀ∇Z + (E_B−ψ_B)ᵀ∇Z; A computes the second term encrypted.
-	xi := p.HE2SSSend(hetensor.TransposeMulLeft(l.ebmPsi, encGradZ))
+	xi := he2ssSend(p, stream, hetensor.TransposeMulLeft(l.ebmPsi, encGradZ))
 	l.momVB.step(l.VB, xi, l.cfg.LR)
 
 	// Refresh the encrypted weight copies (U_A changed here; V_A at B).
-	p.EncryptAndSend(l.UA, 1)
-	p.EncryptAndSend(l.VB, 1)
-	l.encVA = p.RecvCipher()
-	l.encUB = p.RecvCipher()
+	encryptAndSend(p, stream, l.UA, 1)
+	encryptAndSend(p, stream, l.VB, 1)
+	l.encVA = recvCipher(p, stream)
+	l.encUB = recvCipher(p, stream)
 
 	// --- Backward of the Embed part (lines 21–26) ---
 	// ⟦∇E_A⟧ = ⟦∇Z⟧·U_Aᵀ + ⟦∇Z·V_Aᵀ⟧ (computed above with forward weights).
 	encGradQA := hetensor.LookupBackward(encGradEA, l.x, l.cfg.VocabA, l.cfg.Dim)
-	rhoA := p.HE2SSSend(encGradQA) // B receives ∇Q_A − ρ_A
+	rhoA := he2ssSend(p, stream, encGradQA) // B receives ∇Q_A − ρ_A
 	l.momSA.step(l.SA, rhoA, l.cfg.LR)
 
 	// Symmetric for Q_B: B ships the masked ⟦∇Q_B − ρ_B⟧ under A's key.
-	gradTBshare := p.HE2SSRecv() // ∇Q_B − ρ_B
+	gradTBshare := he2ssRecv(p, stream) // ∇Q_B − ρ_B
 	l.momTB.step(l.TB, gradTBshare, l.cfg.LR)
 
 	// Refresh encrypted table copies: T_B changed here, T_A at B.
 	if l.cfg.Packed {
-		p.EncryptAndSendPacked(l.TB, 1)
-		l.packTA = p.RecvPacked()
+		encryptAndSendPacked(p, stream, l.TB, 1)
+		l.packTA = recvPacked(p, stream)
 	} else {
-		p.EncryptAndSend(l.TB, 1)
-		l.encTA = p.RecvCipher()
+		encryptAndSend(p, stream, l.TB, 1)
+		l.encTA = recvCipher(p, stream)
 	}
 
 	l.x, l.psiA, l.ebmPsi = nil, nil, nil
@@ -245,13 +245,13 @@ func (l *EmbedMatMulA) Backward() {
 
 // Backward runs Party B's backward pass given the top model's ∇Z.
 func (l *EmbedMatMulB) Backward(gradZ *tensor.Dense) {
-	p := l.peer
+	p, stream := l.peer, l.cfg.Stream
 	// Line 12: encrypt and ship ∇Z and ∇Z·V_Aᵀ under B's own key. The
 	// product is computed in plaintext (B holds both operands) and
 	// encrypted at scale 2 so A can add it to its scale-2 ⟦∇Z⟧·U_Aᵀ term.
-	p.EncryptAndSend(gradZ, 1)
+	encryptAndSend(p, stream, gradZ, 1)
 	gradZVAT := gradZ.MatMulTranspose(l.VA)
-	p.Send(hetensor.Encrypt(&p.SK.PublicKey, gradZVAT, 2))
+	encryptAndSend(p, stream, gradZVAT, 2)
 
 	// The Embed-part derivative ⟦∇E_B⟧ = Enc_A(∇Z·U_Bᵀ) + ∇Z·⟦V_B⟧ᵀ must
 	// use the forward-pass U_B and ⟦V_B⟧, so both terms are computed before
@@ -261,35 +261,35 @@ func (l *EmbedMatMulB) Backward(gradZ *tensor.Dense) {
 
 	// --- Backward of the MatMul part ---
 	// ∇W_A − φ = (E_A−ψ_A)ᵀ∇Z + (ψ_Aᵀ∇Z − φ).
-	gradWAshare := l.eamPsi.TransposeMatMul(gradZ).Add(p.HE2SSRecv())
+	gradWAshare := l.eamPsi.TransposeMatMul(gradZ).Add(he2ssRecv(p, stream))
 	l.momVA.step(l.VA, gradWAshare, l.cfg.LR)
 
 	// ∇W_B − ξ = ψ_Bᵀ∇Z + ((E_B−ψ_B)ᵀ∇Z − ξ).
-	gradWBshare := l.psiB.TransposeMatMul(gradZ).Add(p.HE2SSRecv())
+	gradWBshare := l.psiB.TransposeMatMul(gradZ).Add(he2ssRecv(p, stream))
 	l.momUB.step(l.UB, gradWBshare, l.cfg.LR)
 
 	// Refresh encrypted weight copies.
-	l.encUA = p.RecvCipher()
-	l.encVB = p.RecvCipher()
-	p.EncryptAndSend(l.VA, 1)
-	p.EncryptAndSend(l.UB, 1)
+	l.encUA = recvCipher(p, stream)
+	l.encVB = recvCipher(p, stream)
+	encryptAndSend(p, stream, l.VA, 1)
+	encryptAndSend(p, stream, l.UB, 1)
 
 	// --- Backward of the Embed part ---
 	// B's share of ∇Q_A arrives masked from A.
-	gradTAshare := p.HE2SSRecv() // ∇Q_A − ρ_A
+	gradTAshare := he2ssRecv(p, stream) // ∇Q_A − ρ_A
 	l.momTA.step(l.TA, gradTAshare, l.cfg.LR)
 
 	encGradQB := hetensor.LookupBackward(encGradEB, l.x, l.cfg.VocabB, l.cfg.Dim)
-	rhoB := p.HE2SSSend(encGradQB) // A receives ∇Q_B − ρ_B
+	rhoB := he2ssSend(p, stream, encGradQB) // A receives ∇Q_B − ρ_B
 	l.momSB.step(l.SB, rhoB, l.cfg.LR)
 
 	// Refresh encrypted table copies.
 	if l.cfg.Packed {
-		l.packTB = p.RecvPacked()
-		p.EncryptAndSendPacked(l.TA, 1)
+		l.packTB = recvPacked(p, stream)
+		encryptAndSendPacked(p, stream, l.TA, 1)
 	} else {
-		l.encTB = p.RecvCipher()
-		p.EncryptAndSend(l.TA, 1)
+		l.encTB = recvCipher(p, stream)
+		encryptAndSend(p, stream, l.TA, 1)
 	}
 
 	l.x, l.psiB, l.eamPsi = nil, nil, nil

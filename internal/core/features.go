@@ -39,6 +39,11 @@ type Numeric interface {
 	MulCipherPacked(w *hetensor.PackedMatrix) *hetensor.PackedMatrix
 	// TransposeMulCipherPacked returns ⟦Xᵀ·G⟧ for packed encrypted G.
 	TransposeMulCipherPacked(g *hetensor.PackedMatrix) *hetensor.PackedMatrix
+	// TransposeMulCipherAcc accumulates ⟦X[lo:lo+g.Rows]ᵀ·G⟧ into acc for a
+	// row-chunk G of the derivative: the unit of the streamed backward pass.
+	TransposeMulCipherAcc(acc *hetensor.CipherMatrix, lo int, g *hetensor.CipherMatrix)
+	// TransposeMulCipherPackedAcc is TransposeMulCipherAcc over packed chunks.
+	TransposeMulCipherPackedAcc(acc *hetensor.PackedMatrix, lo int, g *hetensor.PackedMatrix)
 }
 
 // DenseFeatures adapts a dense matrix to the Numeric interface.
@@ -78,6 +83,16 @@ func (f DenseFeatures) TransposeMulCipherPacked(g *hetensor.PackedMatrix) *heten
 	return hetensor.TransposeMulLeftPacked(f.M, g)
 }
 
+// TransposeMulCipherAcc accumulates a derivative row-chunk into acc.
+func (f DenseFeatures) TransposeMulCipherAcc(acc *hetensor.CipherMatrix, lo int, g *hetensor.CipherMatrix) {
+	hetensor.TransposeMulLeftAcc(acc, f.M.RowSlice(lo, lo+g.Rows), g)
+}
+
+// TransposeMulCipherPackedAcc accumulates a packed derivative row-chunk.
+func (f DenseFeatures) TransposeMulCipherPackedAcc(acc *hetensor.PackedMatrix, lo int, g *hetensor.PackedMatrix) {
+	hetensor.TransposeMulLeftPackedAcc(acc, f.M.RowSlice(lo, lo+g.Rows), g)
+}
+
 // SparseFeatures adapts a CSR matrix to the Numeric interface.
 type SparseFeatures struct{ M *tensor.CSR }
 
@@ -115,4 +130,15 @@ func (f SparseFeatures) MulCipherPacked(w *hetensor.PackedMatrix) *hetensor.Pack
 // only non-zeros.
 func (f SparseFeatures) TransposeMulCipherPacked(g *hetensor.PackedMatrix) *hetensor.PackedMatrix {
 	return hetensor.TransposeMulLeftCSRPacked(f.M, g)
+}
+
+// TransposeMulCipherAcc accumulates a derivative row-chunk into acc,
+// visiting only the chunk's non-zeros.
+func (f SparseFeatures) TransposeMulCipherAcc(acc *hetensor.CipherMatrix, lo int, g *hetensor.CipherMatrix) {
+	hetensor.TransposeMulLeftCSRAcc(acc, f.M, lo, g)
+}
+
+// TransposeMulCipherPackedAcc accumulates a packed derivative row-chunk.
+func (f SparseFeatures) TransposeMulCipherPackedAcc(acc *hetensor.PackedMatrix, lo int, g *hetensor.PackedMatrix) {
+	hetensor.TransposeMulLeftCSRPackedAcc(acc, f.M, lo, g)
 }

@@ -16,10 +16,10 @@ import (
 // returns A's share Z'_A (Fig. 14 line 1).
 func (l *EmbedMatMulA) ForwardSS(x *tensor.IntMatrix) *tensor.Dense {
 	l.x = x
-	psiA, ebmPsi := embedStage(l.peer, l.encTA, l.SA, x)
+	psiA, ebmPsi := embedStage(l.peer, l.cfg.Stream, l.encTA, l.SA, x)
 	l.psiA, l.ebmPsi = psiA, ebmPsi
-	z1 := forwardHalf(l.peer, DenseFeatures{psiA}, l.UA, l.encVA)
-	z2 := forwardHalf(l.peer, DenseFeatures{ebmPsi}, l.VB, l.encUB)
+	z1 := forwardHalf(l.peer, l.cfg.Stream, DenseFeatures{psiA}, l.UA, l.encVA)
+	z2 := forwardHalf(l.peer, l.cfg.Stream, DenseFeatures{ebmPsi}, l.VB, l.encUB)
 	z1.AddInPlace(z2)
 	return z1
 }
@@ -27,10 +27,10 @@ func (l *EmbedMatMulA) ForwardSS(x *tensor.IntMatrix) *tensor.Dense {
 // ForwardSS runs Party B's forward pass and returns B's share Z'_B.
 func (l *EmbedMatMulB) ForwardSS(x *tensor.IntMatrix) *tensor.Dense {
 	l.x = x
-	psiB, eamPsi := embedStage(l.peer, l.encTB, l.SB, x)
+	psiB, eamPsi := embedStage(l.peer, l.cfg.Stream, l.encTB, l.SB, x)
 	l.psiB, l.eamPsi = psiB, eamPsi
-	z1 := forwardHalf(l.peer, DenseFeatures{psiB}, l.UB, l.encVB)
-	z2 := forwardHalf(l.peer, DenseFeatures{eamPsi}, l.VA, l.encUA)
+	z1 := forwardHalf(l.peer, l.cfg.Stream, DenseFeatures{psiB}, l.UB, l.encVB)
+	z2 := forwardHalf(l.peer, l.cfg.Stream, DenseFeatures{eamPsi}, l.VA, l.encUA)
 	z1.AddInPlace(z2)
 	return z1
 }
@@ -38,24 +38,24 @@ func (l *EmbedMatMulB) ForwardSS(x *tensor.IntMatrix) *tensor.Dense {
 // BackwardSS runs Party A's backward pass given A's derivative share ε
 // (Fig. 14 lines 2–10).
 func (l *EmbedMatMulA) BackwardSS(eps *tensor.Dense) {
-	p := l.peer
-	encGradZ := p.SS2HE(eps, 1) // ⟦∇Z⟧ under B's key
+	p, stream := l.peer, l.cfg.Stream
+	encGradZ := ss2he(p, stream, eps, 1) // ⟦∇Z⟧ under B's key
 
 	// --- Embed-part derivative pieces must use forward-pass weights ---
 	// ⟦∇E_A⟧_B = ⟦∇Z⟧_B·U_Aᵀ + ⟦(∇Z−ε)·V_Aᵀ⟧_B + ε·⟦V_Aᵀ⟧_B.
 	encGradEA := hetensor.MulPlainRightTranspose(encGradZ, l.UA).
-		AddCipher(p.RecvCipher()). // ⟦(∇Z−ε)·V_Aᵀ⟧ from B
+		AddCipher(recvCipher(p, stream)). // ⟦(∇Z−ε)·V_Aᵀ⟧ from B
 		AddCipher(hetensor.MulPlainLeftTransposeRight(eps, l.encVA))
 	// A's contribution to ∇E_B: ε·V_Bᵀ encrypted under A's own key.
-	p.Send(hetensor.Encrypt(&p.SK.PublicKey, eps.MatMulTranspose(l.VB), 2))
+	encryptAndSend(p, stream, eps.MatMulTranspose(l.VB), 2)
 
 	// --- MatMul part (shares of ∇W_A and ∇W_B) ---
 	// A's pieces: ⟦ψ_Aᵀ∇Z⟧_B and ⟦(E_B−ψ_B)ᵀ∇Z⟧_B via HE2SS.
-	phiA := p.HE2SSSend(hetensor.TransposeMulLeft(l.psiA, encGradZ))
-	xiA := p.HE2SSSend(hetensor.TransposeMulLeft(l.ebmPsi, encGradZ))
+	phiA := he2ssSend(p, stream, hetensor.TransposeMulLeft(l.psiA, encGradZ))
+	xiA := he2ssSend(p, stream, hetensor.TransposeMulLeft(l.ebmPsi, encGradZ))
 	// B's pieces arrive masked: (E_A−ψ_A)ᵀ∇Z − ξ and ψ_Bᵀ∇Z − φ_B.
-	gradWAother := p.HE2SSRecv()
-	gradWBother := p.HE2SSRecv()
+	gradWAother := he2ssRecv(p, stream)
+	gradWBother := he2ssRecv(p, stream)
 
 	// ∇W_A share at A: φ_A + ((E_A−ψ_A)ᵀ∇Z − ξ) → updates U_A.
 	l.momUA.step(l.UA, phiA.Add(gradWAother), l.cfg.LR)
@@ -63,44 +63,44 @@ func (l *EmbedMatMulA) BackwardSS(eps *tensor.Dense) {
 	l.momVB.step(l.VB, xiA.Add(gradWBother), l.cfg.LR)
 
 	// Refresh encrypted weight copies (all four pieces changed).
-	p.EncryptAndSend(l.UA, 1)
-	p.EncryptAndSend(l.VB, 1)
-	l.encVA = p.RecvCipher()
-	l.encUB = p.RecvCipher()
+	encryptAndSend(p, stream, l.UA, 1)
+	encryptAndSend(p, stream, l.VB, 1)
+	l.encVA = recvCipher(p, stream)
+	l.encUB = recvCipher(p, stream)
 
 	// --- Embed part: table updates (Fig. 7 lines 22–26 unchanged) ---
 	encGradQA := hetensor.LookupBackward(encGradEA, l.x, l.cfg.VocabA, l.cfg.Dim)
-	rhoA := p.HE2SSSend(encGradQA)
+	rhoA := he2ssSend(p, stream, encGradQA)
 	l.momSA.step(l.SA, rhoA, l.cfg.LR)
 
-	gradTBshare := p.HE2SSRecv() // ∇Q_B − ρ_B
+	gradTBshare := he2ssRecv(p, stream) // ∇Q_B − ρ_B
 	l.momTB.step(l.TB, gradTBshare, l.cfg.LR)
 
-	p.EncryptAndSend(l.TB, 1)
-	l.encTA = p.RecvCipher()
+	encryptAndSend(p, stream, l.TB, 1)
+	l.encTA = recvCipher(p, stream)
 
 	l.x, l.psiA, l.ebmPsi = nil, nil, nil
 }
 
 // BackwardSS runs Party B's backward pass given B's derivative share ∇Z−ε.
 func (l *EmbedMatMulB) BackwardSS(gradShare *tensor.Dense) {
-	p := l.peer
-	encGradZ := p.SS2HE(gradShare, 1) // ⟦∇Z⟧ under A's key
+	p, stream := l.peer, l.cfg.Stream
+	encGradZ := ss2he(p, stream, gradShare, 1) // ⟦∇Z⟧ under A's key
 
 	// B's contribution to ∇E_A: (∇Z−ε)·V_Aᵀ encrypted under B's own key.
-	p.Send(hetensor.Encrypt(&p.SK.PublicKey, gradShare.MatMulTranspose(l.VA), 2))
+	encryptAndSend(p, stream, gradShare.MatMulTranspose(l.VA), 2)
 	// ⟦∇E_B⟧_A = ⟦∇Z⟧_A·U_Bᵀ + ⟦ε·V_Bᵀ⟧_A + (∇Z−ε)·⟦V_Bᵀ⟧_A.
 	encGradEB := hetensor.MulPlainRightTranspose(encGradZ, l.UB).
-		AddCipher(p.RecvCipher()). // ⟦ε·V_Bᵀ⟧ from A
+		AddCipher(recvCipher(p, stream)). // ⟦ε·V_Bᵀ⟧ from A
 		AddCipher(hetensor.MulPlainLeftTransposeRight(gradShare, l.encVB))
 
 	// --- MatMul part ---
 	// B's masked pieces of A's homomorphic terms.
-	gradWAother := p.HE2SSRecv() // ψ_Aᵀ∇Z − φ_A
-	gradWBother := p.HE2SSRecv() // (E_B−ψ_B)ᵀ∇Z − ξ_A
+	gradWAother := he2ssRecv(p, stream) // ψ_Aᵀ∇Z − φ_A
+	gradWBother := he2ssRecv(p, stream) // (E_B−ψ_B)ᵀ∇Z − ξ_A
 	// B's own homomorphic terms.
-	xiB := p.HE2SSSend(hetensor.TransposeMulLeft(l.eamPsi, encGradZ)) // (E_A−ψ_A)ᵀ∇Z
-	phiB := p.HE2SSSend(hetensor.TransposeMulLeft(l.psiB, encGradZ))  // ψ_Bᵀ∇Z
+	xiB := he2ssSend(p, stream, hetensor.TransposeMulLeft(l.eamPsi, encGradZ)) // (E_A−ψ_A)ᵀ∇Z
+	phiB := he2ssSend(p, stream, hetensor.TransposeMulLeft(l.psiB, encGradZ))  // ψ_Bᵀ∇Z
 
 	// ∇W_A share at B: (ψ_Aᵀ∇Z − φ_A) + ξ_B → updates V_A.
 	l.momVA.step(l.VA, gradWAother.Add(xiB), l.cfg.LR)
@@ -108,21 +108,21 @@ func (l *EmbedMatMulB) BackwardSS(gradShare *tensor.Dense) {
 	l.momUB.step(l.UB, phiB.Add(gradWBother), l.cfg.LR)
 
 	// Refresh encrypted weight copies.
-	l.encUA = p.RecvCipher()
-	l.encVB = p.RecvCipher()
-	p.EncryptAndSend(l.VA, 1)
-	p.EncryptAndSend(l.UB, 1)
+	l.encUA = recvCipher(p, stream)
+	l.encVB = recvCipher(p, stream)
+	encryptAndSend(p, stream, l.VA, 1)
+	encryptAndSend(p, stream, l.UB, 1)
 
 	// --- Embed part ---
-	gradTAshare := p.HE2SSRecv() // ∇Q_A − ρ_A
+	gradTAshare := he2ssRecv(p, stream) // ∇Q_A − ρ_A
 	l.momTA.step(l.TA, gradTAshare, l.cfg.LR)
 
 	encGradQB := hetensor.LookupBackward(encGradEB, l.x, l.cfg.VocabB, l.cfg.Dim)
-	rhoB := p.HE2SSSend(encGradQB)
+	rhoB := he2ssSend(p, stream, encGradQB)
 	l.momSB.step(l.SB, rhoB, l.cfg.LR)
 
-	l.encTB = p.RecvCipher()
-	p.EncryptAndSend(l.TA, 1)
+	l.encTB = recvCipher(p, stream)
+	encryptAndSend(p, stream, l.TA, 1)
 
 	l.x, l.psiB, l.eamPsi = nil, nil, nil
 }

@@ -63,11 +63,11 @@ func NewMatMulA(p *protocol.Peer, cfg Config, inA, inB int) *MatMulA {
 		momVB: momentum{mu: cfg.Momentum},
 	}
 	if cfg.Packed {
-		p.EncryptAndSendPacked(l.VB, 1)
-		l.packVA = p.RecvPacked()
+		encryptAndSendPacked(p, cfg.Stream, l.VB, 1)
+		l.packVA = recvPacked(p, cfg.Stream)
 	} else {
-		p.EncryptAndSend(l.VB, 1)
-		l.encVA = p.RecvCipher()
+		encryptAndSend(p, cfg.Stream, l.VB, 1)
+		l.encVA = recvCipher(p, cfg.Stream)
 	}
 	return l
 }
@@ -83,11 +83,11 @@ func NewMatMulB(p *protocol.Peer, cfg Config, inA, inB int) *MatMulB {
 		momVA: momentum{mu: cfg.Momentum},
 	}
 	if cfg.Packed {
-		l.packVB = p.RecvPacked()
-		p.EncryptAndSendPacked(l.VA, 1)
+		l.packVB = recvPacked(p, cfg.Stream)
+		encryptAndSendPacked(p, cfg.Stream, l.VA, 1)
 	} else {
-		l.encVB = p.RecvCipher()
-		p.EncryptAndSend(l.VA, 1)
+		l.encVB = recvCipher(p, cfg.Stream)
+		encryptAndSend(p, cfg.Stream, l.VA, 1)
 	}
 	return l
 }
@@ -95,11 +95,12 @@ func NewMatMulB(p *protocol.Peer, cfg Config, inA, inB int) *MatMulB {
 // forwardHalf runs lines 5–7 of Fig. 6 for one party: given the local
 // features x, the local weight piece u and the encrypted peer-held piece
 // ⟦v⟧, it returns this party's share Z' = x·u + ε + (peer's masked piece).
-func forwardHalf(p *protocol.Peer, x Numeric, u *tensor.Dense, encV *hetensor.CipherMatrix) *tensor.Dense {
-	prod := x.MulCipher(encV) // ⟦x·V⟧ under the peer's key, scale 2
-	eps := p.HE2SSSend(prod)  // keep ε, send ⟦x·V − ε⟧
-	other := p.HE2SSRecv()    // peer's x̄·V̄ − ε̄, decrypted locally
-	z := x.MatMul(u)          // x·U in plaintext
+// With stream, the masked send and the peer's decryption run chunk-pipelined.
+func forwardHalf(p *protocol.Peer, stream bool, x Numeric, u *tensor.Dense, encV *hetensor.CipherMatrix) *tensor.Dense {
+	prod := x.MulCipher(encV)         // ⟦x·V⟧ under the peer's key, scale 2
+	eps := he2ssSend(p, stream, prod) // keep ε, send ⟦x·V − ε⟧
+	other := he2ssRecv(p, stream)     // peer's x̄·V̄ − ε̄, decrypted locally
+	z := x.MatMul(u)                  // x·U in plaintext
 	z.AddInPlace(eps)
 	z.AddInPlace(other)
 	return z
@@ -108,10 +109,10 @@ func forwardHalf(p *protocol.Peer, x Numeric, u *tensor.Dense, encV *hetensor.Ci
 // forwardHalfPacked is forwardHalf over packed ciphertexts: the homomorphic
 // product, the masked send, and the peer's decryption all touch ~K× fewer
 // ciphertexts. Both parties must run the packed variant.
-func forwardHalfPacked(p *protocol.Peer, x Numeric, u *tensor.Dense, packV *hetensor.PackedMatrix) *tensor.Dense {
+func forwardHalfPacked(p *protocol.Peer, stream bool, x Numeric, u *tensor.Dense, packV *hetensor.PackedMatrix) *tensor.Dense {
 	prod := x.MulCipherPacked(packV)
-	eps := p.HE2SSSendPacked(prod)
-	other := p.HE2SSRecvPacked()
+	eps := he2ssSendPacked(p, stream, prod)
+	other := he2ssRecvPacked(p, stream)
 	z := x.MatMul(u)
 	z.AddInPlace(eps)
 	z.AddInPlace(other)
@@ -124,9 +125,9 @@ func (l *MatMulA) Forward(x Numeric) {
 	l.x = x
 	var zA *tensor.Dense
 	if l.cfg.Packed {
-		zA = forwardHalfPacked(l.peer, x, l.UA, l.packVA)
+		zA = forwardHalfPacked(l.peer, l.cfg.Stream, x, l.UA, l.packVA)
 	} else {
-		zA = forwardHalf(l.peer, x, l.UA, l.encVA)
+		zA = forwardHalf(l.peer, l.cfg.Stream, x, l.UA, l.encVA)
 	}
 	l.peer.Send(zA)
 }
@@ -137,9 +138,9 @@ func (l *MatMulB) Forward(x Numeric) *tensor.Dense {
 	l.x = x
 	var zB *tensor.Dense
 	if l.cfg.Packed {
-		zB = forwardHalfPacked(l.peer, x, l.UB, l.packVB)
+		zB = forwardHalfPacked(l.peer, l.cfg.Stream, x, l.UB, l.packVB)
 	} else {
-		zB = forwardHalf(l.peer, x, l.UB, l.encVB)
+		zB = forwardHalf(l.peer, l.cfg.Stream, x, l.UB, l.encVB)
 	}
 	zA := l.peer.RecvDense()
 	return zA.Add(zB)
@@ -150,20 +151,21 @@ func (l *MatMulB) Forward(x Numeric) *tensor.Dense {
 // an SS pair ⟨φ, ∇W_A−φ⟩, updates U_A with its share φ, and receives the
 // refreshed ⟦V_A⟧ for the next step. A never sees ∇Z, ∇W_A, or W_A.
 func (l *MatMulA) Backward() {
+	stream := l.cfg.Stream
 	if l.cfg.Packed {
-		encGradZ := l.peer.RecvPacked()                     // packed ⟦∇Z⟧ under B's key
-		encGradWA := l.x.TransposeMulCipherPacked(encGradZ) // packed ⟦X_Aᵀ∇Z⟧, scale 2
-		phi := l.peer.HE2SSSendPacked(encGradWA)            // keep φ, B gets ∇W_A − φ
+		// Streamed: fold each arriving ⟦∇Z⟧ chunk into the gradient
+		// accumulator while B encrypts the next one.
+		encGradWA := recvGradAccPacked(l.peer, stream, l.x) // packed ⟦X_Aᵀ∇Z⟧, scale 2
+		phi := he2ssSendPacked(l.peer, stream, encGradWA)   // keep φ, B gets ∇W_A − φ
 		l.momUA.step(l.UA, phi, l.cfg.LR)
-		l.packVA = l.peer.RecvPacked()
+		l.packVA = recvPacked(l.peer, stream)
 		l.x = nil
 		return
 	}
-	encGradZ := l.peer.RecvCipher()               // ⟦∇Z⟧ under B's key
-	encGradWA := l.x.TransposeMulCipher(encGradZ) // ⟦X_Aᵀ∇Z⟧, scale 2
-	phi := l.peer.HE2SSSend(encGradWA)            // keep φ, B gets ∇W_A − φ
+	encGradWA := recvGradAcc(l.peer, stream, l.x) // ⟦X_Aᵀ∇Z⟧, scale 2
+	phi := he2ssSend(l.peer, stream, encGradWA)   // keep φ, B gets ∇W_A − φ
 	l.momUA.step(l.UA, phi, l.cfg.LR)
-	l.encVA = l.peer.RecvCipher() // refreshed ⟦V_A⟧ after B's V_A update
+	l.encVA = recvCipher(l.peer, stream) // refreshed ⟦V_A⟧ after B's V_A update
 	l.x = nil
 }
 
@@ -174,18 +176,19 @@ func (l *MatMulB) Backward(gradZ *tensor.Dense) {
 	gradWB := l.x.TransposeMatMul(gradZ)
 	l.momUB.step(l.UB, gradWB, l.cfg.LR)
 
+	stream := l.cfg.Stream
 	if l.cfg.Packed {
-		l.peer.EncryptAndSendPacked(gradZ, 1)
-		gradVAshare := l.peer.HE2SSRecvPacked() // ∇W_A − φ
+		encryptAndSendPacked(l.peer, stream, gradZ, 1)
+		gradVAshare := he2ssRecvPacked(l.peer, stream) // ∇W_A − φ
 		l.momVA.step(l.VA, gradVAshare, l.cfg.LR)
-		l.peer.EncryptAndSendPacked(l.VA, 1) // refresh packed ⟦V_A⟧ at A
+		encryptAndSendPacked(l.peer, stream, l.VA, 1) // refresh packed ⟦V_A⟧ at A
 		l.x = nil
 		return
 	}
-	l.peer.EncryptAndSend(gradZ, 1)
-	gradVAshare := l.peer.HE2SSRecv() // ∇W_A − φ
+	encryptAndSend(l.peer, stream, gradZ, 1)
+	gradVAshare := he2ssRecv(l.peer, stream) // ∇W_A − φ
 	l.momVA.step(l.VA, gradVAshare, l.cfg.LR)
-	l.peer.EncryptAndSend(l.VA, 1) // refresh ⟦V_A⟧ at A
+	encryptAndSend(l.peer, stream, l.VA, 1) // refresh ⟦V_A⟧ at A
 	l.x = nil
 }
 

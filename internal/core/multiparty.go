@@ -39,6 +39,7 @@ func NewMultiMatMulB(peers []*protocol.Peer, cfg Config, inAs []int, inB int) *M
 		sub := NewMatMulB(p, Config{
 			Out: cfg.Out, LR: cfg.LR, Momentum: cfg.Momentum,
 			InitScale: cfg.initScale() / float64(len(peers)),
+			Packed:    cfg.Packed, Stream: cfg.Stream,
 		}, inAs[i], inB)
 		m.subs = append(m.subs, sub)
 	}
@@ -78,14 +79,25 @@ func (m *MultiMatMulB) Backward(gradZ *tensor.Dense) {
 
 // backwardMulti is Backward with separate gradients for the local U_B
 // update (scaled by 1/M) and the cross-party V_A/encrypted-∇Z path (full).
+// It mirrors the two-party Backward's Packed/Stream dispatch so the A side
+// (an ordinary MatMulA honouring the same Config) stays in protocol.
 func (l *MatMulB) backwardMulti(gradFull, gradLocal *tensor.Dense) {
 	gradWB := l.x.TransposeMatMul(gradLocal)
 	l.momUB.step(l.UB, gradWB, l.cfg.LR)
 
-	l.peer.EncryptAndSend(gradFull, 1)
-	gradVAshare := l.peer.HE2SSRecv()
+	stream := l.cfg.Stream
+	if l.cfg.Packed {
+		encryptAndSendPacked(l.peer, stream, gradFull, 1)
+		gradVAshare := he2ssRecvPacked(l.peer, stream)
+		l.momVA.step(l.VA, gradVAshare, l.cfg.LR)
+		encryptAndSendPacked(l.peer, stream, l.VA, 1)
+		l.x = nil
+		return
+	}
+	encryptAndSend(l.peer, stream, gradFull, 1)
+	gradVAshare := he2ssRecv(l.peer, stream)
 	l.momVA.step(l.VA, gradVAshare, l.cfg.LR)
-	l.peer.EncryptAndSend(l.VA, 1)
+	encryptAndSend(l.peer, stream, l.VA, 1)
 	l.x = nil
 }
 

@@ -61,6 +61,15 @@ type Config struct {
 	// tolerance. The sparse MatMul layer ignores the flag (its on-demand
 	// row-cache protocol is already bandwidth-bound, not blinding-bound).
 	Packed bool
+
+	// Stream splits the layer's large ciphertext transfers into bounded
+	// row-chunks (protocol stream helpers): the sender encrypts chunk i+1
+	// while chunk i is on the wire and the receiver decrypts/accumulates
+	// chunk i−1, overlapping compute with communication. Orthogonal to
+	// Packed; both parties must agree on the flag. Results match the
+	// monolithic protocol exactly (chunking changes message framing, not
+	// values). The sparse MatMul layer ignores the flag, like Packed.
+	Stream bool
 }
 
 func (c Config) initScale() float64 {

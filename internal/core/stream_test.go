@@ -1,0 +1,308 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+// Chunk-streamed source layers must produce exactly the values of the
+// monolithic protocol: chunking changes message framing, not arithmetic.
+// These tests cross-check streamed runs against plaintext training and
+// against monolithic runs with identical seeds.
+
+func TestStreamedMatMulForwardMatchesPlaintext(t *testing.T) {
+	pa, pb := pipe(t, 800)
+	pa.ChunkRows, pb.ChunkRows = 2, 2 // force several chunks on a small batch
+	cfg := Config{Out: 3, LR: 0.1, Stream: true}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 5, 4)
+
+	rng := rand.New(rand.NewSource(1))
+	xA := tensor.RandDense(rng, 7, 5, 1)
+	xB := tensor.RandDense(rng, 7, 4, 1)
+
+	want := xA.MatMul(DebugWeightsA(la, lb)).Add(xB.MatMul(DebugWeightsB(la, lb)))
+	var z *tensor.Dense
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(DenseFeatures{xA}) },
+		func() { z = lb.Forward(DenseFeatures{xB}) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if !z.Equal(want, 1e-4) {
+		t.Fatalf("streamed federated Z diverges from plaintext:\n got %v\nwant %v", z.Data, want.Data)
+	}
+}
+
+func TestStreamedMatMulBackwardMatchesSGD(t *testing.T) {
+	pa, pb := pipe(t, 801)
+	pa.ChunkRows, pb.ChunkRows = 2, 2
+	cfg := Config{Out: 2, LR: 0.05, Stream: true}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 3, 4)
+
+	rng := rand.New(rand.NewSource(3))
+	xA := tensor.RandDense(rng, 5, 3, 1)
+	xB := tensor.RandDense(rng, 5, 4, 1)
+	gradZ := tensor.RandDense(rng, 5, 2, 1)
+
+	wantWA := DebugWeightsA(la, lb).Sub(xA.TransposeMatMul(gradZ).Scale(cfg.LR))
+	wantWB := DebugWeightsB(la, lb).Sub(xB.TransposeMatMul(gradZ).Scale(cfg.LR))
+
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(DenseFeatures{xA}); la.Backward() },
+		func() { lb.Forward(DenseFeatures{xB}); lb.Backward(gradZ) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := DebugWeightsA(la, lb); !got.Equal(wantWA, 1e-4) {
+		t.Fatalf("streamed W_A update wrong:\n got %v\nwant %v", got.Data, wantWA.Data)
+	}
+	if got := DebugWeightsB(la, lb); !got.Equal(wantWB, 1e-4) {
+		t.Fatalf("streamed W_B update wrong:\n got %v\nwant %v", got.Data, wantWB.Data)
+	}
+}
+
+// TestStreamedSparseMatMulBackwardMatchesSGD exercises the CSR accumulator
+// path (TransposeMulLeftCSRAcc) behind the streamed backward.
+func TestStreamedSparseMatMulBackwardMatchesSGD(t *testing.T) {
+	pa, pb := pipe(t, 802)
+	pa.ChunkRows, pb.ChunkRows = 2, 2
+	cfg := Config{Out: 2, LR: 0.05, Stream: true}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 12, 4)
+
+	rng := rand.New(rand.NewSource(4))
+	xA := tensor.RandCSR(rng, 5, 12, 3)
+	xB := tensor.RandDense(rng, 5, 4, 1)
+	gradZ := tensor.RandDense(rng, 5, 2, 1)
+
+	wantWA := DebugWeightsA(la, lb).Sub(xA.ToDense().TransposeMatMul(gradZ).Scale(cfg.LR))
+
+	if err := protocol.RunParties(pa, pb,
+		func() { la.Forward(SparseFeatures{xA}); la.Backward() },
+		func() { lb.Forward(DenseFeatures{xB}); lb.Backward(gradZ) },
+	); err != nil {
+		t.Fatal(err)
+	}
+	if got := DebugWeightsA(la, lb); !got.Equal(wantWA, 1e-4) {
+		t.Fatalf("streamed sparse W_A update wrong:\n got %v\nwant %v", got.Data, wantWA.Data)
+	}
+}
+
+// TestStreamedPackedMatMulTrajectoryMatchesMonolithic drives several packed
+// forward+backward rounds streamed and monolithic from identical seeds: the
+// weight trajectories must agree to fixed-point tolerance (the acceptance
+// cross-check for the streamed packed path).
+func TestStreamedPackedMatMulTrajectoryMatchesMonolithic(t *testing.T) {
+	runSteps := func(stream bool) (*tensor.Dense, *tensor.Dense, *tensor.Dense) {
+		pa, pb := pipe(t, 803) // same seed: identical init and masks per run
+		pa.ChunkRows, pb.ChunkRows = 2, 2
+		cfg := Config{Out: 2, LR: 0.05, Packed: true, Stream: stream}
+		la, lb := newMatMulPair(t, pa, pb, cfg, 4, 3)
+		rng := rand.New(rand.NewSource(5))
+		var z *tensor.Dense
+		for step := 0; step < 3; step++ {
+			xA := tensor.RandDense(rng, 5, 4, 1)
+			xB := tensor.RandDense(rng, 5, 3, 1)
+			gradZ := tensor.RandDense(rng, 5, 2, 1)
+			if err := protocol.RunParties(pa, pb,
+				func() { la.Forward(DenseFeatures{xA}); la.Backward() },
+				func() { z = lb.Forward(DenseFeatures{xB}); lb.Backward(gradZ) },
+			); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return DebugWeightsA(la, lb), DebugWeightsB(la, lb), z
+	}
+	wAs, wBs, zs := runSteps(true)
+	wAm, wBm, zm := runSteps(false)
+	if !wAs.Equal(wAm, 1e-6) {
+		t.Fatal("streamed packed W_A trajectory diverges from monolithic")
+	}
+	if !wBs.Equal(wBm, 1e-6) {
+		t.Fatal("streamed packed W_B trajectory diverges from monolithic")
+	}
+	if !zs.Equal(zm, 1e-6) {
+		t.Fatal("streamed packed forward Z diverges from monolithic")
+	}
+}
+
+// TestStreamedEmbedMatMulTrajectoryMatchesMonolithic cross-checks the
+// streamed Embed-MatMul layer (packed lookup path + streamed refresh and
+// gradient conversions) against the monolithic packed protocol.
+func TestStreamedEmbedMatMulTrajectoryMatchesMonolithic(t *testing.T) {
+	runSteps := func(stream bool) (*tensor.Dense, *tensor.Dense) {
+		pa, pb := pipe(t, 804)
+		pa.ChunkRows, pb.ChunkRows = 2, 2
+		cfg := embedTestCfg()
+		cfg.Packed = true
+		cfg.Stream = stream
+		la, lb := newEmbedPair(t, pa, pb, cfg)
+		rng := rand.New(rand.NewSource(6))
+		for step := 0; step < 2; step++ {
+			xA := randIdx(rng, 3, cfg.FieldsA, cfg.VocabA)
+			xB := randIdx(rng, 3, cfg.FieldsB, cfg.VocabB)
+			gradZ := tensor.RandDense(rng, 3, cfg.Out, 0.5)
+			if err := protocol.RunParties(pa, pb,
+				func() { la.Forward(xA); la.Backward() },
+				func() { lb.Forward(xB); lb.Backward(gradZ) },
+			); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return DebugTableA(la, lb), DebugEmbedWeightsA(la, lb)
+	}
+	qs, ws := runSteps(true)
+	qm, wm := runSteps(false)
+	if !qs.Equal(qm, 1e-6) {
+		t.Fatal("streamed embed table trajectory diverges from monolithic")
+	}
+	if !ws.Equal(wm, 1e-6) {
+		t.Fatal("streamed embed weight trajectory diverges from monolithic")
+	}
+}
+
+// TestStreamedFedTopMatchesMonolithic covers the streamed SS2HE conversion
+// and the streamed federated-top backward.
+func TestStreamedFedTopMatchesMonolithic(t *testing.T) {
+	runStep := func(stream bool) (*tensor.Dense, *tensor.Dense) {
+		pa, pb := pipe(t, 805)
+		pa.ChunkRows, pb.ChunkRows = 2, 2
+		cfg := Config{Out: 2, LR: 0.1, Stream: stream}
+		la, lb := newMatMulPair(t, pa, pb, cfg, 3, 3)
+		rng := rand.New(rand.NewSource(7))
+		xA := tensor.RandDense(rng, 5, 3, 1)
+		xB := tensor.RandDense(rng, 5, 3, 1)
+		gradZ := tensor.RandDense(rng, 5, 2, 1)
+		eps := tensor.RandDense(rng, 5, 2, 1)
+		gradShareB := gradZ.Sub(eps)
+		if err := protocol.RunParties(pa, pb,
+			func() { la.ForwardSS(DenseFeatures{xA}); la.BackwardSS(eps) },
+			func() { lb.ForwardSS(DenseFeatures{xB}); lb.BackwardSS(gradShareB) },
+		); err != nil {
+			t.Fatal(err)
+		}
+		return DebugWeightsA(la, lb), DebugWeightsB(la, lb)
+	}
+	wAs, wBs := runStep(true)
+	wAm, wBm := runStep(false)
+	if !wAs.Equal(wAm, 1e-6) {
+		t.Fatal("streamed fed-top W_A diverges from monolithic")
+	}
+	if !wBs.Equal(wBm, 1e-6) {
+		t.Fatal("streamed fed-top W_B diverges from monolithic")
+	}
+}
+
+// TestStreamedMultiPartyForwardBackward pins that the multi-party layer
+// honours Config.Stream end to end: the sub-layer B-halves and every A-side
+// two-party half run the streamed protocol (a dropped flag on either side
+// desynchronizes the session and fails loudly).
+func TestStreamedMultiPartyForwardBackward(t *testing.T) {
+	const M = 2
+	skA, skB := protocol.TestKeys()
+	var peersA, peersB []*protocol.Peer
+	for i := 0; i < M; i++ {
+		pa, pb, err := protocol.Pipe(skA, skB, int64(810+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa.ChunkRows, pb.ChunkRows = 2, 2
+		peersA = append(peersA, pa)
+		peersB = append(peersB, pb)
+	}
+	cfg := Config{Out: 2, LR: 0.1, Stream: true}
+	inAs := []int{3, 4}
+	inB := 3
+
+	var as [M]*MatMulA
+	var b *MultiMatMulB
+	done := make(chan error, M+1)
+	for i := 0; i < M; i++ {
+		i := i
+		go func() {
+			done <- peersA[i].Run(func() {
+				as[i] = NewMatMulA(peersA[i], Config{Out: cfg.Out, LR: cfg.LR, Stream: true,
+					InitScale: cfg.initScale() / M}, inAs[i], inB)
+			})
+		}()
+	}
+	go func() {
+		done <- peersB[0].Run(func() { b = NewMultiMatMulB(peersB, cfg, inAs, inB) })
+	}()
+	for i := 0; i < M+1; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	xAs := []*tensor.Dense{tensor.RandDense(rng, 4, 3, 1), tensor.RandDense(rng, 4, 4, 1)}
+	xB := tensor.RandDense(rng, 4, 3, 1)
+	gradZ := tensor.RandDense(rng, 4, 2, 1)
+
+	want := xB.MatMul(DebugMultiWeightsB(b, as[:]))
+	for i := range as {
+		want.AddInPlace(xAs[i].MatMul(DebugMultiWeightsA(b, as[i], i)))
+	}
+
+	var z *tensor.Dense
+	for i := 0; i < M; i++ {
+		i := i
+		go func() {
+			done <- peersA[i].Run(func() {
+				as[i].Forward(DenseFeatures{xAs[i]})
+				as[i].Backward()
+			})
+		}()
+	}
+	go func() {
+		done <- peersB[0].Run(func() {
+			z = b.Forward(DenseFeatures{xB})
+			b.Backward(gradZ)
+		})
+	}()
+	for i := 0; i < M+1; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !z.Equal(want, 1e-4) {
+		t.Fatalf("streamed multiparty Z diverges (maxdiff %g)", z.Sub(want).MaxAbs())
+	}
+}
+
+// TestStreamedMatMulOverTCP runs the streamed protocol across a real TCP
+// connection: chunk envelopes, sequence numbers and the gobConn writer all
+// see genuine socket behaviour.
+func TestStreamedMatMulOverTCP(t *testing.T) {
+	pa, pb := tcpPeers(t, 806)
+	pa.ChunkRows, pb.ChunkRows = 2, 2
+	cfg := Config{Out: 2, LR: 0.1, Packed: true, Stream: true}
+	la, lb := newMatMulPair(t, pa, pb, cfg, 4, 4)
+
+	rng := rand.New(rand.NewSource(8))
+	for step := 0; step < 2; step++ {
+		xA := tensor.RandDense(rng, 5, 4, 1)
+		xB := tensor.RandDense(rng, 5, 4, 1)
+		g := tensor.RandDense(rng, 5, 2, 1)
+		want := xA.MatMul(DebugWeightsA(la, lb)).Add(xB.MatMul(DebugWeightsB(la, lb)))
+		var z *tensor.Dense
+		if err := protocol.RunParties(pa, pb,
+			func() { la.Forward(DenseFeatures{xA}); la.Backward() },
+			func() { z = lb.Forward(DenseFeatures{xB}); lb.Backward(g) },
+		); err != nil {
+			t.Fatal(err)
+		}
+		if !z.Equal(want, 1e-4) {
+			t.Fatalf("step %d streamed over TCP: Z mismatch (maxdiff %g)", step, z.Sub(want).MaxAbs())
+		}
+	}
+	if pa.Stream.ChunksSent == 0 || pa.Stream.ChunksRecv == 0 {
+		t.Fatalf("no streamed chunks recorded: %+v", pa.Stream)
+	}
+	if _, bytes := pa.Conn.Stats(); bytes == 0 {
+		t.Fatal("no bytes recorded on the TCP transport")
+	}
+}

@@ -56,6 +56,15 @@ func (m *CipherMatrix) Set(i, j int, c *paillier.Ciphertext) { m.C[i*m.Cols+j] =
 // Row returns a view of row i.
 func (m *CipherMatrix) Row(i int) []*paillier.Ciphertext { return m.C[i*m.Cols : (i+1)*m.Cols] }
 
+// RowSlice returns a view of rows [lo, hi) sharing m's ciphertexts. The
+// chunk unit of the streamed protocol paths.
+func (m *CipherMatrix) RowSlice(lo, hi int) *CipherMatrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("hetensor: RowSlice [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	return &CipherMatrix{Rows: hi - lo, Cols: m.Cols, Scale: m.Scale, PK: m.PK, C: m.C[lo*m.Cols : hi*m.Cols]}
+}
+
 func (m *CipherMatrix) shapeCheck(rows, cols int, op string) {
 	if m.Rows != rows || m.Cols != cols {
 		panic(fmt.Sprintf("hetensor: %s shape mismatch: have %d×%d want %d×%d", op, m.Rows, m.Cols, rows, cols))
@@ -181,13 +190,27 @@ func MulPlainLeftCSR(x *tensor.CSR, w *CipherMatrix) *CipherMatrix {
 // encrypted G (rows×n); the result is cols×n at scale G.Scale+1. This is the
 // gradient shape ∇W = Xᵀ⟦∇Z⟧.
 func TransposeMulLeft(x *tensor.Dense, g *CipherMatrix) *CipherMatrix {
+	out := NewCipherMatrix(g.PK, x.Cols, g.Cols, g.Scale+1)
+	TransposeMulLeftAcc(out, x, g)
+	return out
+}
+
+// TransposeMulLeftAcc accumulates ⟦Xᵀ·G⟧ into acc (x.Cols×g.Cols at scale
+// g.Scale+1). Because Xᵀ·G = Σ over row-chunks X[lo:hi]ᵀ·G[lo:hi], the
+// streamed backward pass calls this once per received derivative chunk with
+// the matching feature rows, overlapping the accumulation with the peer's
+// encryption of the next chunk.
+func TransposeMulLeftAcc(acc *CipherMatrix, x *tensor.Dense, g *CipherMatrix) {
 	if x.Rows != g.Rows {
 		panic(fmt.Sprintf("hetensor: TransposeMulLeft outer dim mismatch %d×%d ᵀ· %d×%d", x.Rows, x.Cols, g.Rows, g.Cols))
 	}
-	out := NewCipherMatrix(g.PK, x.Cols, g.Cols, g.Scale+1)
+	if acc.Rows != x.Cols || acc.Cols != g.Cols || acc.Scale != g.Scale+1 {
+		panic(fmt.Sprintf("hetensor: TransposeMulLeftAcc accumulator %d×%d@%d, want %d×%d@%d",
+			acc.Rows, acc.Cols, acc.Scale, x.Cols, g.Cols, g.Scale+1))
+	}
 	// Parallelize over output rows (columns of X) to avoid write contention.
 	parallel.For(x.Cols, func(k int) {
-		orow := out.Row(k)
+		orow := acc.Row(k)
 		for i := 0; i < x.Rows; i++ {
 			a := x.At(i, k)
 			if a == 0 {
@@ -200,7 +223,6 @@ func TransposeMulLeft(x *tensor.Dense, g *CipherMatrix) *CipherMatrix {
 			}
 		}
 	})
-	return out
 }
 
 // TransposeMulLeftCSR computes ⟦Xᵀ·G⟧ for sparse X. Rows of the output are
@@ -209,21 +231,37 @@ func TransposeMulLeftCSR(x *tensor.CSR, g *CipherMatrix) *CipherMatrix {
 	if x.Rows != g.Rows {
 		panic(fmt.Sprintf("hetensor: TransposeMulLeftCSR outer dim mismatch %d×%d ᵀ· %d×%d", x.Rows, x.Cols, g.Rows, g.Cols))
 	}
+	out := NewCipherMatrix(g.PK, x.Cols, g.Cols, g.Scale+1)
+	TransposeMulLeftCSRAcc(out, x, 0, g)
+	return out
+}
+
+// TransposeMulLeftCSRAcc accumulates ⟦X[lo:lo+g.Rows]ᵀ·G⟧ into acc for a
+// row-chunk G of the derivative: the sparse analogue of TransposeMulLeftAcc
+// (CSR matrices have no cheap row-slice view, so the chunk offset is passed
+// instead).
+func TransposeMulLeftCSRAcc(acc *CipherMatrix, x *tensor.CSR, lo int, g *CipherMatrix) {
+	if lo < 0 || lo+g.Rows > x.Rows {
+		panic(fmt.Sprintf("hetensor: TransposeMulLeftCSRAcc chunk [%d,%d) of %d rows", lo, lo+g.Rows, x.Rows))
+	}
+	if acc.Rows != x.Cols || acc.Cols != g.Cols || acc.Scale != g.Scale+1 {
+		panic(fmt.Sprintf("hetensor: TransposeMulLeftCSRAcc accumulator %d×%d@%d, want %d×%d@%d",
+			acc.Rows, acc.Cols, acc.Scale, x.Cols, g.Cols, g.Scale+1))
+	}
 	// Bucket non-zeros by column so each output row is owned by one goroutine.
 	type nz struct {
 		row int
 		val float64
 	}
 	buckets := make([][]nz, x.Cols)
-	for i := 0; i < x.Rows; i++ {
-		cols, vals := x.RowNNZ(i)
+	for i := 0; i < g.Rows; i++ {
+		cols, vals := x.RowNNZ(lo + i)
 		for t, k := range cols {
 			buckets[k] = append(buckets[k], nz{i, vals[t]})
 		}
 	}
-	out := NewCipherMatrix(g.PK, x.Cols, g.Cols, g.Scale+1)
 	parallel.For(x.Cols, func(k int) {
-		orow := out.Row(k)
+		orow := acc.Row(k)
 		for _, e := range buckets[k] {
 			ea := Codec.Encode(e.val, 1)
 			grow := g.Row(e.row)
@@ -232,7 +270,6 @@ func TransposeMulLeftCSR(x *tensor.CSR, g *CipherMatrix) *CipherMatrix {
 			}
 		}
 	})
-	return out
 }
 
 // MulPlainRightTranspose computes ⟦G·Wᵀ⟧ from encrypted G (m×n) and

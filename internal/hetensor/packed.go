@@ -64,6 +64,17 @@ func (m *PackedMatrix) Row(i int) []*paillier.Ciphertext {
 	return m.C[i*g : (i+1)*g]
 }
 
+// RowSlice returns a view of rows [lo, hi) sharing m's ciphertexts and lane
+// layout. The chunk unit of the streamed protocol paths.
+func (m *PackedMatrix) RowSlice(lo, hi int) *PackedMatrix {
+	if lo < 0 || hi < lo || hi > m.Rows {
+		panic(fmt.Sprintf("hetensor: packed RowSlice [%d,%d) of %d rows", lo, hi, m.Rows))
+	}
+	g := m.GroupsPerRow()
+	return &PackedMatrix{Rows: hi - lo, Cols: m.Cols, Block: m.Block, Scale: m.Scale, W: m.W, K: m.K,
+		PK: m.PK, C: m.C[lo*g : hi*g]}
+}
+
 // laneCount returns how many lanes group g (indexed within a row) holds.
 func (m *PackedMatrix) laneCount(g int) int {
 	gInBlock := g % m.GroupsPerBlock()
@@ -224,12 +235,24 @@ func MulPlainLeftCSRPacked(x *tensor.CSR, w *PackedMatrix) *PackedMatrix {
 // TransposeMulLeftPacked computes ⟦Xᵀ·G⟧ from plaintext X and packed
 // encrypted G — the gradient shape ∇W = Xᵀ⟦∇Z⟧ with packed ∇Z.
 func TransposeMulLeftPacked(x *tensor.Dense, g *PackedMatrix) *PackedMatrix {
+	out := NewPackedMatrix(g.PK, x.Cols, g.Cols, g.Block, g.Scale+1)
+	TransposeMulLeftPackedAcc(out, x, g)
+	return out
+}
+
+// TransposeMulLeftPackedAcc accumulates ⟦Xᵀ·G⟧ into acc for a row-chunk pair
+// (x, g): the packed analogue of TransposeMulLeftAcc, called once per
+// received packed derivative chunk on the streamed backward path.
+func TransposeMulLeftPackedAcc(acc *PackedMatrix, x *tensor.Dense, g *PackedMatrix) {
 	if x.Rows != g.Rows {
 		panic(fmt.Sprintf("hetensor: TransposeMulLeftPacked outer dim mismatch %d×%d ᵀ· %d×%d", x.Rows, x.Cols, g.Rows, g.Cols))
 	}
-	out := NewPackedMatrix(g.PK, x.Cols, g.Cols, g.Block, g.Scale+1)
+	if acc.Rows != x.Cols || acc.Cols != g.Cols || acc.Scale != g.Scale+1 || acc.Block != g.Block {
+		panic(fmt.Sprintf("hetensor: TransposeMulLeftPackedAcc accumulator %d×%d/%d@%d, want %d×%d/%d@%d",
+			acc.Rows, acc.Cols, acc.Block, acc.Scale, x.Cols, g.Cols, g.Block, g.Scale+1))
+	}
 	parallel.For(x.Cols, func(k int) {
-		orow := out.Row(k)
+		orow := acc.Row(k)
 		for i := 0; i < x.Rows; i++ {
 			a := x.At(i, k)
 			if a == 0 {
@@ -242,7 +265,6 @@ func TransposeMulLeftPacked(x *tensor.Dense, g *PackedMatrix) *PackedMatrix {
 			}
 		}
 	})
-	return out
 }
 
 // TransposeMulLeftCSRPacked computes ⟦Xᵀ·G⟧ for sparse X and packed G.
@@ -250,20 +272,34 @@ func TransposeMulLeftCSRPacked(x *tensor.CSR, g *PackedMatrix) *PackedMatrix {
 	if x.Rows != g.Rows {
 		panic(fmt.Sprintf("hetensor: TransposeMulLeftCSRPacked outer dim mismatch %d×%d ᵀ· %d×%d", x.Rows, x.Cols, g.Rows, g.Cols))
 	}
+	out := NewPackedMatrix(g.PK, x.Cols, g.Cols, g.Block, g.Scale+1)
+	TransposeMulLeftCSRPackedAcc(out, x, 0, g)
+	return out
+}
+
+// TransposeMulLeftCSRPackedAcc accumulates ⟦X[lo:lo+g.Rows]ᵀ·G⟧ into acc for
+// a packed derivative row-chunk G: the sparse packed accumulator.
+func TransposeMulLeftCSRPackedAcc(acc *PackedMatrix, x *tensor.CSR, lo int, g *PackedMatrix) {
+	if lo < 0 || lo+g.Rows > x.Rows {
+		panic(fmt.Sprintf("hetensor: TransposeMulLeftCSRPackedAcc chunk [%d,%d) of %d rows", lo, lo+g.Rows, x.Rows))
+	}
+	if acc.Rows != x.Cols || acc.Cols != g.Cols || acc.Scale != g.Scale+1 || acc.Block != g.Block {
+		panic(fmt.Sprintf("hetensor: TransposeMulLeftCSRPackedAcc accumulator %d×%d/%d@%d, want %d×%d/%d@%d",
+			acc.Rows, acc.Cols, acc.Block, acc.Scale, x.Cols, g.Cols, g.Block, g.Scale+1))
+	}
 	type nz struct {
 		row int
 		val float64
 	}
 	buckets := make([][]nz, x.Cols)
-	for i := 0; i < x.Rows; i++ {
-		cols, vals := x.RowNNZ(i)
+	for i := 0; i < g.Rows; i++ {
+		cols, vals := x.RowNNZ(lo + i)
 		for t, k := range cols {
 			buckets[k] = append(buckets[k], nz{i, vals[t]})
 		}
 	}
-	out := NewPackedMatrix(g.PK, x.Cols, g.Cols, g.Block, g.Scale+1)
 	parallel.For(x.Cols, func(k int) {
-		orow := out.Row(k)
+		orow := acc.Row(k)
 		for _, e := range buckets[k] {
 			ea := Codec.Encode(e.val, 1)
 			grow := g.Row(e.row)
@@ -272,7 +308,6 @@ func TransposeMulLeftCSRPacked(x *tensor.CSR, g *PackedMatrix) *PackedMatrix {
 			}
 		}
 	})
-	return out
 }
 
 // LookupPacked gathers rows of a packed encrypted embedding table. The

@@ -167,7 +167,7 @@ func restHidden(h Hyper) []int {
 // NewFedA builds Party A's model half. Must run concurrently with NewFedB.
 func NewFedA(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedA {
 	m := &FedA{}
-	cfg := core.Config{Out: sourceOut(kind, ds.Spec.Classes, h), LR: h.LR, Momentum: h.Momentum, Packed: h.Packed}
+	cfg := core.Config{Out: sourceOut(kind, ds.Spec.Classes, h), LR: h.LR, Momentum: h.Momentum, Packed: h.Packed, Stream: h.Stream}
 	inA, inB := ds.TrainA.NumCols(), ds.TrainB.NumCols()
 	if ds.Spec.Dense() {
 		m.num = &numericSrcA{dense: core.NewMatMulA(p, cfg, inA, inB)}
@@ -184,7 +184,7 @@ func NewFedA(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedA {
 func NewFedB(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedB {
 	classes := ds.Spec.Classes
 	m := &FedB{kind: kind, classes: classes}
-	cfg := core.Config{Out: sourceOut(kind, classes, h), LR: h.LR, Momentum: h.Momentum, Packed: h.Packed}
+	cfg := core.Config{Out: sourceOut(kind, classes, h), LR: h.LR, Momentum: h.Momentum, Packed: h.Packed, Stream: h.Stream}
 	inA, inB := ds.TrainA.NumCols(), ds.TrainB.NumCols()
 	if ds.Spec.Dense() {
 		m.num = &numericSrcB{dense: core.NewMatMulB(p, cfg, inA, inB)}
@@ -221,7 +221,7 @@ func embedCfg(kind Kind, ds *data.Dataset, h Hyper) core.EmbedConfig {
 		out = firstHidden(h)
 	}
 	return core.EmbedConfig{
-		Config:  core.Config{Out: out, LR: h.LR, Momentum: h.Momentum, Packed: h.Packed},
+		Config:  core.Config{Out: out, LR: h.LR, Momentum: h.Momentum, Packed: h.Packed, Stream: h.Stream},
 		VocabA:  ds.Spec.CatVocab,
 		VocabB:  ds.Spec.CatVocab,
 		FieldsA: ds.TrainA.Cat.Cols,
@@ -290,9 +290,11 @@ func (m *FedB) lossGrad(logits *tensor.Dense, y []int) (float64, *tensor.Dense) 
 // order the parties would agree on at setup time.
 func TrainFederated(kind Kind, ds *data.Dataset, h Hyper, pa, pb *protocol.Peer) (*History, error) {
 	hist := &History{MetricName: metricName(ds.Spec.Classes)}
-	errA := make(chan error, 1)
-	go func() {
-		errA <- pa.Run(func() {
+	// RunParties closes both conns on the first party error, so a one-sided
+	// failure unblocks the survivor with transport.ErrClosed instead of
+	// hanging, and the returned error is the root cause (first to arrive).
+	err := protocol.RunParties(pa, pb,
+		func() {
 			ma := NewFedA(pa, kind, ds, h)
 			order := rand.New(rand.NewSource(h.Seed + 999))
 			for e := 0; e < h.Epochs; e++ {
@@ -304,25 +306,21 @@ func TrainFederated(kind Kind, ds *data.Dataset, h Hyper, pa, pb *protocol.Peer)
 			for _, idx := range data.BatchIndices(ds.TestA.Rows(), h.Batch) {
 				ma.ForwardA(ds.TestA.Batch(idx))
 			}
-		})
-	}()
-	errB := pb.Run(func() {
-		mb := NewFedB(pb, kind, ds, h)
-		order := rand.New(rand.NewSource(h.Seed + 999))
-		for e := 0; e < h.Epochs; e++ {
-			perm := data.Shuffle(order, ds.TrainB.Rows())
-			for _, idx := range batchesOf(perm, h.Batch) {
-				loss := mb.StepB(ds.TrainB.Batch(idx), gather(ds.TrainY, idx))
-				hist.Losses = append(hist.Losses, loss)
+		},
+		func() {
+			mb := NewFedB(pb, kind, ds, h)
+			order := rand.New(rand.NewSource(h.Seed + 999))
+			for e := 0; e < h.Epochs; e++ {
+				perm := data.Shuffle(order, ds.TrainB.Rows())
+				for _, idx := range batchesOf(perm, h.Batch) {
+					loss := mb.StepB(ds.TrainB.Batch(idx), gather(ds.TrainY, idx))
+					hist.Losses = append(hist.Losses, loss)
+				}
 			}
-		}
-		hist.TestLogits = evalB(mb, ds, h)
-	})
-	if err := <-errA; err != nil {
+			hist.TestLogits = evalB(mb, ds, h)
+		})
+	if err != nil {
 		return nil, err
-	}
-	if errB != nil {
-		return nil, errB
 	}
 	finishHistory(hist, ds)
 	return hist, nil

@@ -53,6 +53,7 @@ type Hyper struct {
 	EmbDim   int
 	Seed     int64
 	Packed   bool // ciphertext packing on the source-layer hot paths
+	Stream   bool // chunk-streamed ciphertext transfers (compute/comm overlap)
 }
 
 // DefaultHyper returns the paper's protocol settings.

@@ -1,0 +1,75 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"blindfl/internal/data"
+)
+
+// TestFederatedLRStreamedMatchesMonolithic trains the same tiny federated LR
+// twice — chunk streaming on and off — from identical seeds. Chunking only
+// changes message framing, so the trajectories must agree exactly to
+// fixed-point tolerance: the end-to-end form of the streamed correctness
+// contract.
+func TestFederatedLRStreamedMatchesMonolithic(t *testing.T) {
+	ds := data.Generate(tinySpec("t-fedlr-streamed", 12, 12, 2, false), 3)
+	h := tinyHyper()
+	h.Epochs = 2
+
+	run := func(stream bool) *History {
+		hh := h
+		hh.Stream = stream
+		pa, pb := fedPipe(t, 530)
+		pa.ChunkRows, pb.ChunkRows = 3, 3
+		hist, err := TrainFederated(LR, ds, hh, pa, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hist
+	}
+	streamed := run(true)
+	plain := run(false)
+
+	if len(streamed.Losses) != len(plain.Losses) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(streamed.Losses), len(plain.Losses))
+	}
+	for i := range streamed.Losses {
+		if math.Abs(streamed.Losses[i]-plain.Losses[i]) > 1e-6 {
+			t.Fatalf("loss %d diverges: streamed %v vs monolithic %v", i, streamed.Losses[i], plain.Losses[i])
+		}
+	}
+	if math.Abs(streamed.TestMetric-plain.TestMetric) > 1e-6 {
+		t.Fatalf("test metric diverges: streamed %v vs monolithic %v", streamed.TestMetric, plain.TestMetric)
+	}
+}
+
+// TestFederatedPackedStreamedWDL exercises the streamed packed Embed-MatMul
+// lookup path end to end on the deep model family.
+func TestFederatedPackedStreamedWDL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("federated WDL training is slow")
+	}
+	ds := data.Generate(tinySpec("t-fedwdl-streamed", 8, 8, 2, true), 5)
+	h := tinyHyper()
+
+	run := func(stream bool) *History {
+		hh := h
+		hh.Packed = true
+		hh.Stream = stream
+		pa, pb := fedPipe(t, 531)
+		pa.ChunkRows, pb.ChunkRows = 2, 2
+		hist, err := TrainFederated(WDL, ds, hh, pa, pb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hist
+	}
+	streamed := run(true)
+	plain := run(false)
+	for i := range streamed.Losses {
+		if math.Abs(streamed.Losses[i]-plain.Losses[i]) > 1e-6 {
+			t.Fatalf("loss %d diverges: streamed %v vs monolithic %v", i, streamed.Losses[i], plain.Losses[i])
+		}
+	}
+}

@@ -1,8 +1,10 @@
 package protocol
 
 import (
+	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"blindfl/internal/tensor"
 	"blindfl/internal/transport"
@@ -59,6 +61,57 @@ func TestHE2SSRecvRejectsForeignKeyCiphertext(t *testing.T) {
 		})
 	if err == nil || !strings.Contains(err.Error(), "not under this party's key") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunPartiesUnblocksPeerOnEarlyError is the regression test for the
+// one-sided-failure hang: A fails on the first message (a type it does not
+// expect), after which B blocks in Recv waiting for a reply that will never
+// come. RunParties must close both conns so B unblocks with ErrClosed
+// instead of hanging forever. Pre-fix, this test deadlocks (the watchdog
+// and the CI -timeout both catch it).
+func TestRunPartiesUnblocksPeerOnEarlyError(t *testing.T) {
+	a, b := newPipe(t, 30)
+	done := make(chan error, 1)
+	go func() {
+		done <- RunParties(a, b,
+			func() {
+				a.RecvDense() // B sent an []int: type error, A dies here
+			},
+			func() {
+				b.Send([]int{1, 2, 3})
+				b.RecvDense() // nothing will ever arrive
+			})
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("expected an error from the failed party")
+		}
+		if !strings.Contains(err.Error(), "want *tensor.Dense") {
+			t.Fatalf("first error should be A's type failure, got %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunParties hung after a one-sided failure")
+	}
+}
+
+// TestRunPartiesErrorThenSurvivorGetsErrClosed pins the survivor's view: its
+// blocked Recv returns transport.ErrClosed once RunParties tears the conns
+// down.
+func TestRunPartiesErrorThenSurvivorGetsErrClosed(t *testing.T) {
+	a, b := newPipe(t, 31)
+	var survivorErr error
+	err := RunParties(a, b,
+		func() { a.fail("injected failure") },
+		func() {
+			_, survivorErr = b.Conn.Recv()
+		})
+	if err == nil || !strings.Contains(err.Error(), "injected failure") {
+		t.Fatalf("err = %v", err)
+	}
+	if !errors.Is(survivorErr, transport.ErrClosed) {
+		t.Fatalf("survivor Recv = %v, want ErrClosed", survivorErr)
 	}
 }
 

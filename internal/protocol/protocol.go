@@ -52,6 +52,17 @@ type Peer struct {
 	PeerPK  *paillier.PublicKey  // other party's public key
 	Rng     *rand.Rand           // local randomness for masks and init
 	MaskMag float64
+
+	// ChunkRows bounds the rows per chunk of this peer's streamed sends
+	// (stream.go); 0 means DefaultChunkRows. Receivers take chunk heights
+	// from the stream itself, so peers may use different values.
+	ChunkRows int
+	// Stream accumulates per-chunk accounting across streamed sends and
+	// receives. Owned by this peer's protocol goroutine; read it between
+	// rounds.
+	Stream StreamStats
+
+	sendSeq, recvSeq uint64 // per-direction stream sequence numbers
 }
 
 // NewPeer assembles a Peer. Call Handshake before running any protocol to
@@ -145,11 +156,7 @@ func (p *Peer) RecvCipher() *hetensor.CipherMatrix {
 	if !ok {
 		p.fail("recv: want *hetensor.CipherMatrix, got %T", v)
 	}
-	if c.PK.N.Cmp(p.SK.N) == 0 {
-		c.PK = &p.SK.PublicKey
-	} else {
-		c.PK = p.PeerPK
-	}
+	p.trustCipher(c)
 	return c
 }
 
@@ -181,11 +188,7 @@ func (p *Peer) RecvPacked() *hetensor.PackedMatrix {
 	if !ok {
 		p.fail("recv: want *hetensor.PackedMatrix, got %T", v)
 	}
-	if c.PK.N.Cmp(p.SK.N) == 0 {
-		c.PK = &p.SK.PublicKey
-	} else {
-		c.PK = p.PeerPK
-	}
+	p.trustPacked(c)
 	return c
 }
 
@@ -270,6 +273,13 @@ func (p *Peer) SS2HE(piece *tensor.Dense, scale uint) *hetensor.CipherMatrix {
 // handshake. Intended for tests, benchmarks and single-binary simulation.
 func Pipe(skA, skB *paillier.PrivateKey, seed int64) (*Peer, *Peer, error) {
 	ca, cb := transport.Pair(4096)
+	return PipeOn(ca, cb, skA, skB, seed)
+}
+
+// PipeOn is Pipe over caller-supplied connections (a counted pair, a
+// simulated-WAN pair, an established TCP session): it builds the two peers
+// and completes the handshake concurrently.
+func PipeOn(ca, cb transport.Conn, skA, skB *paillier.PrivateKey, seed int64) (*Peer, *Peer, error) {
 	a := NewPeer(PartyA, ca, skA, rand.New(rand.NewSource(seed)))
 	b := NewPeer(PartyB, cb, skB, rand.New(rand.NewSource(seed+1)))
 	errs := make(chan error, 2)
@@ -286,6 +296,11 @@ func Pipe(skA, skB *paillier.PrivateKey, seed int64) (*Peer, *Peer, error) {
 // RunParties executes both party functions concurrently and returns the
 // first error (or nil). It is the standard way to drive a whole protocol in
 // one process.
+//
+// When one party fails, the other is usually blocked in Recv waiting for a
+// message that will never come; RunParties closes both connections on the
+// first error so the survivor unblocks with transport.ErrClosed instead of
+// hanging forever. The session is not reusable after a failed run.
 func RunParties(a, b *Peer, fa, fb func()) error {
 	errs := make(chan error, 2)
 	go func() { errs <- a.Run(fa) }()
@@ -294,6 +309,8 @@ func RunParties(a, b *Peer, fa, fb func()) error {
 	for i := 0; i < 2; i++ {
 		if err := <-errs; err != nil && first == nil {
 			first = err
+			a.Conn.Close()
+			b.Conn.Close()
 		}
 	}
 	return first

@@ -1,0 +1,202 @@
+package protocol
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"blindfl/internal/hetensor"
+	"blindfl/internal/tensor"
+)
+
+// Streamed conversions must reconstruct exactly what the monolithic ones do.
+
+func TestHE2SSStreamReconstruction(t *testing.T) {
+	a, b := newPipe(t, 40)
+	a.ChunkRows, b.ChunkRows = 2, 2
+	v := tensor.FromSlice(5, 2, []float64{1.5, -2.25, 3, 0, -7.5, 0.125, 42, -1, 2, 9})
+	var shareA, shareB *tensor.Dense
+	err := RunParties(a, b, func() {
+		c := hetensor.Encrypt(a.PeerPK, v, 1)
+		shareA = a.HE2SSSendStream(c)
+	}, func() {
+		shareB = b.HE2SSRecvStream()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := shareA.Add(shareB)
+	if !got.Equal(v, 1e-9) {
+		t.Fatalf("streamed HE2SS shares do not reconstruct v: %v", got.Data)
+	}
+}
+
+func TestHE2SSPackedStreamReconstruction(t *testing.T) {
+	a, b := newPipe(t, 41)
+	a.ChunkRows, b.ChunkRows = 2, 2
+	v := tensor.FromSlice(5, 3, []float64{
+		1.5, -2.25, 3, 0, -7.5, 0.125, 42, -1, 2, 9, -0.5, 4, 1, 2, 3})
+	var shareA, shareB *tensor.Dense
+	err := RunParties(a, b, func() {
+		c := hetensor.PackEncrypt(a.PeerPK, v, 1)
+		shareA = a.HE2SSSendPackedStream(c)
+	}, func() {
+		shareB = b.HE2SSRecvPackedStream()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := shareA.Add(shareB)
+	if !got.Equal(v, 1e-9) {
+		t.Fatalf("streamed packed HE2SS shares do not reconstruct v: %v", got.Data)
+	}
+}
+
+func TestSS2HEStreamMatchesPieces(t *testing.T) {
+	a, b := newPipe(t, 42)
+	a.ChunkRows, b.ChunkRows = 2, 2
+	pieceA := tensor.FromSlice(5, 2, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	pieceB := tensor.FromSlice(5, 2, []float64{-0.5, 1, 0, 2, -3, 4, 0.25, -1, 7, 0})
+	want := pieceA.Add(pieceB)
+
+	var atB, atA *tensor.Dense
+	err := RunParties(a, b, func() {
+		enc := a.SS2HEStream(pieceA, 1) // ⟦v⟧ under B's key
+		// Ship it back so B (the key owner) can decrypt and we can verify.
+		a.Send(enc)
+	}, func() {
+		enc := b.SS2HEStream(pieceB, 1) // ⟦v⟧ under A's key
+		atB = hetensor.Decrypt(b.SK, b.RecvCipher())
+		b.Send(enc)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = a.Run(func() {
+		atA = hetensor.Decrypt(a.SK, a.RecvCipher())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atB.Equal(want, 1e-9) || !atA.Equal(want, 1e-9) {
+		t.Fatalf("SS2HEStream results diverge: %v / %v want %v", atB.Data, atA.Data, want.Data)
+	}
+}
+
+// TestStreamRecvRejectsOwnKeyViolation mirrors the monolithic foreign-key
+// guard on the streamed path.
+func TestStreamRecvRejectsOwnKeyViolation(t *testing.T) {
+	a, b := newPipe(t, 43)
+	err := RunParties(a, b,
+		func() {
+			// Wrongly stream a ciphertext under A's own key to the decryptor.
+			a.HE2SSSendStream(hetensor.Encrypt(&a.SK.PublicKey, tensor.NewDense(3, 1), 1))
+		},
+		func() {
+			b.HE2SSRecvStream()
+		})
+	if err == nil || !strings.Contains(err.Error(), "not under this party's key") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestStreamStatsAccounting checks the per-chunk counters the bench tables
+// report: chunk counts on both sides and a receive-wait measurement.
+func TestStreamStatsAccounting(t *testing.T) {
+	a, b := newPipe(t, 44)
+	a.ChunkRows, b.ChunkRows = 2, 2
+	v := tensor.FromSlice(7, 1, []float64{1, 2, 3, 4, 5, 6, 7})
+	err := RunParties(a, b,
+		func() { a.EncryptAndSendStream(v, 1) },
+		func() { b.RecvCipherStream() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stream.StreamsSent != 1 || a.Stream.ChunksSent != 4 {
+		t.Fatalf("sender stats = %+v, want 1 stream / 4 chunks", a.Stream)
+	}
+	if b.Stream.StreamsRecv != 1 || b.Stream.ChunksRecv != 4 {
+		t.Fatalf("receiver stats = %+v, want 1 stream / 4 chunks", b.Stream)
+	}
+	if b.Stream.RecvWait < 0 {
+		t.Fatalf("negative recv wait %v", b.Stream.RecvWait)
+	}
+}
+
+// TestStreamedRefreshRoundTrip pins RecvCipherStream assembly: the receiver
+// stores the chunked matrix (as the refresh paths do), ships it back, and
+// the key owner's decryption must reproduce the plaintext exactly.
+func TestStreamedRefreshRoundTrip(t *testing.T) {
+	a, b := newPipe(t, 45)
+	a.ChunkRows, b.ChunkRows = 3, 3
+	v := tensor.FromSlice(8, 2, []float64{
+		0.5, -1, 2, 3, -4.25, 5, 6, -7, 8, 9.5, -10, 11, 12, -13, 14, 15})
+	var got *tensor.Dense
+	err := RunParties(a, b,
+		func() {
+			a.EncryptAndSendStream(v, 1)
+			got = hetensor.Decrypt(a.SK, a.RecvCipher())
+		},
+		func() { b.Send(b.RecvCipherStream()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v, 1e-9) {
+		t.Fatalf("streamed refresh decrypts to %v", got.Data)
+	}
+
+	var gotPacked *tensor.Dense
+	err = RunParties(a, b,
+		func() {
+			a.EncryptAndSendPackedStream(v, 1)
+			gotPacked = hetensor.DecryptPacked(a.SK, a.RecvPacked())
+		},
+		func() { b.Send(b.RecvPackedStream()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotPacked.Equal(v, 1e-9) {
+		t.Fatalf("streamed packed refresh decrypts to %v", gotPacked.Data)
+	}
+}
+
+// TestStreamMismatchedChunkRowsInterop pins that chunk sizing is
+// sender-local: receivers take each chunk's height from the payload, so
+// peers configured with different ChunkRows still reconstruct correctly.
+func TestStreamMismatchedChunkRowsInterop(t *testing.T) {
+	a, b := newPipe(t, 47)
+	a.ChunkRows, b.ChunkRows = 3, 5 // sender chunks by 3; receiver set differently
+	v := tensor.FromSlice(7, 2, []float64{1, -2, 3, -4, 5, -6, 7, -8, 9, -10, 11, -12, 13, -14})
+	var shareA, shareB *tensor.Dense
+	err := RunParties(a, b, func() {
+		shareA = a.HE2SSSendStream(hetensor.Encrypt(a.PeerPK, v, 1))
+	}, func() {
+		shareB = b.HE2SSRecvStream()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shareA.Add(shareB); !got.Equal(v, 1e-9) {
+		t.Fatalf("mismatched-chunk shares do not reconstruct v: %v", got.Data)
+	}
+}
+
+// TestStreamSingleRowMatrix pins the degenerate chunking case (rows <
+// ChunkRows: one chunk).
+func TestStreamSingleRowMatrix(t *testing.T) {
+	a, b := newPipe(t, 46)
+	v := tensor.FromSlice(1, 3, []float64{math.Pi, -1, 0.5})
+	var got *tensor.Dense
+	err := RunParties(a, b,
+		func() {
+			a.EncryptAndSendStream(v, 1)
+			got = hetensor.Decrypt(a.SK, a.RecvCipher())
+		},
+		func() { b.Send(b.RecvCipherStream()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(v, 1e-9) {
+		t.Fatalf("single-chunk stream decrypts to %v", got.Data)
+	}
+}

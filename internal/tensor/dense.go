@@ -38,6 +38,16 @@ func FromSlice(rows, cols int, data []float64) *Dense {
 // At returns the element at (i, j).
 func (d *Dense) At(i, j int) float64 { return d.Data[i*d.Cols+j] }
 
+// RowSlice returns a view of rows [lo, hi): the slice shares d's backing
+// array, so it costs nothing and writes through. Used by the chunk-streamed
+// protocol paths to mask/encrypt/decrypt bounded row ranges.
+func (d *Dense) RowSlice(lo, hi int) *Dense {
+	if lo < 0 || hi < lo || hi > d.Rows {
+		panic(fmt.Sprintf("tensor: RowSlice [%d,%d) of %d rows", lo, hi, d.Rows))
+	}
+	return &Dense{Rows: hi - lo, Cols: d.Cols, Data: d.Data[lo*d.Cols : hi*d.Cols]}
+}
+
 // Set writes the element at (i, j).
 func (d *Dense) Set(i, j int, v float64) { d.Data[i*d.Cols+j] = v }
 

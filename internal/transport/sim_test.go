@@ -1,0 +1,95 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"blindfl/internal/tensor"
+)
+
+func TestSimPairRoundTripAndStats(t *testing.T) {
+	a, b := SimPair(8, 0, 0) // no latency, infinite bandwidth
+	d := tensor.FromSlice(1, 2, []float64{1, 2})
+	if err := a.Send(d); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.(*tensor.Dense); !got.Equal(d, 0) {
+		t.Fatalf("got %#v", v)
+	}
+	msgs, bytes := a.Stats()
+	if msgs != 1 || bytes < 16 {
+		t.Fatalf("stats = %d msgs %d bytes", msgs, bytes)
+	}
+}
+
+func TestSimPairAppliesLatency(t *testing.T) {
+	const lat = 30 * time.Millisecond
+	a, b := SimPair(8, lat, 0)
+	if err := a.Send(1); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < lat/2 {
+		t.Fatalf("message arrived after %v, want ≈%v of propagation delay", e, lat)
+	}
+}
+
+func TestSimPairBandwidthSerializesBigMessages(t *testing.T) {
+	// 8 KiB at 1 MiB/s ≈ 8 ms of transfer per message; two messages share
+	// the direction's line, so the second arrives ≥ twice that after send.
+	a, b := SimPair(8, 0, 1<<20)
+	big := tensor.NewDense(32, 32)
+	start := time.Now()
+	if err := a.Send(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(big); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e := time.Since(start); e < 12*time.Millisecond {
+		t.Fatalf("two 8 KiB messages crossed a 1 MiB/s line in %v", e)
+	}
+}
+
+func TestSimPairClose(t *testing.T) {
+	a, b := SimPair(1, 0, 0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil { // both ends: must not panic
+		t.Fatal(err)
+	}
+	if err := a.Send(1); err != ErrClosed {
+		t.Fatalf("Send after close: %v", err)
+	}
+	if _, err := b.Recv(); err != ErrClosed {
+		t.Fatalf("Recv after close: %v", err)
+	}
+}
+
+func TestWireSizeCoversProtocolTypes(t *testing.T) {
+	if n := WireSize(tensor.NewDense(4, 4).RowSlice(0, 4)); n < 8*16 {
+		t.Fatalf("dense wire size %d", n)
+	}
+	if n := WireSize(&StreamHeader{}); n <= 0 {
+		t.Fatalf("header wire size %d", n)
+	}
+	if n := WireSize(&StreamChunk{V: tensor.NewDense(2, 2)}); n < 8*4 {
+		t.Fatalf("chunk wire size %d", n)
+	}
+	if n := WireSize(struct{}{}); n <= 0 {
+		t.Fatalf("fallback wire size %d", n)
+	}
+}

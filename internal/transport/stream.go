@@ -1,0 +1,98 @@
+// Chunked streaming: one logical matrix message split into bounded,
+// sequence-numbered chunks. Large CipherMatrix/PackedMatrix transfers ship as
+// a StreamHeader followed by StreamChunk envelopes, so the sender can produce
+// chunk i+1 (encrypt, mask, matmul) while chunk i is on the wire and the
+// receiver consumes chunk i−1 (decrypt, accumulate) — the compute/
+// communication overlap behind the protocol layer's streamed conversions.
+//
+// Sequence numbers are per-direction and monotonically increasing; the
+// receiver validates both the stream sequence and the chunk index, so crossed
+// streams, reordered chunks and truncated streams surface as errors instead
+// of silently corrupting a matrix.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+func init() {
+	gob.Register(&StreamHeader{})
+	gob.Register(&StreamChunk{})
+}
+
+// StreamHeader announces a chunked transfer: the logical matrix shape and
+// how many chunks follow on this stream sequence.
+type StreamHeader struct {
+	Seq        uint64 // per-direction stream sequence number
+	Rows, Cols int    // logical shape of the assembled message
+	Chunks     int    // number of StreamChunk messages that follow
+}
+
+// StreamChunk carries one row-chunk of a streamed transfer.
+type StreamChunk struct {
+	Seq   uint64 // must match the header's Seq
+	Index int    // 0-based position within the stream
+	V     any    // chunk payload (a registered matrix type)
+}
+
+// SendStream ships one logical rows×cols message as chunks produced lazily:
+// produce(i) is called only after chunk i−1 has been handed to the transport,
+// so chunk production overlaps the wire (and, through it, the receiver's
+// consumption). seq is the sender's per-direction stream sequence number.
+func SendStream(c Conn, seq uint64, rows, cols, chunks int, produce func(i int) (any, error)) error {
+	if err := c.Send(&StreamHeader{Seq: seq, Rows: rows, Cols: cols, Chunks: chunks}); err != nil {
+		return err
+	}
+	for i := 0; i < chunks; i++ {
+		v, err := produce(i)
+		if err != nil {
+			return err
+		}
+		if err := c.Send(&StreamChunk{Seq: seq, Index: i, V: v}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RecvStream receives one chunked transfer, invoking consume for every chunk
+// in order. seq is the receiver's expectation for this direction's next
+// stream sequence; a mismatched sequence or out-of-order chunk index is an
+// error (a short read surfaces as the transport error of the missing Recv).
+func RecvStream(c Conn, seq uint64, consume func(h *StreamHeader, i int, v any) error) (*StreamHeader, error) {
+	v, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	h, ok := v.(*StreamHeader)
+	if !ok {
+		return nil, fmt.Errorf("transport: stream: want header, got %T", v)
+	}
+	if h.Seq != seq {
+		return nil, fmt.Errorf("transport: stream: sequence mismatch: got %d want %d", h.Seq, seq)
+	}
+	if h.Chunks <= 0 {
+		return nil, fmt.Errorf("transport: stream: header announces %d chunks", h.Chunks)
+	}
+	for i := 0; i < h.Chunks; i++ {
+		v, err := c.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("transport: stream: chunk %d/%d: %w", i, h.Chunks, err)
+		}
+		chunk, ok := v.(*StreamChunk)
+		if !ok {
+			return nil, fmt.Errorf("transport: stream: chunk %d: want chunk, got %T", i, v)
+		}
+		if chunk.Seq != h.Seq {
+			return nil, fmt.Errorf("transport: stream: chunk %d: sequence %d does not match header %d", i, chunk.Seq, h.Seq)
+		}
+		if chunk.Index != i {
+			return nil, fmt.Errorf("transport: stream: chunk out of order: got index %d want %d", chunk.Index, i)
+		}
+		if err := consume(h, i, chunk.V); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}

@@ -1,0 +1,115 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+
+	"blindfl/internal/tensor"
+)
+
+func TestSendRecvStreamRoundTripOverPair(t *testing.T) {
+	a, b := Pair(16)
+	src := tensor.FromSlice(5, 2, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	done := make(chan error, 1)
+	go func() {
+		done <- SendStream(a, 0, src.Rows, src.Cols, 3, func(i int) (any, error) {
+			lo := i * 2
+			hi := lo + 2
+			if hi > src.Rows {
+				hi = src.Rows
+			}
+			return src.RowSlice(lo, hi), nil
+		})
+	}()
+	got := tensor.NewDense(5, 2)
+	h, err := RecvStream(b, 0, func(h *StreamHeader, i int, v any) error {
+		chunk := v.(*tensor.Dense)
+		copy(got.Data[i*2*2:], chunk.Data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows != 5 || h.Cols != 2 || h.Chunks != 3 {
+		t.Fatalf("header = %+v", h)
+	}
+	if !got.Equal(src, 0) {
+		t.Fatalf("round trip: got %v want %v", got.Data, src.Data)
+	}
+}
+
+func TestRecvStreamRejectsWrongSequence(t *testing.T) {
+	a, b := Pair(4)
+	if err := a.Send(&StreamHeader{Seq: 7, Rows: 1, Cols: 1, Chunks: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RecvStream(b, 0, func(*StreamHeader, int, any) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "sequence mismatch") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecvStreamRejectsReorderedChunks(t *testing.T) {
+	a, b := Pair(8)
+	if err := a.Send(&StreamHeader{Seq: 0, Rows: 4, Cols: 1, Chunks: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Deliver chunk 1 before chunk 0: the receiver must refuse to assemble.
+	if err := a.Send(&StreamChunk{Seq: 0, Index: 1, V: tensor.NewDense(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RecvStream(b, 0, func(*StreamHeader, int, any) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRecvStreamRejectsCrossedStreamChunk(t *testing.T) {
+	a, b := Pair(8)
+	if err := a.Send(&StreamHeader{Seq: 0, Rows: 2, Cols: 1, Chunks: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A chunk from a different stream sequence sneaks in.
+	if err := a.Send(&StreamChunk{Seq: 3, Index: 0, V: tensor.NewDense(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RecvStream(b, 0, func(*StreamHeader, int, any) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "sequence") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRecvStreamShortReadOverTCP truncates a stream mid-flight on a real TCP
+// pair: the header promises more chunks than ever arrive and the sender's
+// socket closes. The receiver must surface a transport error, not hang or
+// return a partial matrix as success.
+func TestRecvStreamShortReadOverTCP(t *testing.T) {
+	s, c := tcpPair(t)
+	defer s.Close()
+
+	if err := c.Send(&StreamHeader{Seq: 0, Rows: 6, Cols: 1, Chunks: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(&StreamChunk{Seq: 0, Index: 0, V: tensor.NewDense(2, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // flushes the two queued messages, then tears the socket down
+
+	seen := 0
+	_, err := RecvStream(s, 0, func(h *StreamHeader, i int, v any) error {
+		seen++
+		return nil
+	})
+	if err == nil {
+		t.Fatal("truncated stream reported success")
+	}
+	if seen != 1 {
+		t.Fatalf("consumed %d chunks of a truncated stream, want 1", seen)
+	}
+	if !strings.Contains(err.Error(), "chunk 1/3") {
+		t.Fatalf("err = %v", err)
+	}
+}
