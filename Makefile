@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full bench examples fmt fmt-check vet
+.PHONY: build test test-full bench bench-smoke bench-json examples fmt fmt-check vet
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,18 @@ examples:
 
 # Throughput-engine benchmarks: packed/pooled encryption and fed-step.
 bench:
-	$(GO) test -run XXX -bench 'FedStep|Encrypt|MulPlainLeft|PoolEnc' -benchtime 10x ./ ./internal/hetensor/ ./internal/paillier/
+	$(GO) test -run XXX -bench 'FedStep|Encrypt|MulPlainLeft|PoolEnc|DotRow|MulPlainNeg' -benchtime 10x ./ ./internal/hetensor/ ./internal/paillier/
+
+# Bench smoke lane: every benchmark compiles and runs one iteration so
+# benchmark code cannot rot. -short skips the multi-minute paper tables;
+# the engine/kernel/fed-step benchmarks all execute.
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime 1x -short -timeout 15m ./...
+
+# Benchmarks as data: the exponentiation-engine perf suite at a production
+# key size, written to BENCH_PR3.json (format: internal/bench/README.md).
+bench-json:
+	$(GO) run ./cmd/blindfl-bench -perf BENCH_PR3.json -keybits 2048
 
 fmt:
 	gofmt -w .

@@ -26,7 +26,32 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: table5|table6|table7|table8|fig9|fig10|fig11|fig12|fig15|ablations|all")
 	quick := flag.Bool("quick", false, "reduced sizes for a fast end-to-end run")
 	only := flag.String("only", "", "comma-separated dataset filter for fig12 (e.g. w8a,higgs)")
+	perf := flag.String("perf", "", "run the exponentiation-engine perf suite and write JSON to this path (skips -exp)")
+	keybits := flag.Int("keybits", 2048, "Paillier key size for the -perf kernel benchmarks")
+	fedstep := flag.Bool("fedstep", true, "include the end-to-end packed fed-step pair (512-bit test keys) in -perf")
 	flag.Parse()
+
+	if *perf != "" {
+		fmt.Printf("running exponentiation-engine perf suite (%d-bit kernels)...\n", *keybits)
+		results, err := bench.RunPerfKernels(*keybits)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *fedstep {
+			fmt.Println("running packed fed-step engine/textbook pair (512-bit test keys)...")
+			results = append(results, bench.RunPerfFedStep()...)
+		}
+		if err := bench.WritePerfJSON(*perf, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Printf("%-28s %-10s %5d bits  %14.0f ns/op  (n=%d)\n", r.Op, r.Config, r.KeyBits, r.NsPerOp, r.Iters)
+		}
+		fmt.Printf("wrote %s\n", *perf)
+		return
+	}
 
 	filter := map[string]bool{}
 	if *only != "" {

@@ -33,6 +33,8 @@ func main() {
 	pool := flag.Int("pool", 0, "Paillier blinding-pool capacity per key (0 disables)")
 	stream := flag.Bool("stream", false, "chunk-streamed ciphertext transfers (compute/comm overlap)")
 	chunk := flag.Int("chunk", 0, "rows per streamed chunk (0 = protocol default)")
+	textbook := flag.Bool("textbook", false, "disable the signed/Straus exponentiation engine (ablation baseline)")
+	shortexp := flag.Int("shortexp", 0, "DJN short-exponent blinding width in bits for the pool (0 = classic full-width)")
 	flag.Parse()
 
 	kind, err := model.ParseKind(*kindStr)
@@ -43,6 +45,10 @@ func main() {
 	spec, ok := data.Specs[*dataset]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if *shortexp > 0 && *pool <= 0 {
+		fmt.Fprintln(os.Stderr, "-shortexp only affects the blinding pool; pass -pool N to enable it")
 		os.Exit(2)
 	}
 	if kind.UsesEmbedding() && spec.CatFields == 0 {
@@ -67,12 +73,17 @@ func main() {
 	h.Seed = *seed
 	h.Packed = *packed
 	h.Stream = *stream
+	h.Textbook = *textbook
 
 	fmt.Println("training federated BlindFL model (both parties in-process)...")
 	skA, skB := protocol.TestKeys()
 	if *pool > 0 {
+		var poolOpts []paillier.PoolOption
+		if *shortexp > 0 {
+			poolOpts = append(poolOpts, paillier.WithShortExp(*shortexp))
+		}
 		for _, sk := range []*paillier.PrivateKey{skA, skB} {
-			paillier.RegisterPool(paillier.NewPool(&sk.PublicKey, *pool, 0, paillier.Rand))
+			paillier.RegisterPool(paillier.NewPool(&sk.PublicKey, *pool, 0, paillier.Rand, poolOpts...))
 		}
 	}
 	pa, pb, err := protocol.Pipe(skA, skB, *seed)

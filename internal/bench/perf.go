@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"fmt"
+	"math/big"
+	mrand "math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"blindfl/internal/data"
+	"blindfl/internal/hetensor"
+	"blindfl/internal/paillier"
+	"blindfl/internal/tensor"
+)
+
+// Perf benchmarks as data: the exponentiation-engine suite run through
+// testing.Benchmark and serialized to JSON (`make bench-json`), seeding the
+// repo's performance trajectory. Each record pairs an op with the config
+// under which it ran, so before/after pairs ("textbook" vs "engine") live
+// side by side in one file. The format is documented in README.md.
+
+// PerfResult is one benchmark measurement.
+type PerfResult struct {
+	Op      string  `json:"op"`      // what was measured (e.g. "mulplainleft_dense")
+	Config  string  `json:"config"`  // variant (e.g. "textbook", "engine", "shortexp")
+	KeyBits int     `json:"keybits"` // Paillier modulus size
+	NsPerOp float64 `json:"ns_per_op"`
+	Iters   int     `json:"iterations"` // b.N chosen by the harness
+}
+
+// PerfFile is the top-level BENCH_PR3.json document.
+type PerfFile struct {
+	Generator  string       `json:"generator"` // "blindfl-bench -perf"
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Results    []PerfResult `json:"results"`
+}
+
+func perfRun(op, config string, keyBits int, fn func(b *testing.B)) PerfResult {
+	r := testing.Benchmark(fn)
+	return PerfResult{Op: op, Config: config, KeyBits: keyBits,
+		NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N), Iters: r.N}
+}
+
+// mixedMat draws a matrix with mixed-sign entries — about half the scalars
+// exercise the negative-exponent path, matching training reality.
+func mixedMat(rng *mrand.Rand, rows, cols int) *tensor.Dense {
+	d := tensor.NewDense(rows, cols)
+	for i := range d.Data {
+		d.Data[i] = rng.Float64()*4 - 2
+	}
+	return d
+}
+
+// RunPerfKernels benchmarks the paillier/hetensor exponentiation kernels at
+// the given key size, engine vs textbook: signed scalar multiplication,
+// the Straus dot kernel, short-exponent vs full-width blinding, and the
+// dense plaintext·ciphertext matmul layer.
+func RunPerfKernels(keyBits int) ([]PerfResult, error) {
+	sk, err := paillier.GenerateKey(rand.Reader, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	pk := &sk.PublicKey
+	rng := mrand.New(mrand.NewSource(5))
+	var out []PerfResult
+
+	// Scalar multiplication by a negative ~45-bit fixed-point scalar: the
+	// textbook path exponentiates by the full-width ring image N−|k|.
+	c, err := pk.Encrypt(rand.Reader, big.NewInt(987654321))
+	if err != nil {
+		return nil, err
+	}
+	neg := big.NewInt(-(1 << 44))
+	mag := new(big.Int).Abs(neg)
+	out = append(out,
+		perfRun("mulplain_neg_scalar", "textbook", keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pk.MulPlain(c, neg)
+			}
+		}),
+		perfRun("mulplain_neg_scalar", "signed", keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pk.MulPlainSigned(c, mag, true)
+			}
+		}))
+
+	// Encrypted dot product of length 16 with mixed-sign ~45-bit exponents:
+	// per-term MulPlain+AddCipher vs the Straus interleaved kernel.
+	n := 16
+	cs := make([]*paillier.Ciphertext, n)
+	ks := make([]*big.Int, n)
+	es := make([]paillier.SignedExp, n)
+	for i := range cs {
+		if cs[i], err = pk.Encrypt(rand.Reader, big.NewInt(int64(rng.Intn(1<<30)))); err != nil {
+			return nil, err
+		}
+		k := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 45))
+		if rng.Intn(2) == 0 {
+			k.Neg(k)
+		}
+		ks[i] = k
+		es[i] = paillier.SignedExp{Mag: new(big.Int).Abs(k), Neg: k.Sign() < 0}
+	}
+	out = append(out,
+		perfRun("dot16", "textbook", keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				acc := &paillier.Ciphertext{C: big.NewInt(1)}
+				for j := range cs {
+					acc = pk.AddCipher(acc, pk.MulPlain(cs[j], ks[j]))
+				}
+			}
+		}),
+		perfRun("dot16", "straus", keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pk.DotRow(cs, es)
+			}
+		}))
+
+	// Blinding cost per encryption: inline full-width r^N vs the DJN
+	// short-exponent (hⁿ)^α path (drained pool, so Enc blinds inline).
+	shortPool := paillier.NewPool(pk, 1, 1, rand.Reader, paillier.WithShortExp(0))
+	shortPool.Close()
+	m := big.NewInt(424242)
+	out = append(out,
+		perfRun("encrypt_blinding", "fullwidth", keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pk.Encrypt(rand.Reader, m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		perfRun("encrypt_blinding", "shortexp", keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := shortPool.Enc(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+	// Dense MatMul layer kernel (the fed-forward shape X·⟦W⟧), textbook vs
+	// engine. Sized down so a textbook iteration stays ~seconds at 2048 bits.
+	x := mixedMat(rng, 8, 16)
+	w := mixedMat(rng, 16, 2)
+	encW := hetensor.Encrypt(pk, w, 1)
+	for _, cfg := range []struct {
+		name     string
+		textbook bool
+	}{{"textbook", true}, {"engine", false}} {
+		prev := hetensor.SetTextbook(cfg.textbook)
+		out = append(out, perfRun("mulplainleft_dense_8x16x2", cfg.name, keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				hetensor.MulPlainLeft(x, encW)
+			}
+		}))
+		hetensor.SetTextbook(prev)
+	}
+	return out, nil
+}
+
+// RunPerfFedStep benchmarks the packed federated MatMul step (both parties
+// in-process, protocol.TestKeys at 512 bits) with the exponentiation engine
+// on and off: the end-to-end acceptance pair.
+func RunPerfFedStep() []PerfResult {
+	var out []PerfResult
+	spec := data.Spec{Name: "bench-dense", Feats: 32, AvgNNZ: 32, Classes: 2, Train: 256, Test: 64}
+	for _, cfg := range []struct {
+		name     string
+		textbook bool
+	}{{"textbook", true}, {"engine", false}} {
+		step := NewBlindFLStepperOpts(spec, 32, 4, StepperOpts{Packed: true, Textbook: cfg.textbook})
+		step() // warm-up outside the measurement
+		out = append(out, perfRun("fedstep_packed", cfg.name, 512, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		}))
+	}
+	return out
+}
+
+// WritePerfJSON writes results as an indented PerfFile document.
+func WritePerfJSON(path string, results []PerfResult) error {
+	doc := PerfFile{Generator: "blindfl-bench -perf", GoMaxProcs: runtime.GOMAXPROCS(0), Results: results}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return nil
+}

@@ -35,6 +35,14 @@ type StepperOpts struct {
 	// replaced and closed. The new pools stay registered for the process
 	// (benchmarks that care unregister and close them via paillier.PoolFor).
 	PoolCapacity int
+	// ShortExp switches the registered pools (PoolCapacity > 0) to
+	// DJN-style short-exponent blinding: refills draw (hⁿ)^α for a fresh
+	// ~400-bit α instead of a full-width r^N.
+	ShortExp bool
+	// Textbook disables the signed/Straus exponentiation engine
+	// (core.Config.Textbook) so a run measures the classic full-width
+	// MulPlain paths — the pre-engine baseline.
+	Textbook bool
 }
 
 // NewBlindFLStepper builds a federated MatMul source layer for a dataset
@@ -61,9 +69,13 @@ func NewBlindFLStepperOpts(spec data.Spec, batch, out int, opts StepperOpts) fun
 		panic(err)
 	}
 	if opts.PoolCapacity > 0 {
+		var poolOpts []paillier.PoolOption
+		if opts.ShortExp {
+			poolOpts = append(poolOpts, paillier.WithShortExp(0))
+		}
 		for _, sk := range []*paillier.PrivateKey{skA, skB} {
 			old := paillier.PoolFor(&sk.PublicKey)
-			paillier.RegisterPool(paillier.NewPool(&sk.PublicKey, opts.PoolCapacity, 0, paillier.Rand))
+			paillier.RegisterPool(paillier.NewPool(&sk.PublicKey, opts.PoolCapacity, 0, paillier.Rand, poolOpts...))
 			if old != nil {
 				old.Close()
 			}
@@ -72,7 +84,7 @@ func NewBlindFLStepperOpts(spec data.Spec, batch, out int, opts StepperOpts) fun
 	pa.ChunkRows, pb.ChunkRows = opts.ChunkRows, opts.ChunkRows
 	rng := rand.New(rand.NewSource(11))
 	half := spec.Feats / 2
-	cfg := core.Config{Out: out, LR: 0.05, Packed: opts.Packed, Stream: opts.Stream}
+	cfg := core.Config{Out: out, LR: 0.05, Packed: opts.Packed, Stream: opts.Stream, Textbook: opts.Textbook}
 
 	runStep := func(fa, fb func()) {
 		if err := protocol.RunParties(pa, pb, fa, fb); err != nil {

@@ -75,6 +75,7 @@ type EmbedMatMulB struct {
 // S_A, T_B, U_A, V_B, ships ⟦T_B⟧, ⟦U_A⟧, ⟦V_B⟧ under its own key, and
 // receives ⟦T_A⟧, ⟦U_B⟧, ⟦V_A⟧ under B's key.
 func NewEmbedMatMulA(p *protocol.Peer, cfg EmbedConfig) *EmbedMatMulA {
+	cfg.applyExpEngine()
 	s := cfg.initScale()
 	l := &EmbedMatMulA{
 		cfg: cfg, peer: p,
@@ -104,6 +105,7 @@ func NewEmbedMatMulA(p *protocol.Peer, cfg EmbedConfig) *EmbedMatMulA {
 
 // NewEmbedMatMulB initializes Party B's half, symmetric to NewEmbedMatMulA.
 func NewEmbedMatMulB(p *protocol.Peer, cfg EmbedConfig) *EmbedMatMulB {
+	cfg.applyExpEngine()
 	s := cfg.initScale()
 	l := &EmbedMatMulB{
 		cfg: cfg, peer: p,

@@ -54,6 +54,7 @@ type MatMulB struct {
 // V_B, ships ⟦V_B⟧ under A's key to B, and receives ⟦V_A⟧ under B's key.
 // Must run concurrently with NewMatMulB on the other side.
 func NewMatMulA(p *protocol.Peer, cfg Config, inA, inB int) *MatMulA {
+	cfg.applyExpEngine()
 	s := cfg.initScale()
 	l := &MatMulA{
 		cfg: cfg, peer: p,
@@ -74,6 +75,7 @@ func NewMatMulA(p *protocol.Peer, cfg Config, inA, inB int) *MatMulA {
 
 // NewMatMulB initializes Party B's half, symmetric to NewMatMulA.
 func NewMatMulB(p *protocol.Peer, cfg Config, inA, inB int) *MatMulB {
+	cfg.applyExpEngine()
 	s := cfg.initScale()
 	l := &MatMulB{
 		cfg: cfg, peer: p,

@@ -122,6 +122,7 @@ func touchedCols(x *tensor.CSR) []int {
 // NewSparseMatMulA initializes Party A's half. Unlike the dense layer no
 // encrypted pieces are exchanged up front; rows are served on demand.
 func NewSparseMatMulA(p *protocol.Peer, cfg Config, inA, inB int) *SparseMatMulA {
+	cfg.applyExpEngine()
 	s := cfg.initScale()
 	return &SparseMatMulA{
 		cfg: cfg, peer: p,
@@ -134,6 +135,7 @@ func NewSparseMatMulA(p *protocol.Peer, cfg Config, inA, inB int) *SparseMatMulA
 
 // NewSparseMatMulB initializes Party B's half.
 func NewSparseMatMulB(p *protocol.Peer, cfg Config, inA, inB int) *SparseMatMulB {
+	cfg.applyExpEngine()
 	s := cfg.initScale()
 	return &SparseMatMulB{
 		cfg: cfg, peer: p,

@@ -1,6 +1,9 @@
 package core
 
-import "blindfl/internal/tensor"
+import (
+	"blindfl/internal/hetensor"
+	"blindfl/internal/tensor"
+)
 
 // momentum applies momentum SGD to one secret-share piece. Momentum is a
 // linear operator, so applying it to each additive piece independently is
@@ -70,7 +73,20 @@ type Config struct {
 	// monolithic protocol exactly (chunking changes message framing, not
 	// values). The sparse MatMul layer ignores the flag, like Packed.
 	Stream bool
+
+	// Textbook disables the signed/Straus exponentiation engine on the
+	// homomorphic matmul kernels, restoring the classic full-width MulPlain
+	// paths (hetensor.SetTextbook). The toggle is process-wide — in-process
+	// parties share it, and the most recently constructed layer wins, so
+	// don't interleave construction of textbook and engine models. It
+	// exists for A/B ablation benchmarking; results are identical either
+	// way, the engine is just faster.
+	Textbook bool
 }
+
+// applyExpEngine applies the Textbook ablation toggle. Called by the layer
+// constructors so the flag takes effect wherever a Config enters the system.
+func (c Config) applyExpEngine() { hetensor.SetTextbook(c.Textbook) }
 
 func (c Config) initScale() float64 {
 	if c.InitScale == 0 {

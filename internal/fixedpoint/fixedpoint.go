@@ -41,6 +41,28 @@ func (c Codec) Encode(v float64, scale uint) *big.Int {
 	return bi
 }
 
+// EncodeSigned converts v to signed-magnitude fixed point: |round(v·2^(F·scale))|
+// and the sign. The magnitude is what the Paillier fast exponentiation paths
+// (MulPlainSigned, DotRow) use as the exponent, so a negative value costs a
+// ~(F+log₂|v|)-bit exponentiation instead of the full-width ring image n−|v|.
+func (c Codec) EncodeSigned(v float64, scale uint) (mag *big.Int, neg bool) {
+	mag = c.Encode(v, scale)
+	if mag.Sign() < 0 {
+		return mag.Neg(mag), true
+	}
+	return mag, false
+}
+
+// DecodeSigned converts a signed-magnitude pair back to float64: the inverse
+// of EncodeSigned.
+func (c Codec) DecodeSigned(mag *big.Int, neg bool, scale uint) float64 {
+	v := c.Decode(mag, scale)
+	if neg {
+		return -v
+	}
+	return v
+}
+
 // Decode converts a signed scaled integer back to float64.
 func (c Codec) Decode(x *big.Int, scale uint) float64 {
 	f, _ := new(big.Float).SetInt(x).Float64()

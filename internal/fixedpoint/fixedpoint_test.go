@@ -166,3 +166,46 @@ func TestEncodePanicsOnNaN(t *testing.T) {
 	}()
 	Default.Encode(math.NaN(), 1)
 }
+
+// TestEncodeSignedRoundTrip checks the signed-magnitude codec: EncodeSigned
+// must agree with Encode (mag·(−1)^neg == Encode(v)), DecodeSigned must
+// invert it exactly, and magnitudes must never be negative.
+func TestEncodeSignedRoundTrip(t *testing.T) {
+	c := Default
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		v = math.Mod(v, 1e6)
+		for _, scale := range []uint{1, 2} {
+			mag, neg := c.EncodeSigned(v, scale)
+			if mag.Sign() < 0 {
+				return false
+			}
+			want := c.Encode(v, scale)
+			signed := new(big.Int).Set(mag)
+			if neg {
+				signed.Neg(signed)
+			}
+			if signed.Cmp(want) != 0 {
+				return false
+			}
+			if c.DecodeSigned(mag, neg, scale) != c.Decode(want, scale) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeSignedZero(t *testing.T) {
+	for _, v := range []float64{0, math.Copysign(0, -1)} {
+		mag, neg := Default.EncodeSigned(v, 1)
+		if mag.Sign() != 0 || neg {
+			t.Fatalf("EncodeSigned(%v) = (%v, %v), want (0, false)", v, mag, neg)
+		}
+	}
+}

@@ -141,26 +141,34 @@ func (m *CipherMatrix) SubPlainFresh(d *tensor.Dense) *CipherMatrix {
 
 // MulPlainLeft computes ⟦X·W⟧ from plaintext X (dense) and encrypted W.
 // X is encoded at scale 1, so the result has scale W.Scale+1. Zero entries
-// of X are skipped.
+// of X are skipped. Each output cell is one Straus dot kernel evaluation
+// (see dot.go) unless the textbook paths are toggled on.
 func MulPlainLeft(x *tensor.Dense, w *CipherMatrix) *CipherMatrix {
 	if x.Cols != w.Rows {
 		panic(fmt.Sprintf("hetensor: MulPlainLeft inner dim mismatch %d×%d · %d×%d", x.Rows, x.Cols, w.Rows, w.Cols))
 	}
 	out := NewCipherMatrix(w.PK, x.Rows, w.Cols, w.Scale+1)
-	parallel.For(x.Rows, func(i int) {
-		orow := out.Row(i)
-		xrow := x.Row(i)
-		for k, a := range xrow {
-			if a == 0 {
-				continue
+	if TextbookExp() {
+		parallel.For(x.Rows, func(i int) {
+			orow := out.Row(i)
+			xrow := x.Row(i)
+			for k, a := range xrow {
+				if a == 0 {
+					continue
+				}
+				ea := Codec.Encode(a, 1)
+				wrow := w.Row(k)
+				for j := range orow {
+					orow[j] = w.PK.AddCipher(orow[j], w.PK.MulPlain(wrow[j], ea))
+				}
 			}
-			ea := Codec.Encode(a, 1)
-			wrow := w.Row(k)
-			for j := range orow {
-				orow[j] = w.PK.AddCipher(orow[j], w.PK.MulPlain(wrow[j], ea))
-			}
-		}
-	})
+		})
+		return out
+	}
+	exps, maxBits := denseRowExps(x)
+	dotProducts(w.PK, func(k, j int) *paillier.Ciphertext { return w.Row(k)[j] },
+		x.Cols, w.Cols, exps, maxBits,
+		func(i, j int, c *paillier.Ciphertext) { out.Row(i)[j] = c })
 	return out
 }
 
@@ -172,17 +180,21 @@ func MulPlainLeftCSR(x *tensor.CSR, w *CipherMatrix) *CipherMatrix {
 		panic(fmt.Sprintf("hetensor: MulPlainLeftCSR inner dim mismatch %d×%d · %d×%d", x.Rows, x.Cols, w.Rows, w.Cols))
 	}
 	out := NewCipherMatrix(w.PK, x.Rows, w.Cols, w.Scale+1)
-	parallel.For(x.Rows, func(i int) {
-		orow := out.Row(i)
-		cols, vals := x.RowNNZ(i)
-		for t, k := range cols {
-			ea := Codec.Encode(vals[t], 1)
-			wrow := w.Row(k)
-			for j := range orow {
-				orow[j] = w.PK.AddCipher(orow[j], w.PK.MulPlain(wrow[j], ea))
+	if TextbookExp() {
+		parallel.For(x.Rows, func(i int) {
+			orow := out.Row(i)
+			cols, vals := x.RowNNZ(i)
+			for t, k := range cols {
+				ea := Codec.Encode(vals[t], 1)
+				wrow := w.Row(k)
+				for j := range orow {
+					orow[j] = w.PK.AddCipher(orow[j], w.PK.MulPlain(wrow[j], ea))
+				}
 			}
-		}
-	})
+		})
+		return out
+	}
+	dotCSRMul(w.PK, x, w.Row, w.Cols, out.Row)
 	return out
 }
 
@@ -208,21 +220,31 @@ func TransposeMulLeftAcc(acc *CipherMatrix, x *tensor.Dense, g *CipherMatrix) {
 		panic(fmt.Sprintf("hetensor: TransposeMulLeftAcc accumulator %d×%d@%d, want %d×%d@%d",
 			acc.Rows, acc.Cols, acc.Scale, x.Cols, g.Cols, g.Scale+1))
 	}
-	// Parallelize over output rows (columns of X) to avoid write contention.
-	parallel.For(x.Cols, func(k int) {
-		orow := acc.Row(k)
-		for i := 0; i < x.Rows; i++ {
-			a := x.At(i, k)
-			if a == 0 {
-				continue
+	if TextbookExp() {
+		// Parallelize over output rows (columns of X) to avoid write contention.
+		parallel.For(x.Cols, func(k int) {
+			orow := acc.Row(k)
+			for i := 0; i < x.Rows; i++ {
+				a := x.At(i, k)
+				if a == 0 {
+					continue
+				}
+				ea := Codec.Encode(a, 1)
+				grow := g.Row(i)
+				for j := range orow {
+					orow[j] = g.PK.AddCipher(orow[j], g.PK.MulPlain(grow[j], ea))
+				}
 			}
-			ea := Codec.Encode(a, 1)
-			grow := g.Row(i)
-			for j := range orow {
-				orow[j] = g.PK.AddCipher(orow[j], g.PK.MulPlain(grow[j], ea))
-			}
-		}
-	})
+		})
+		return
+	}
+	exps, maxBits := denseColExps(x)
+	dotProducts(g.PK, func(i, j int) *paillier.Ciphertext { return g.Row(i)[j] },
+		x.Rows, g.Cols, exps, maxBits,
+		func(k, j int, c *paillier.Ciphertext) {
+			orow := acc.Row(k)
+			orow[j] = g.PK.AddCipher(orow[j], c)
+		})
 }
 
 // TransposeMulLeftCSR computes ⟦Xᵀ·G⟧ for sparse X. Rows of the output are
@@ -248,28 +270,32 @@ func TransposeMulLeftCSRAcc(acc *CipherMatrix, x *tensor.CSR, lo int, g *CipherM
 		panic(fmt.Sprintf("hetensor: TransposeMulLeftCSRAcc accumulator %d×%d@%d, want %d×%d@%d",
 			acc.Rows, acc.Cols, acc.Scale, x.Cols, g.Cols, g.Scale+1))
 	}
-	// Bucket non-zeros by column so each output row is owned by one goroutine.
-	type nz struct {
-		row int
-		val float64
-	}
-	buckets := make([][]nz, x.Cols)
-	for i := 0; i < g.Rows; i++ {
-		cols, vals := x.RowNNZ(lo + i)
-		for t, k := range cols {
-			buckets[k] = append(buckets[k], nz{i, vals[t]})
+	if TextbookExp() {
+		// Bucket non-zeros by column so each output row is owned by one goroutine.
+		type nz struct {
+			row int
+			val float64
 		}
-	}
-	parallel.For(x.Cols, func(k int) {
-		orow := acc.Row(k)
-		for _, e := range buckets[k] {
-			ea := Codec.Encode(e.val, 1)
-			grow := g.Row(e.row)
-			for j := range orow {
-				orow[j] = g.PK.AddCipher(orow[j], g.PK.MulPlain(grow[j], ea))
+		buckets := make([][]nz, x.Cols)
+		for i := 0; i < g.Rows; i++ {
+			cols, vals := x.RowNNZ(lo + i)
+			for t, k := range cols {
+				buckets[k] = append(buckets[k], nz{i, vals[t]})
 			}
 		}
-	})
+		parallel.For(x.Cols, func(k int) {
+			orow := acc.Row(k)
+			for _, e := range buckets[k] {
+				ea := Codec.Encode(e.val, 1)
+				grow := g.Row(e.row)
+				for j := range orow {
+					orow[j] = g.PK.AddCipher(orow[j], g.PK.MulPlain(grow[j], ea))
+				}
+			}
+		})
+		return
+	}
+	dotCSRTransposeAcc(g.PK, x, lo, g.Rows, g.Row, g.Cols, acc.Row)
 }
 
 // MulPlainRightTranspose computes ⟦G·Wᵀ⟧ from encrypted G (m×n) and
@@ -280,21 +306,30 @@ func MulPlainRightTranspose(g *CipherMatrix, w *tensor.Dense) *CipherMatrix {
 		panic(fmt.Sprintf("hetensor: MulPlainRightTranspose inner dim mismatch %d×%d · %d×%dᵀ", g.Rows, g.Cols, w.Rows, w.Cols))
 	}
 	out := NewCipherMatrix(g.PK, g.Rows, w.Rows, g.Scale+1)
-	parallel.For(g.Rows, func(i int) {
-		grow := g.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < w.Rows; j++ {
-			wrow := w.Row(j)
-			acc := orow[j]
-			for k, b := range wrow {
-				if b == 0 {
-					continue
+	if TextbookExp() {
+		parallel.For(g.Rows, func(i int) {
+			grow := g.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < w.Rows; j++ {
+				wrow := w.Row(j)
+				acc := orow[j]
+				for k, b := range wrow {
+					if b == 0 {
+						continue
+					}
+					acc = g.PK.AddCipher(acc, g.PK.MulPlain(grow[k], Codec.Encode(b, 1)))
 				}
-				acc = g.PK.AddCipher(acc, g.PK.MulPlain(grow[k], Codec.Encode(b, 1)))
+				orow[j] = acc
 			}
-			orow[j] = acc
-		}
-	})
+		})
+		return out
+	}
+	// Rows of W are the exponent vectors; each row i of G is one fixed base
+	// set, so its window tables are shared across all w.Rows outputs.
+	exps, maxBits := denseRowExps(w)
+	dotProducts(g.PK, func(k, i int) *paillier.Ciphertext { return g.Row(i)[k] },
+		g.Cols, g.Rows, exps, maxBits,
+		func(j, i int, c *paillier.Ciphertext) { out.Row(i)[j] = c })
 	return out
 }
 
@@ -307,31 +342,45 @@ func MulPlainLeftTransposeRight(x *tensor.Dense, w *CipherMatrix) *CipherMatrix 
 		panic(fmt.Sprintf("hetensor: MulPlainLeftTransposeRight inner dim mismatch %d×%d · %d×%dᵀ", x.Rows, x.Cols, w.Rows, w.Cols))
 	}
 	out := NewCipherMatrix(w.PK, x.Rows, w.Rows, w.Scale+1)
-	parallel.For(x.Rows, func(i int) {
-		xrow := x.Row(i)
-		orow := out.Row(i)
-		for j := 0; j < w.Rows; j++ {
-			wrow := w.Row(j)
-			acc := orow[j]
-			for k, a := range xrow {
-				if a == 0 {
-					continue
+	if TextbookExp() {
+		parallel.For(x.Rows, func(i int) {
+			xrow := x.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < w.Rows; j++ {
+				wrow := w.Row(j)
+				acc := orow[j]
+				for k, a := range xrow {
+					if a == 0 {
+						continue
+					}
+					acc = w.PK.AddCipher(acc, w.PK.MulPlain(wrow[k], Codec.Encode(a, 1)))
 				}
-				acc = w.PK.AddCipher(acc, w.PK.MulPlain(wrow[k], Codec.Encode(a, 1)))
+				orow[j] = acc
 			}
-			orow[j] = acc
-		}
-	})
+		})
+		return out
+	}
+	exps, maxBits := denseRowExps(x)
+	dotProducts(w.PK, func(k, j int) *paillier.Ciphertext { return w.Row(j)[k] },
+		w.Cols, w.Rows, exps, maxBits,
+		func(i, j int, c *paillier.Ciphertext) { out.Row(i)[j] = c })
 	return out
 }
 
 // ScaleUp multiplies every entry by the scale-1 encoding of s, raising the
 // scale by one. Used to align scales before cipher additions.
 func (m *CipherMatrix) ScaleUp(s float64) *CipherMatrix {
-	es := Codec.Encode(s, 1)
 	out := &CipherMatrix{Rows: m.Rows, Cols: m.Cols, Scale: m.Scale + 1, PK: m.PK, C: make([]*paillier.Ciphertext, len(m.C))}
+	if TextbookExp() {
+		es := Codec.Encode(s, 1)
+		parallel.For(len(m.C), func(i int) {
+			out.C[i] = m.PK.MulPlain(m.C[i], es)
+		})
+		return out
+	}
+	mag, neg := Codec.EncodeSigned(s, 1)
 	parallel.For(len(m.C), func(i int) {
-		out.C[i] = m.PK.MulPlain(m.C[i], es)
+		out.C[i] = m.PK.MulPlainSigned(m.C[i], mag, neg)
 	})
 	return out
 }

@@ -195,20 +195,27 @@ func MulPlainLeftPacked(x *tensor.Dense, w *PackedMatrix) *PackedMatrix {
 		panic(fmt.Sprintf("hetensor: MulPlainLeftPacked inner dim mismatch %d×%d · %d×%d", x.Rows, x.Cols, w.Rows, w.Cols))
 	}
 	out := NewPackedMatrix(w.PK, x.Rows, w.Cols, w.Block, w.Scale+1)
-	parallel.For(x.Rows, func(i int) {
-		orow := out.Row(i)
-		xrow := x.Row(i)
-		for k, a := range xrow {
-			if a == 0 {
-				continue
+	if TextbookExp() {
+		parallel.For(x.Rows, func(i int) {
+			orow := out.Row(i)
+			xrow := x.Row(i)
+			for k, a := range xrow {
+				if a == 0 {
+					continue
+				}
+				ea := Codec.Encode(a, 1)
+				wrow := w.Row(k)
+				for g := range orow {
+					orow[g] = w.PK.AddCipher(orow[g], w.PK.MulPlain(wrow[g], ea))
+				}
 			}
-			ea := Codec.Encode(a, 1)
-			wrow := w.Row(k)
-			for g := range orow {
-				orow[g] = w.PK.AddCipher(orow[g], w.PK.MulPlain(wrow[g], ea))
-			}
-		}
-	})
+		})
+		return out
+	}
+	exps, maxBits := denseRowExps(x)
+	dotProducts(w.PK, func(k, g int) *paillier.Ciphertext { return w.Row(k)[g] },
+		x.Cols, w.GroupsPerRow(), exps, maxBits,
+		func(i, g int, c *paillier.Ciphertext) { out.Row(i)[g] = c })
 	return out
 }
 
@@ -218,17 +225,21 @@ func MulPlainLeftCSRPacked(x *tensor.CSR, w *PackedMatrix) *PackedMatrix {
 		panic(fmt.Sprintf("hetensor: MulPlainLeftCSRPacked inner dim mismatch %d×%d · %d×%d", x.Rows, x.Cols, w.Rows, w.Cols))
 	}
 	out := NewPackedMatrix(w.PK, x.Rows, w.Cols, w.Block, w.Scale+1)
-	parallel.For(x.Rows, func(i int) {
-		orow := out.Row(i)
-		cols, vals := x.RowNNZ(i)
-		for t, k := range cols {
-			ea := Codec.Encode(vals[t], 1)
-			wrow := w.Row(k)
-			for g := range orow {
-				orow[g] = w.PK.AddCipher(orow[g], w.PK.MulPlain(wrow[g], ea))
+	if TextbookExp() {
+		parallel.For(x.Rows, func(i int) {
+			orow := out.Row(i)
+			cols, vals := x.RowNNZ(i)
+			for t, k := range cols {
+				ea := Codec.Encode(vals[t], 1)
+				wrow := w.Row(k)
+				for g := range orow {
+					orow[g] = w.PK.AddCipher(orow[g], w.PK.MulPlain(wrow[g], ea))
+				}
 			}
-		}
-	})
+		})
+		return out
+	}
+	dotCSRMul(w.PK, x, w.Row, w.GroupsPerRow(), out.Row)
 	return out
 }
 
@@ -251,20 +262,30 @@ func TransposeMulLeftPackedAcc(acc *PackedMatrix, x *tensor.Dense, g *PackedMatr
 		panic(fmt.Sprintf("hetensor: TransposeMulLeftPackedAcc accumulator %d×%d/%d@%d, want %d×%d/%d@%d",
 			acc.Rows, acc.Cols, acc.Block, acc.Scale, x.Cols, g.Cols, g.Block, g.Scale+1))
 	}
-	parallel.For(x.Cols, func(k int) {
-		orow := acc.Row(k)
-		for i := 0; i < x.Rows; i++ {
-			a := x.At(i, k)
-			if a == 0 {
-				continue
+	if TextbookExp() {
+		parallel.For(x.Cols, func(k int) {
+			orow := acc.Row(k)
+			for i := 0; i < x.Rows; i++ {
+				a := x.At(i, k)
+				if a == 0 {
+					continue
+				}
+				ea := Codec.Encode(a, 1)
+				grow := g.Row(i)
+				for j := range orow {
+					orow[j] = g.PK.AddCipher(orow[j], g.PK.MulPlain(grow[j], ea))
+				}
 			}
-			ea := Codec.Encode(a, 1)
-			grow := g.Row(i)
-			for j := range orow {
-				orow[j] = g.PK.AddCipher(orow[j], g.PK.MulPlain(grow[j], ea))
-			}
-		}
-	})
+		})
+		return
+	}
+	exps, maxBits := denseColExps(x)
+	dotProducts(g.PK, func(i, t int) *paillier.Ciphertext { return g.Row(i)[t] },
+		x.Rows, g.GroupsPerRow(), exps, maxBits,
+		func(k, t int, c *paillier.Ciphertext) {
+			orow := acc.Row(k)
+			orow[t] = g.PK.AddCipher(orow[t], c)
+		})
 }
 
 // TransposeMulLeftCSRPacked computes ⟦Xᵀ·G⟧ for sparse X and packed G.
@@ -287,27 +308,31 @@ func TransposeMulLeftCSRPackedAcc(acc *PackedMatrix, x *tensor.CSR, lo int, g *P
 		panic(fmt.Sprintf("hetensor: TransposeMulLeftCSRPackedAcc accumulator %d×%d/%d@%d, want %d×%d/%d@%d",
 			acc.Rows, acc.Cols, acc.Block, acc.Scale, x.Cols, g.Cols, g.Block, g.Scale+1))
 	}
-	type nz struct {
-		row int
-		val float64
-	}
-	buckets := make([][]nz, x.Cols)
-	for i := 0; i < g.Rows; i++ {
-		cols, vals := x.RowNNZ(lo + i)
-		for t, k := range cols {
-			buckets[k] = append(buckets[k], nz{i, vals[t]})
+	if TextbookExp() {
+		type nz struct {
+			row int
+			val float64
 		}
-	}
-	parallel.For(x.Cols, func(k int) {
-		orow := acc.Row(k)
-		for _, e := range buckets[k] {
-			ea := Codec.Encode(e.val, 1)
-			grow := g.Row(e.row)
-			for j := range orow {
-				orow[j] = g.PK.AddCipher(orow[j], g.PK.MulPlain(grow[j], ea))
+		buckets := make([][]nz, x.Cols)
+		for i := 0; i < g.Rows; i++ {
+			cols, vals := x.RowNNZ(lo + i)
+			for t, k := range cols {
+				buckets[k] = append(buckets[k], nz{i, vals[t]})
 			}
 		}
-	})
+		parallel.For(x.Cols, func(k int) {
+			orow := acc.Row(k)
+			for _, e := range buckets[k] {
+				ea := Codec.Encode(e.val, 1)
+				grow := g.Row(e.row)
+				for j := range orow {
+					orow[j] = g.PK.AddCipher(orow[j], g.PK.MulPlain(grow[j], ea))
+				}
+			}
+		})
+		return
+	}
+	dotCSRTransposeAcc(g.PK, x, lo, g.Rows, g.Row, g.GroupsPerRow(), acc.Row)
 }
 
 // LookupPacked gathers rows of a packed encrypted embedding table. The

@@ -54,6 +54,7 @@ type Hyper struct {
 	Seed     int64
 	Packed   bool // ciphertext packing on the source-layer hot paths
 	Stream   bool // chunk-streamed ciphertext transfers (compute/comm overlap)
+	Textbook bool // disable the signed/Straus exponentiation engine (ablation)
 }
 
 // DefaultHyper returns the paper's protocol settings.

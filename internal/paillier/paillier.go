@@ -12,6 +12,21 @@
 // via the fixedpoint package. The implementation uses g = n+1, so encryption
 // costs one n-bit exponentiation (the random blinding r^n) plus two
 // multiplications.
+//
+// On top of the textbook operations the package provides a fast
+// exponentiation engine (signed.go) for the homomorphic matmul hot paths:
+//
+//	MulPlainSigned — scalar multiplication by a signed-magnitude scalar,
+//	  exponentiating by the small magnitude and inverting once mod n²
+//	  instead of exponentiating by the full-width ring image n−|k|;
+//	DotRow / DotTables — Straus interleaved multi-exponentiation computing
+//	  an encrypted dot product Π cᵢ^{kᵢ} with one shared squaring chain,
+//	  per-base window tables, and a single inversion for all negative
+//	  factors;
+//	Pool + WithShortExp — precomputed encryption blindings, optionally
+//	  drawn as (h^n)^α for a short random α in the style of
+//	  Damgård–Jurik–Nielsen, replacing the full n-bit refill
+//	  exponentiation with a ~400-bit one.
 package paillier
 
 import (
@@ -40,6 +55,9 @@ type PrivateKey struct {
 	qOrder *big.Int // q−1
 	hp, hq *big.Int // CRT decryption constants
 	qInvP  *big.Int // q⁻¹ mod p
+
+	lambda *big.Int // lcm(p−1, q−1), cached for DecryptTextbook
+	mu     *big.Int // L(g^λ mod N²)⁻¹ mod N, cached for DecryptTextbook
 }
 
 // Ciphertext is an element of Z_{N²} encrypting one plaintext.
@@ -98,6 +116,15 @@ func GenerateKey(random io.Reader, bits int) (*PrivateKey, error) {
 		}
 		priv.qInvP = new(big.Int).ModInverse(q, p)
 		if priv.qInvP == nil {
+			continue
+		}
+		// Cache λ = lcm(p−1, q−1) and µ = L(g^λ mod N²)⁻¹ mod N at keygen so
+		// DecryptTextbook measures only the decryption exponentiation.
+		priv.lambda = new(big.Int).Mul(pm1, qm1)
+		priv.lambda.Div(priv.lambda, new(big.Int).GCD(nil, nil, pm1, qm1))
+		gl := new(big.Int).Exp(new(big.Int).Add(n, one), priv.lambda, priv.N2)
+		priv.mu = new(big.Int).ModInverse(lFunc(gl, n), n)
+		if priv.mu == nil {
 			continue
 		}
 		return priv, nil
@@ -168,17 +195,14 @@ func (sk *PrivateKey) Decrypt(c *Ciphertext) *big.Int {
 }
 
 // DecryptTextbook recovers the plaintext with the textbook formula
-// m = L(c^λ mod N²)·µ mod N, without the CRT split. It exists for the
-// decryption ablation benchmark; Decrypt is ~3–4× faster and functionally
-// identical.
+// m = L(c^λ mod N²)·µ mod N, without the CRT split. λ and µ are computed
+// once at keygen, so this measures only the decryption exponentiation. It
+// exists for the decryption ablation benchmark; Decrypt is ~3–4× faster and
+// functionally identical.
 func (sk *PrivateKey) DecryptTextbook(c *Ciphertext) *big.Int {
-	lambda := new(big.Int).Mul(sk.pOrder, sk.qOrder)
-	lambda.Div(lambda, new(big.Int).GCD(nil, nil, sk.pOrder, sk.qOrder))
-	cl := new(big.Int).Exp(c.C, lambda, sk.N2)
-	l := lFunc(cl, sk.N)
-	gl := new(big.Int).Exp(new(big.Int).Add(sk.N, one), lambda, sk.N2)
-	mu := new(big.Int).ModInverse(lFunc(gl, sk.N), sk.N)
-	m := l.Mul(l, mu)
+	cl := new(big.Int).Exp(c.C, sk.lambda, sk.N2)
+	m := lFunc(cl, sk.N)
+	m.Mul(m, sk.mu)
 	return m.Mod(m, sk.N)
 }
 
@@ -190,8 +214,13 @@ func (pk *PublicKey) AddCipher(a, b *Ciphertext) *Ciphertext {
 }
 
 // AddPlain returns ⟦a+m⟧ given ⟦a⟧ and a plaintext m ∈ Z_N, without a fresh
-// encryption: ⟦a⟧·g^m = ⟦a⟧·(1+m·N) mod N².
+// encryption: ⟦a⟧·g^m = ⟦a⟧·(1+m·N) mod N². Panics with a clear message on
+// a corrupted (nil-valued) ciphertext instead of returning one that fails
+// later inside big.Int.
 func (pk *PublicKey) AddPlain(a *Ciphertext, m *big.Int) *Ciphertext {
+	if a == nil || a.C == nil {
+		panic("paillier: AddPlain on corrupted ciphertext (nil value)")
+	}
 	gm := new(big.Int).Mul(new(big.Int).Mod(m, pk.N), pk.N)
 	gm.Add(gm, one)
 	gm.Mod(gm, pk.N2)
@@ -207,9 +236,15 @@ func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) *Ciphertext {
 	return &Ciphertext{C: new(big.Int).Exp(a.C, kk, pk.N2)}
 }
 
-// Neg returns ⟦−a⟧.
+// Neg returns ⟦−a⟧ by inverting the ciphertext mod N². A valid ciphertext is
+// always invertible; Neg panics with a clear message when handed a corrupted
+// one (a value sharing a factor with N) instead of returning a ciphertext
+// wrapping nil that fails later inside big.Int.
 func (pk *PublicKey) Neg(a *Ciphertext) *Ciphertext {
-	return &Ciphertext{C: new(big.Int).ModInverse(a.C, pk.N2)}
+	if a == nil || a.C == nil {
+		panic("paillier: Neg on corrupted ciphertext (nil value)")
+	}
+	return &Ciphertext{C: mustInverse(a.C, pk.N2, "Neg")}
 }
 
 // EncryptZero returns a fresh encryption of zero (useful for re-randomizing).

@@ -1,6 +1,7 @@
 package paillier
 
 import (
+	"crypto/rand"
 	"fmt"
 	"io"
 	"math/big"
@@ -29,6 +30,12 @@ type Pool struct {
 	rmu    sync.Mutex
 	random io.Reader
 
+	// Short-exponent blinding (WithShortExp): refills draw (hⁿ)^α for a
+	// fresh shortBits-bit α instead of r^N for a full-width r.
+	shortBits int
+	hn        *big.Int // h^N mod N², precomputed once per key
+	alphaMax  *big.Int // 2^shortBits, the exclusive draw bound for α
+
 	hits   atomic.Int64
 	misses atomic.Int64
 	lost   atomic.Int64 // slots permanently dropped (reader error, closed workers)
@@ -41,12 +48,36 @@ type PoolStats struct {
 	Available int   // blindings currently buffered
 }
 
+// DefaultShortExpBits is the α width WithShortExp(0) selects: comfortably
+// above twice any plausible statistical security target, yet ~5× shorter
+// than a 2048-bit modulus, making each refill exponentiation ~5× cheaper.
+const DefaultShortExpBits = 400
+
+// PoolOption configures optional Pool behaviour at construction.
+type PoolOption func(*Pool)
+
+// WithShortExp switches the pool to Damgård–Jurik–Nielsen-style
+// short-exponent blinding (DJN '10, §4.2): at construction the pool
+// precomputes hⁿ = h^N mod N² for h = −y² mod N (a random element of the
+// subgroup of quadratic residues with Jacobi symbol +1), and each refill
+// draws a fresh α of the given bit width and buffers (hⁿ)^α — a ~bits-bit
+// exponentiation instead of a full N-bit one. Ciphertext indistinguishability
+// then rests on the DJN subgroup assumption rather than Decisional Composite
+// Residuosity alone; the classic full-width path (no option) remains the
+// default. bits <= 0 selects DefaultShortExpBits.
+func WithShortExp(bits int) PoolOption {
+	if bits <= 0 {
+		bits = DefaultShortExpBits
+	}
+	return func(p *Pool) { p.shortBits = bits }
+}
+
 // NewPool starts a blinding-factor pool for pk holding up to capacity
 // precomputed factors, refilled by the given number of background workers
 // (GOMAXPROCS if workers <= 0). random is the randomness source; pass a
 // deterministic reader in tests for reproducible blindings (with workers=1
 // the buffered order is deterministic too). Close the pool when done.
-func NewPool(pk *PublicKey, capacity, workers int, random io.Reader) *Pool {
+func NewPool(pk *PublicKey, capacity, workers int, random io.Reader, opts ...PoolOption) *Pool {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -56,24 +87,58 @@ func NewPool(pk *PublicKey, capacity, workers int, random io.Reader) *Pool {
 		workers: parallel.NewWorkers(workers, capacity),
 		random:  random,
 	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.shortBits > 0 {
+		// One-time per-key setup: h = −y² mod N for random y, hⁿ = h^N mod N².
+		y, err := randUnit(random, pk.N)
+		if err != nil {
+			panic(fmt.Sprintf("paillier: pool short-exp setup: %v", err))
+		}
+		h := new(big.Int).Mul(y, y)
+		h.Neg(h).Mod(h, pk.N)
+		p.hn = h.Exp(h, pk.N, pk.N2)
+		p.alphaMax = new(big.Int).Lsh(one, uint(p.shortBits))
+	}
 	for i := 0; i < capacity; i++ {
 		p.workers.Submit(p.refill)
 	}
 	return p
 }
 
-// refill computes one blinding factor and buffers it. One refill job is in
-// flight (queued, running, or buffered) per pool slot, so the buffered send
-// cannot block indefinitely.
-func (p *Pool) refill() {
+// blindingFactor computes one blinding factor: (hⁿ)^α for a fresh short α on
+// the short-exponent path, r^N for a fresh full-width r otherwise.
+func (p *Pool) blindingFactor() (*big.Int, error) {
+	if p.shortBits > 0 {
+		p.rmu.Lock()
+		alpha, err := rand.Int(p.random, p.alphaMax)
+		p.rmu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		alpha.Add(alpha, one) // α ∈ [1, 2^bits]: never an unblinded factor of 1
+		return new(big.Int).Exp(p.hn, alpha, p.pk.N2), nil
+	}
 	p.rmu.Lock()
 	r, err := randUnit(p.random, p.pk.N)
 	p.rmu.Unlock()
 	if err != nil {
+		return nil, err
+	}
+	return new(big.Int).Exp(r, p.pk.N, p.pk.N2), nil
+}
+
+// refill computes one blinding factor and buffers it. One refill job is in
+// flight (queued, running, or buffered) per pool slot, so the buffered send
+// cannot block indefinitely.
+func (p *Pool) refill() {
+	rn, err := p.blindingFactor()
+	if err != nil {
 		p.lost.Add(1) // degrade: the slot is lost, Enc falls back inline
 		return
 	}
-	p.buf <- new(big.Int).Exp(r, p.pk.N, p.pk.N2)
+	p.buf <- rn
 }
 
 // blinding returns a precomputed factor, or nil if the pool is drained.
@@ -101,13 +166,10 @@ func (p *Pool) Enc(m *big.Int) (*Ciphertext, error) {
 	}
 	rn := p.blinding()
 	if rn == nil {
-		p.rmu.Lock()
-		r, err := randUnit(p.random, p.pk.N)
-		p.rmu.Unlock()
-		if err != nil {
+		var err error
+		if rn, err = p.blindingFactor(); err != nil {
 			return nil, err
 		}
-		rn = new(big.Int).Exp(r, p.pk.N, p.pk.N2)
 	}
 	gm := new(big.Int).Mul(m, p.pk.N)
 	gm.Add(gm, one)

@@ -1,0 +1,262 @@
+package paillier
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Fast exponentiation engine. BlindFL's homomorphic matmuls spend nearly all
+// their CPU in MulPlain = Exp(c, k mod N, N²). Two structural facts make the
+// textbook call wasteful:
+//
+//  1. Scalars are signed fixed-point encodings whose magnitude needs only
+//     ~F+log₂|v| bits (~45 for the default codec), but the ring image of a
+//     negative value is N−|k| — a full-width exponent. MulPlainSigned
+//     exponentiates by the small magnitude and inverts once mod N², turning
+//     half the workload from 2048-bit exponentiations into ~45-bit ones.
+//  2. Every matmul output cell is a dot product Π cᵢ^{kᵢ}. Exponentiating
+//     each factor separately repeats the squaring chain per base; DotRow uses
+//     Straus' interleaved multi-exponentiation (a.k.a. Shamir's trick) with
+//     per-base window tables, sharing one squaring chain across the whole
+//     row and batching all negative factors into a single inversion.
+//
+// DotTables additionally lets callers reuse the window tables when the same
+// bases are exponentiated by many different scalar vectors (each batch row of
+// a dense matmul hits the same weight column), amortizing table construction.
+
+// SignedExp is a scalar exponent in signed-magnitude form: the represented
+// value is −Mag when Neg, else Mag. A nil or zero Mag means zero (Neg is
+// ignored). Mag must be non-negative.
+type SignedExp struct {
+	Mag *big.Int
+	Neg bool
+}
+
+// IsZero reports whether the exponent is zero.
+func (e SignedExp) IsZero() bool { return e.Mag == nil || e.Mag.Sign() == 0 }
+
+// mustInverse inverts x mod m, panicking with a clear message when x is not
+// invertible. A ciphertext that shares a factor with N² is either corrupted
+// or reveals a factor of N; continuing with a nil big.Int would surface much
+// later as an opaque nil dereference, so fail loudly at the source instead.
+func mustInverse(x, m *big.Int, op string) *big.Int {
+	inv := new(big.Int).ModInverse(x, m)
+	if inv == nil {
+		panic(fmt.Sprintf("paillier: %s: ciphertext not invertible mod N² (corrupted ciphertext or wrong key)", op))
+	}
+	return inv
+}
+
+// MulPlainSigned returns ⟦±mag·a⟧ (negated when neg): the signed fast path of
+// MulPlain. It exponentiates by the small magnitude and inverts once mod N²
+// instead of exponentiating by the full-width ring image N−mag. The returned
+// ciphertext decrypts identically to MulPlain(a, ±mag) (the group elements
+// differ, the plaintexts agree). Panics like Neg if a is not invertible and
+// the scalar is negative.
+func (pk *PublicKey) MulPlainSigned(a *Ciphertext, mag *big.Int, neg bool) *Ciphertext {
+	if mag == nil || mag.Sign() == 0 {
+		return &Ciphertext{C: big.NewInt(1)}
+	}
+	if mag.Sign() < 0 {
+		panic("paillier: MulPlainSigned magnitude must be non-negative")
+	}
+	if a == nil || a.C == nil {
+		panic("paillier: MulPlainSigned on corrupted ciphertext (nil value)")
+	}
+	c := new(big.Int).Exp(a.C, mag, pk.N2)
+	if neg {
+		c = mustInverse(c, pk.N2, "MulPlainSigned")
+	}
+	return &Ciphertext{C: c}
+}
+
+// DotWindow picks a Straus window width for exponents of the given bit
+// length. reuse is how many exponent vectors will be evaluated against the
+// same tables (PrecomputeDot callers); higher reuse amortizes the per-base
+// table cost (2^w−2 multiplications) and favors a wider window.
+func DotWindow(bits, reuse int) uint {
+	var w uint
+	switch {
+	case bits <= 4:
+		w = 1
+	case bits <= 16:
+		w = 2
+	case bits <= 128:
+		w = 3
+	case bits <= 512:
+		w = 4
+	default:
+		w = 5
+	}
+	if reuse >= 8 && bits > 16 {
+		w++ // table cost amortized: trade table size for fewer window digits
+	}
+	if w > 6 {
+		w = 6
+	}
+	return w
+}
+
+// windowDigit extracts bits [off, off+w) of x as an integer.
+func windowDigit(x *big.Int, off int, w uint) uint {
+	var d uint
+	for j := int(w) - 1; j >= 0; j-- {
+		d = d<<1 | x.Bit(off+j)
+	}
+	return d
+}
+
+// DotTables holds per-base window tables for Straus multi-exponentiation
+// over a fixed slice of ciphertext bases (one weight-matrix column, say).
+// Build once with PrecomputeDot, evaluate with Dot for each exponent vector.
+type DotTables struct {
+	pk   *PublicKey
+	w    uint
+	tabs [][]*big.Int // tabs[i][d] = cs[i]^d mod N², d = 1..2^w−1 (index 0 unused)
+}
+
+// PrecomputeDot builds Straus window tables of width w for the given bases.
+// The tables hold len(cs)·(2^w−1) residues mod N², so callers choose w via
+// dotWindow-style reasoning: wider windows pay off when the tables are reused
+// across many Dot calls.
+func (pk *PublicKey) PrecomputeDot(cs []*Ciphertext, w uint) *DotTables {
+	if w < 1 || w > 6 {
+		panic(fmt.Sprintf("paillier: PrecomputeDot window %d out of range [1,6]", w))
+	}
+	t := &DotTables{pk: pk, w: w, tabs: make([][]*big.Int, len(cs))}
+	size := 1 << w
+	for i, c := range cs {
+		tab := make([]*big.Int, size)
+		tab[1] = c.C
+		for d := 2; d < size; d++ {
+			tab[d] = new(big.Int).Mul(tab[d-1], c.C)
+			tab[d].Mod(tab[d], pk.N2)
+		}
+		t.tabs[i] = tab
+	}
+	return t
+}
+
+// Dot computes ⟦Σ kᵢ·mᵢ⟧ = Π cᵢ^{kᵢ} over the precomputed bases with one
+// shared squaring chain. es must align with the bases passed to
+// PrecomputeDot; zero exponents contribute nothing (so sparse exponent
+// vectors are cheap). Negative factors accumulate into a separate
+// denominator inverted once at the end.
+func (t *DotTables) Dot(es []SignedExp) *Ciphertext {
+	if len(es) != len(t.tabs) {
+		panic(fmt.Sprintf("paillier: Dot over %d exponents for %d bases", len(es), len(t.tabs)))
+	}
+	maxBits := 0
+	for i := range es {
+		if es[i].IsZero() {
+			continue
+		}
+		if es[i].Mag.Sign() < 0 {
+			panic("paillier: Dot exponent magnitude must be non-negative")
+		}
+		if bl := es[i].Mag.BitLen(); bl > maxBits {
+			maxBits = bl
+		}
+	}
+	if maxBits == 0 {
+		return &Ciphertext{C: big.NewInt(1)}
+	}
+	n2 := t.pk.N2
+	w := int(t.w)
+	digits := (maxBits + w - 1) / w
+	// pos and neg stay nil until their first contribution so leading
+	// all-zero window columns cost nothing.
+	var pos, neg *big.Int
+	for d := digits - 1; d >= 0; d-- {
+		if pos != nil || neg != nil {
+			for s := 0; s < w; s++ {
+				if pos != nil {
+					pos.Mul(pos, pos).Mod(pos, n2)
+				}
+				if neg != nil {
+					neg.Mul(neg, neg).Mod(neg, n2)
+				}
+			}
+		}
+		off := d * w
+		for i := range es {
+			if es[i].IsZero() {
+				continue
+			}
+			dig := windowDigit(es[i].Mag, off, t.w)
+			if dig == 0 {
+				continue
+			}
+			f := t.tabs[i][dig]
+			if es[i].Neg {
+				if neg == nil {
+					neg = new(big.Int).Set(f)
+				} else {
+					neg.Mul(neg, f).Mod(neg, n2)
+				}
+			} else {
+				if pos == nil {
+					pos = new(big.Int).Set(f)
+				} else {
+					pos.Mul(pos, f).Mod(pos, n2)
+				}
+			}
+		}
+	}
+	switch {
+	case pos == nil && neg == nil:
+		return &Ciphertext{C: big.NewInt(1)}
+	case pos == nil:
+		return &Ciphertext{C: mustInverse(neg, n2, "Dot")}
+	case neg == nil:
+		return &Ciphertext{C: pos}
+	default:
+		inv := mustInverse(neg, n2, "Dot")
+		pos.Mul(pos, inv).Mod(pos, n2)
+		return &Ciphertext{C: pos}
+	}
+}
+
+// DotRow computes the encrypted dot product ⟦Σ kᵢ·mᵢ⟧ = Π cᵢ^{kᵢ} for one
+// row of ciphertexts and signed scalar exponents, using Straus interleaved
+// multi-exponentiation: one shared squaring chain across all bases, per-base
+// window tables sized to the largest exponent magnitude, and a single
+// inversion for all negative factors. It decrypts identically to the
+// textbook loop Σ AddCipher(MulPlain(cᵢ, kᵢ)) with signed kᵢ. Zero exponents
+// skip their base entirely (no table is built).
+func (pk *PublicKey) DotRow(cs []*Ciphertext, es []SignedExp) *Ciphertext {
+	if len(cs) != len(es) {
+		panic(fmt.Sprintf("paillier: DotRow over %d ciphertexts, %d exponents", len(cs), len(es)))
+	}
+	maxBits, nz := 0, 0
+	for i := range es {
+		if es[i].IsZero() {
+			continue
+		}
+		nz++
+		if bl := es[i].Mag.BitLen(); bl > maxBits {
+			maxBits = bl
+		}
+	}
+	if nz == 0 {
+		return &Ciphertext{C: big.NewInt(1)}
+	}
+	if nz == 1 {
+		for i := range es {
+			if !es[i].IsZero() {
+				return pk.MulPlainSigned(cs[i], es[i].Mag, es[i].Neg)
+			}
+		}
+	}
+	// Gather the non-zero factors so tables are only built for live bases.
+	liveC := make([]*Ciphertext, 0, nz)
+	liveE := make([]SignedExp, 0, nz)
+	for i := range es {
+		if !es[i].IsZero() {
+			liveC = append(liveC, cs[i])
+			liveE = append(liveE, es[i])
+		}
+	}
+	t := pk.PrecomputeDot(liveC, DotWindow(maxBits, 1))
+	return t.Dot(liveE)
+}
