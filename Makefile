@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-full bench bench-smoke bench-json examples fmt fmt-check vet
+.PHONY: build test test-cpu test-full bench bench-smoke bench-json examples fmt fmt-check vet
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,12 @@ build:
 # a one-sided failure) into a fast CI failure instead of a stalled job.
 test:
 	$(GO) test -short -race -timeout 10m ./...
+
+# Parallelism lane: the process-wide table cache, pool condition-variable
+# wait and SecretOps/pool registries re-run under the race detector at 1 and
+# 4 CPUs, so single-core schedules and real parallelism are both exercised.
+test-cpu:
+	$(GO) test -short -race -timeout 10m -cpu 1,4 ./internal/paillier/ ./internal/hetensor/
 
 # Full lane: everything, including the ~4 min federated model suite.
 test-full:
@@ -33,10 +39,12 @@ bench:
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x -short -timeout 15m ./...
 
-# Benchmarks as data: the exponentiation-engine perf suite at a production
-# key size, written to BENCH_PR3.json (format: internal/bench/README.md).
+# Benchmarks as data: the exponentiation-engine and amortized-precompute
+# perf suites at a production key size, written to BENCH_PR4.json (format:
+# internal/bench/README.md). Earlier points of the trajectory (BENCH_PR3.json)
+# are kept, not rewritten.
 bench-json:
-	$(GO) run ./cmd/blindfl-bench -perf BENCH_PR3.json -keybits 2048
+	$(GO) run ./cmd/blindfl-bench -perf BENCH_PR4.json -keybits 2048
 
 fmt:
 	gofmt -w .

@@ -38,9 +38,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		fmt.Printf("running amortized-precompute suite (%d-bit kernels)...\n", *keybits)
+		amort, err := bench.RunPerfAmortized(*keybits)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		results = append(results, amort...)
 		if *fedstep {
 			fmt.Println("running packed fed-step engine/textbook pair (512-bit test keys)...")
 			results = append(results, bench.RunPerfFedStep()...)
+			fmt.Println("running cold/warm table-cache fed-epoch pair (512-bit test keys)...")
+			results = append(results, bench.RunPerfFedEpoch()...)
 		}
 		if err := bench.WritePerfJSON(*perf, results); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -15,6 +15,7 @@ import (
 
 	"blindfl/internal/bench"
 	"blindfl/internal/data"
+	"blindfl/internal/hetensor"
 	"blindfl/internal/model"
 	"blindfl/internal/paillier"
 	"blindfl/internal/protocol"
@@ -35,6 +36,9 @@ func main() {
 	chunk := flag.Int("chunk", 0, "rows per streamed chunk (0 = protocol default)")
 	textbook := flag.Bool("textbook", false, "disable the signed/Straus exponentiation engine (ablation baseline)")
 	shortexp := flag.Int("shortexp", 0, "DJN short-exponent blinding width in bits for the pool (0 = classic full-width)")
+	fixedbase := flag.Bool("fixedbase", true, "Lim–Lee fixed-base comb tables for short-exp pool refills (false = PR 3 big.Int.Exp ablation baseline)")
+	tablecache := flag.Int("tablecache", 0, "persistent Straus dot-table cache budget in MiB (0 disables)")
+	secretops := flag.Bool("secretops", false, "register the secret-key CRT fast paths for both in-process parties (a real deployment gets them on the label party only)")
 	flag.Parse()
 
 	kind, err := model.ParseKind(*kindStr)
@@ -74,13 +78,18 @@ func main() {
 	h.Packed = *packed
 	h.Stream = *stream
 	h.Textbook = *textbook
+	h.TableCacheMB = *tablecache
 
 	fmt.Println("training federated BlindFL model (both parties in-process)...")
 	skA, skB := protocol.TestKeys()
+	if *secretops {
+		protocol.EnableSecretOps(skA, skB)
+	}
 	if *pool > 0 {
 		var poolOpts []paillier.PoolOption
 		if *shortexp > 0 {
 			poolOpts = append(poolOpts, paillier.WithShortExp(*shortexp))
+			poolOpts = append(poolOpts, paillier.WithFixedBase(*fixedbase, 0))
 		}
 		for _, sk := range []*paillier.PrivateKey{skA, skB} {
 			paillier.RegisterPool(paillier.NewPool(&sk.PublicKey, *pool, 0, paillier.Rand, poolOpts...))
@@ -96,6 +105,11 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *tablecache > 0 {
+		cs := hetensor.TableCacheStatsNow()
+		fmt.Printf("table cache: %d hits / %d misses, %d entries holding %.1f MiB of %d MiB budget, %d evicted\n",
+			cs.Hits, cs.Misses, cs.Entries, float64(cs.Bytes)/(1<<20), *tablecache, cs.Evicted)
 	}
 	fmt.Println("training NonFed-collocated baseline...")
 	co := model.TrainCollocated(kind, ds, h)

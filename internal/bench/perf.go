@@ -8,11 +8,14 @@ import (
 	mrand "math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
+	"blindfl/internal/core"
 	"blindfl/internal/data"
 	"blindfl/internal/hetensor"
 	"blindfl/internal/paillier"
+	"blindfl/internal/protocol"
 	"blindfl/internal/tensor"
 )
 
@@ -158,6 +161,187 @@ func RunPerfKernels(keyBits int) ([]PerfResult, error) {
 		hetensor.SetTextbook(prev)
 	}
 	return out, nil
+}
+
+// RunPerfAmortized benchmarks the PR 4 amortized-precompute kernels at the
+// given key size: fixed-base comb vs big.Int.Exp short-exponent blinding
+// refills, secret-key CRT MulPlain vs the public path, the Straus dot kernel
+// in CRT dual-chain mode, and the pool-registry lookup before/after the
+// fingerprint keying fix.
+func RunPerfAmortized(keyBits int) ([]PerfResult, error) {
+	sk, err := paillier.GenerateKey(rand.Reader, keyBits)
+	if err != nil {
+		return nil, err
+	}
+	pk := &sk.PublicKey
+	rng := mrand.New(mrand.NewSource(9))
+	var out []PerfResult
+
+	// Short-exponent blinding refill: the PR 3 big.Int.Exp path vs the
+	// fixed-base comb tables. Closed pools, so Enc refills inline — the
+	// measured op is one (hⁿ)^α plus two multiplications.
+	m := big.NewInt(424242)
+	plainPool := paillier.NewPool(pk, 1, 1, rand.Reader,
+		paillier.WithShortExp(0), paillier.WithFixedBase(false, 0))
+	plainPool.Close()
+	combPool := paillier.NewPool(pk, 1, 1, rand.Reader, paillier.WithShortExp(0))
+	combPool.Close()
+	out = append(out,
+		perfRun("blinding_refill_shortexp", "bigint_exp", keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := plainPool.Enc(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		perfRun("blinding_refill_shortexp", "fixedbase", keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := combPool.Enc(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+	// Scalar multiplication by a general full-width scalar (a ring-encoded
+	// value): public 2048-bit exponentiation vs the SecretOps route whose
+	// exponents collapse to the CRT decryption orders p−1, q−1.
+	c, err := pk.Encrypt(rand.Reader, big.NewInt(987654321))
+	if err != nil {
+		return nil, err
+	}
+	k, err := rand.Int(rand.Reader, pk.N)
+	if err != nil {
+		return nil, err
+	}
+	so := sk.Ops()
+	out = append(out,
+		perfRun("mulplain_fullwidth", "public", keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pk.MulPlain(c, k)
+			}
+		}),
+		perfRun("mulplain_fullwidth", "secretops", keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				so.MulPlain(c, k)
+			}
+		}))
+
+	// The Straus dot kernel with the key registered: tables mod p²/q², two
+	// half-width chains. Pair this row with RunPerfKernels' dot16 rows.
+	n := 16
+	cs := make([]*paillier.Ciphertext, n)
+	es := make([]paillier.SignedExp, n)
+	for i := range cs {
+		if cs[i], err = pk.Encrypt(rand.Reader, big.NewInt(int64(rng.Intn(1<<30)))); err != nil {
+			return nil, err
+		}
+		kk := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), 45))
+		es[i] = paillier.SignedExp{Mag: kk, Neg: rng.Intn(2) == 0}
+	}
+	paillier.RegisterSecretOps(sk)
+	out = append(out, perfRun("dot16", "straus_crt", keyBits, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pk.DotRow(cs, es)
+		}
+	}))
+	paillier.UnregisterSecretOps(pk)
+
+	// Pool-registry lookup: the previous decimal-string keying (an O(n²)
+	// conversion of the modulus per lookup) vs the limb fingerprint.
+	var oldStyle sync.Map
+	oldStyle.Store(pk.N.String(), struct{}{})
+	pool := paillier.NewPool(pk, 1, 1, rand.Reader)
+	pool.Close()
+	paillier.RegisterPool(pool)
+	out = append(out,
+		perfRun("pool_lookup", "string_key", keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := oldStyle.Load(pk.N.String()); !ok {
+					b.Fatal("lookup failed")
+				}
+			}
+		}),
+		perfRun("pool_lookup", "fingerprint", keyBits, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if paillier.PoolFor(pk) == nil {
+					b.Fatal("lookup failed")
+				}
+			}
+		}))
+	paillier.UnregisterPool(pk)
+	return out, nil
+}
+
+// RunPerfFedEpoch measures a forward-only (inference-flavoured) federated
+// epoch of the packed dense MatMul layer — the regime where the encrypted
+// weight copies stay fixed across batches, as they do during evaluation and
+// serving — with the persistent dot-table cache off (every batch rebuilds
+// its Straus tables) and on (tables built once in the warm-up epoch, every
+// later batch reuses them at the cache's wider window). Both configurations
+// run with short-exponent fixed-base pools so blinding cost does not mask
+// the kernel difference. 512-bit test keys, both parties in-process.
+func RunPerfFedEpoch() []PerfResult {
+	const (
+		batch = 4
+		outW  = 2
+		feats = 256
+		steps = 8
+		half  = feats / 2
+	)
+	skA, skB := protocol.TestKeys()
+	for _, sk := range []*paillier.PrivateKey{skA, skB} {
+		old := paillier.PoolFor(&sk.PublicKey)
+		paillier.RegisterPool(paillier.NewPool(&sk.PublicKey, 32, 0, rand.Reader, paillier.WithShortExp(0)))
+		if old != nil {
+			old.Close()
+		}
+	}
+	rng := mrand.New(mrand.NewSource(21))
+	xA := make([]*tensor.Dense, steps)
+	xB := make([]*tensor.Dense, steps)
+	for i := 0; i < steps; i++ {
+		xA[i] = mixedMat(rng, batch, half)
+		xB[i] = mixedMat(rng, batch, feats-half)
+	}
+	var results []PerfResult
+	for _, cfg := range []struct {
+		name    string
+		cacheMB int
+	}{{"uncached", 0}, {"warmcache", 256}} {
+		pa, pb, err := protocol.Pipe(skA, skB, 7)
+		if err != nil {
+			panic(err)
+		}
+		lcfg := core.Config{Out: outW, LR: 0.05, Packed: true, TableCacheMB: cfg.cacheMB}
+		var la *core.MatMulA
+		var lb *core.MatMulB
+		runStep := func(fa, fb func()) {
+			if err := protocol.RunParties(pa, pb, fa, fb); err != nil {
+				panic(err)
+			}
+		}
+		runStep(
+			func() { la = core.NewMatMulA(pa, lcfg, half, feats-half) },
+			func() { lb = core.NewMatMulB(pb, lcfg, half, feats-half) },
+		)
+		epoch := func() {
+			for i := 0; i < steps; i++ {
+				runStep(
+					func() { la.Forward(core.DenseFeatures{M: xA[i]}) },
+					func() { lb.Forward(core.DenseFeatures{M: xB[i]}) },
+				)
+			}
+		}
+		hetensor.ResetTableCache()
+		epoch() // warm-up: fills the cache in the warm configuration
+		results = append(results, perfRun("fedepoch_forward", cfg.name, 512, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				epoch()
+			}
+		}))
+	}
+	hetensor.SetTableCacheBudget(0)
+	return results
 }
 
 // RunPerfFedStep benchmarks the packed federated MatMul step (both parties

@@ -39,10 +39,22 @@ type StepperOpts struct {
 	// DJN-style short-exponent blinding: refills draw (hⁿ)^α for a fresh
 	// ~400-bit α instead of a full-width r^N.
 	ShortExp bool
+	// NoFixedBase disables the Lim–Lee comb tables on the short-exp pools,
+	// restoring the PR 3 big.Int.Exp refill as the ablation baseline.
+	NoFixedBase bool
 	// Textbook disables the signed/Straus exponentiation engine
 	// (core.Config.Textbook) so a run measures the classic full-width
 	// MulPlain paths — the pre-engine baseline.
 	Textbook bool
+	// TableCacheMB budgets the persistent Straus dot-table cache
+	// (core.Config.TableCacheMB); 0 disables it. Process-wide: the stepper
+	// sets the budget at construction and leaves it, like the pools.
+	TableCacheMB int
+	// SecretOps registers the CRT fast paths for both parties' keys. Note
+	// that in-process this accelerates both parties, which a real two-party
+	// deployment cannot do — use it to measure the label-party ceiling, not
+	// a deployment. Stays registered for the process, like the pools.
+	SecretOps bool
 }
 
 // NewBlindFLStepper builds a federated MatMul source layer for a dataset
@@ -68,10 +80,13 @@ func NewBlindFLStepperOpts(spec data.Spec, batch, out int, opts StepperOpts) fun
 	if err != nil {
 		panic(err)
 	}
+	if opts.SecretOps {
+		protocol.EnableSecretOps(skA, skB)
+	}
 	if opts.PoolCapacity > 0 {
 		var poolOpts []paillier.PoolOption
 		if opts.ShortExp {
-			poolOpts = append(poolOpts, paillier.WithShortExp(0))
+			poolOpts = append(poolOpts, paillier.WithShortExp(0), paillier.WithFixedBase(!opts.NoFixedBase, 0))
 		}
 		for _, sk := range []*paillier.PrivateKey{skA, skB} {
 			old := paillier.PoolFor(&sk.PublicKey)
@@ -84,7 +99,8 @@ func NewBlindFLStepperOpts(spec data.Spec, batch, out int, opts StepperOpts) fun
 	pa.ChunkRows, pb.ChunkRows = opts.ChunkRows, opts.ChunkRows
 	rng := rand.New(rand.NewSource(11))
 	half := spec.Feats / 2
-	cfg := core.Config{Out: out, LR: 0.05, Packed: opts.Packed, Stream: opts.Stream, Textbook: opts.Textbook}
+	cfg := core.Config{Out: out, LR: 0.05, Packed: opts.Packed, Stream: opts.Stream, Textbook: opts.Textbook,
+		TableCacheMB: opts.TableCacheMB}
 
 	runStep := func(fa, fb func()) {
 		if err := protocol.RunParties(pa, pb, fa, fb); err != nil {

@@ -6,6 +6,7 @@ import (
 	"net"
 
 	"blindfl/internal/core"
+	"blindfl/internal/paillier"
 	"blindfl/internal/protocol"
 	"blindfl/internal/tensor"
 	"blindfl/internal/transport"
@@ -89,6 +90,56 @@ func Traffic() *Table {
 		}
 		t.Add("MatMul dense (streamed)", "64", fmt.Sprintf("%d", m1-m0), fmt.Sprintf("%.2f", float64(b1-b0)/(1<<20)),
 			fmt.Sprintf("%d", s.ChunksSent), kibPerChunk, msPerChunk)
+		cleanup()
+	}
+
+	// The same dense layer with short-exponent blinding pools registered:
+	// the pool effectiveness counters — including permanently lost slots,
+	// the degraded-pool signal — surface alongside the wire columns.
+	{
+		pa, pb, cleanup := tcpPeerPair(74)
+		var pools []*paillier.Pool
+		for _, sk := range []*paillier.PrivateKey{pa.SK, pb.SK} {
+			p := paillier.NewPool(&sk.PublicKey, 16, 0, paillier.Rand, paillier.WithShortExp(0))
+			paillier.RegisterPool(p)
+			pools = append(pools, p)
+		}
+		var la *core.MatMulA
+		var lb *core.MatMulB
+		cfg := core.Config{Out: out, LR: 0.1}
+		if err := protocol.RunParties(pa, pb,
+			func() { la = core.NewMatMulA(pa, cfg, 32, 32) },
+			func() { lb = core.NewMatMulB(pb, cfg, 32, 32) },
+		); err != nil {
+			panic(err)
+		}
+		m0, b0 := pa.Conn.Stats()
+		rng := rand.New(rand.NewSource(1))
+		xA := tensor.RandDense(rng, batch, 32, 1)
+		xB := tensor.RandDense(rng, batch, 32, 1)
+		g := tensor.RandDense(rng, batch, out, 0.1)
+		if err := protocol.RunParties(pa, pb,
+			func() { la.Forward(core.DenseFeatures{M: xA}); la.Backward() },
+			func() { lb.Forward(core.DenseFeatures{M: xB}); lb.Backward(g) },
+		); err != nil {
+			panic(err)
+		}
+		m1, b1 := pa.Conn.Stats()
+		t.Add("MatMul dense (pooled)", "64", fmt.Sprintf("%d", m1-m0), fmt.Sprintf("%.2f", float64(b1-b0)/(1<<20)), "—", "—", "—")
+		var hits, misses, lost int64
+		for _, p := range pools {
+			s := p.Stats()
+			hits += s.Hits
+			misses += s.Misses
+			lost += s.Lost
+		}
+		t.Note("blinding pools (both parties): %d hits, %d misses, %d lost slots — a non-zero lost count marks a degraded pool (reader errors or closed workers)", hits, misses, lost)
+		for _, sk := range []*paillier.PrivateKey{pa.SK, pb.SK} {
+			paillier.UnregisterPool(&sk.PublicKey)
+		}
+		for _, p := range pools {
+			p.Close()
+		}
 		cleanup()
 	}
 

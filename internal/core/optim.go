@@ -82,11 +82,26 @@ type Config struct {
 	// exists for A/B ablation benchmarking; results are identical either
 	// way, the engine is just faster.
 	Textbook bool
+
+	// TableCacheMB sets the byte budget (in MiB) of the process-wide
+	// persistent dot-table cache (hetensor.SetTableCacheBudget): Straus
+	// window tables keyed by ciphertext-matrix identity survive across
+	// kernel invocations, batches and epochs instead of being rebuilt per
+	// call. 0 disables the cache (the default). Process-wide like Textbook,
+	// with the same last-constructed-layer-wins caveat. Results are
+	// bit-identical with the cache on or off; it only trades memory for
+	// recomputation.
+	TableCacheMB int
 }
 
-// applyExpEngine applies the Textbook ablation toggle. Called by the layer
-// constructors so the flag takes effect wherever a Config enters the system.
-func (c Config) applyExpEngine() { hetensor.SetTextbook(c.Textbook) }
+// applyExpEngine applies the process-wide exponentiation-engine toggles (the
+// Textbook ablation and the persistent dot-table cache budget). Called by
+// the layer constructors so the flags take effect wherever a Config enters
+// the system.
+func (c Config) applyExpEngine() {
+	hetensor.SetTextbook(c.Textbook)
+	hetensor.SetTableCacheBudget(int64(c.TableCacheMB) << 20)
+}
 
 func (c Config) initScale() float64 {
 	if c.InitScale == 0 {

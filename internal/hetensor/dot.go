@@ -57,12 +57,16 @@ func encodeSignedVec(vals []float64) ([]paillier.SignedExp, int) {
 //
 //	res[r][g] = Π_k base(k, g) ^ exps[r][k],  k = 0..inner−1,
 //
-// emitting each cell via emit(r, g, c). When the per-base window tables fit
-// the memory cap they are precomputed once per g and shared across all
-// exponent vectors (each batch row of a matmul hits the same weight column);
-// otherwise each cell runs a standalone DotRow. emit is called from one
+// emitting each cell via emit(r, g, c). Table resolution runs in three
+// tiers: (1) when the base matrix has a stable identity and the persistent
+// table cache is enabled, per-group tables come from (or are inserted into)
+// the process-wide cache and survive across kernel invocations, batches and
+// epochs; (2) otherwise, when the per-base window tables fit the per-call
+// memory cap they are precomputed once per g and shared across all exponent
+// vectors (each batch row of a matmul hits the same weight column);
+// (3) otherwise each cell runs a standalone DotRow. emit is called from one
 // goroutine per r, so writes keyed by r need no locking.
-func dotProducts(pk *paillier.PublicKey, base func(k, g int) *paillier.Ciphertext,
+func dotProducts(pk *paillier.PublicKey, src tableSource, base func(k, g int) *paillier.Ciphertext,
 	inner, gpr int, exps [][]paillier.SignedExp, maxBits int,
 	emit func(r, g int, c *paillier.Ciphertext)) {
 	if inner == 0 || len(exps) == 0 || gpr == 0 {
@@ -93,6 +97,15 @@ func dotProducts(pk *paillier.PublicKey, base func(k, g int) *paillier.Ciphertex
 			}
 			rowExps[r] = fe
 		}
+	}
+	// Tier 1: persistent cross-invocation tables keyed by matrix identity.
+	if tabs := cachedTables(pk, src, live, gpr, maxBits, base); tabs != nil {
+		parallel.For(len(exps), func(r int) {
+			for g := 0; g < gpr; g++ {
+				emit(r, g, tabs[g].Dot(rowExps[r]))
+			}
+		})
+		return
 	}
 	// Narrow the window until the shared tables fit the cap: a smaller
 	// shared table still amortizes across all rows, which beats rebuilding

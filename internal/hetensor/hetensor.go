@@ -9,6 +9,18 @@
 // raises the scale by one; additions require equal scales. Values are
 // decrypted back to float64 before any further non-linear processing, so the
 // scale never exceeds 2.
+//
+// Matmul kernels resolve their Straus window tables through a process-wide,
+// byte-budgeted LRU cache (tablecache.go) when SetTableCacheBudget enables
+// it: tables are keyed by ciphertext-matrix identity (IDs minted at
+// encryption and on receive; mutable accumulators and row-slice views are
+// identity-less and bypass the cache), built at a wider window than a
+// single call would justify, and reused across kernel invocations, batches
+// and epochs. Invalidation is by construction: cells of an identified
+// matrix are never replaced, and a refreshed weight copy is a new matrix
+// with a new identity, so stale entries cannot be observed — they only age
+// out LRU-first when the byte budget fills. Results are bit-identical with
+// the cache on or off.
 package hetensor
 
 import (
@@ -29,11 +41,19 @@ import (
 var Codec = fixedpoint.Codec{F: 40}
 
 // CipherMatrix is a rows×cols matrix of Paillier ciphertexts under PK.
+//
+// id is the matrix's table-cache identity (tablecache.go): non-zero only for
+// matrices whose cells are never replaced after construction — encryption
+// results and received matrices. Accumulators and row-slice views stay 0 and
+// bypass the cache. The field is unexported, so gob transfers drop it and
+// the receiver mints its own.
 type CipherMatrix struct {
 	Rows, Cols int
 	Scale      uint
 	PK         *paillier.PublicKey
 	C          []*paillier.Ciphertext
+
+	id uint64
 }
 
 // NewCipherMatrix allocates a matrix of unrandomized encryptions of zero
@@ -84,6 +104,7 @@ func Encrypt(pk *paillier.PublicKey, d *tensor.Dense, scale uint) *CipherMatrix 
 		}
 		out.C[i] = c
 	})
+	out.MintID()
 	return out
 }
 
@@ -166,7 +187,7 @@ func MulPlainLeft(x *tensor.Dense, w *CipherMatrix) *CipherMatrix {
 		return out
 	}
 	exps, maxBits := denseRowExps(x)
-	dotProducts(w.PK, func(k, j int) *paillier.Ciphertext { return w.Row(k)[j] },
+	dotProducts(w.PK, tableSource{w.id, orientCol}, func(k, j int) *paillier.Ciphertext { return w.Row(k)[j] },
 		x.Cols, w.Cols, exps, maxBits,
 		func(i, j int, c *paillier.Ciphertext) { out.Row(i)[j] = c })
 	return out
@@ -239,7 +260,7 @@ func TransposeMulLeftAcc(acc *CipherMatrix, x *tensor.Dense, g *CipherMatrix) {
 		return
 	}
 	exps, maxBits := denseColExps(x)
-	dotProducts(g.PK, func(i, j int) *paillier.Ciphertext { return g.Row(i)[j] },
+	dotProducts(g.PK, tableSource{g.id, orientCol}, func(i, j int) *paillier.Ciphertext { return g.Row(i)[j] },
 		x.Rows, g.Cols, exps, maxBits,
 		func(k, j int, c *paillier.Ciphertext) {
 			orow := acc.Row(k)
@@ -327,7 +348,7 @@ func MulPlainRightTranspose(g *CipherMatrix, w *tensor.Dense) *CipherMatrix {
 	// Rows of W are the exponent vectors; each row i of G is one fixed base
 	// set, so its window tables are shared across all w.Rows outputs.
 	exps, maxBits := denseRowExps(w)
-	dotProducts(g.PK, func(k, i int) *paillier.Ciphertext { return g.Row(i)[k] },
+	dotProducts(g.PK, tableSource{g.id, orientRow}, func(k, i int) *paillier.Ciphertext { return g.Row(i)[k] },
 		g.Cols, g.Rows, exps, maxBits,
 		func(j, i int, c *paillier.Ciphertext) { out.Row(i)[j] = c })
 	return out
@@ -361,7 +382,7 @@ func MulPlainLeftTransposeRight(x *tensor.Dense, w *CipherMatrix) *CipherMatrix 
 		return out
 	}
 	exps, maxBits := denseRowExps(x)
-	dotProducts(w.PK, func(k, j int) *paillier.Ciphertext { return w.Row(j)[k] },
+	dotProducts(w.PK, tableSource{w.id, orientRow}, func(k, j int) *paillier.Ciphertext { return w.Row(j)[k] },
 		w.Cols, w.Rows, exps, maxBits,
 		func(i, j int, c *paillier.Ciphertext) { out.Row(i)[j] = c })
 	return out

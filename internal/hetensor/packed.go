@@ -46,6 +46,10 @@ type PackedMatrix struct {
 	K          int  // lanes per ciphertext
 	PK         *paillier.PublicKey
 	C          []*paillier.Ciphertext
+
+	// id is the table-cache identity; see CipherMatrix. Unexported: gob
+	// drops it and the receiver mints its own.
+	id uint64
 }
 
 func (m *PackedMatrix) codec() fixedpoint.LaneCodec {
@@ -140,6 +144,7 @@ func PackEncryptBlocks(pk *paillier.PublicKey, d *tensor.Dense, scale uint, bloc
 		}
 		out.C[t] = c
 	})
+	out.MintID()
 	return out
 }
 
@@ -213,7 +218,7 @@ func MulPlainLeftPacked(x *tensor.Dense, w *PackedMatrix) *PackedMatrix {
 		return out
 	}
 	exps, maxBits := denseRowExps(x)
-	dotProducts(w.PK, func(k, g int) *paillier.Ciphertext { return w.Row(k)[g] },
+	dotProducts(w.PK, tableSource{w.id, orientCol}, func(k, g int) *paillier.Ciphertext { return w.Row(k)[g] },
 		x.Cols, w.GroupsPerRow(), exps, maxBits,
 		func(i, g int, c *paillier.Ciphertext) { out.Row(i)[g] = c })
 	return out
@@ -280,7 +285,7 @@ func TransposeMulLeftPackedAcc(acc *PackedMatrix, x *tensor.Dense, g *PackedMatr
 		return
 	}
 	exps, maxBits := denseColExps(x)
-	dotProducts(g.PK, func(i, t int) *paillier.Ciphertext { return g.Row(i)[t] },
+	dotProducts(g.PK, tableSource{g.id, orientCol}, func(i, t int) *paillier.Ciphertext { return g.Row(i)[t] },
 		x.Rows, g.GroupsPerRow(), exps, maxBits,
 		func(k, t int, c *paillier.Ciphertext) {
 			orow := acc.Row(k)

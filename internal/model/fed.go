@@ -167,7 +167,7 @@ func restHidden(h Hyper) []int {
 // NewFedA builds Party A's model half. Must run concurrently with NewFedB.
 func NewFedA(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedA {
 	m := &FedA{}
-	cfg := core.Config{Out: sourceOut(kind, ds.Spec.Classes, h), LR: h.LR, Momentum: h.Momentum, Packed: h.Packed, Stream: h.Stream, Textbook: h.Textbook}
+	cfg := core.Config{Out: sourceOut(kind, ds.Spec.Classes, h), LR: h.LR, Momentum: h.Momentum, Packed: h.Packed, Stream: h.Stream, Textbook: h.Textbook, TableCacheMB: h.TableCacheMB}
 	inA, inB := ds.TrainA.NumCols(), ds.TrainB.NumCols()
 	if ds.Spec.Dense() {
 		m.num = &numericSrcA{dense: core.NewMatMulA(p, cfg, inA, inB)}
@@ -184,7 +184,7 @@ func NewFedA(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedA {
 func NewFedB(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedB {
 	classes := ds.Spec.Classes
 	m := &FedB{kind: kind, classes: classes}
-	cfg := core.Config{Out: sourceOut(kind, classes, h), LR: h.LR, Momentum: h.Momentum, Packed: h.Packed, Stream: h.Stream, Textbook: h.Textbook}
+	cfg := core.Config{Out: sourceOut(kind, classes, h), LR: h.LR, Momentum: h.Momentum, Packed: h.Packed, Stream: h.Stream, Textbook: h.Textbook, TableCacheMB: h.TableCacheMB}
 	inA, inB := ds.TrainA.NumCols(), ds.TrainB.NumCols()
 	if ds.Spec.Dense() {
 		m.num = &numericSrcB{dense: core.NewMatMulB(p, cfg, inA, inB)}
@@ -221,7 +221,7 @@ func embedCfg(kind Kind, ds *data.Dataset, h Hyper) core.EmbedConfig {
 		out = firstHidden(h)
 	}
 	return core.EmbedConfig{
-		Config:  core.Config{Out: out, LR: h.LR, Momentum: h.Momentum, Packed: h.Packed, Stream: h.Stream, Textbook: h.Textbook},
+		Config:  core.Config{Out: out, LR: h.LR, Momentum: h.Momentum, Packed: h.Packed, Stream: h.Stream, Textbook: h.Textbook, TableCacheMB: h.TableCacheMB},
 		VocabA:  ds.Spec.CatVocab,
 		VocabB:  ds.Spec.CatVocab,
 		FieldsA: ds.TrainA.Cat.Cols,

@@ -55,6 +55,11 @@ type Hyper struct {
 	Packed   bool // ciphertext packing on the source-layer hot paths
 	Stream   bool // chunk-streamed ciphertext transfers (compute/comm overlap)
 	Textbook bool // disable the signed/Straus exponentiation engine (ablation)
+
+	// TableCacheMB budgets the persistent Straus dot-table cache in MiB
+	// (core.Config.TableCacheMB); 0 disables it. Bit-identical results
+	// either way — the cache only trades memory for recomputation.
+	TableCacheMB int
 }
 
 // DefaultHyper returns the paper's protocol settings.

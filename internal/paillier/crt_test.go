@@ -1,0 +1,257 @@
+package paillier
+
+import (
+	"crypto/rand"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+)
+
+// TestExpCRTMatchesExp cross-checks ExpCRT against big.Int.Exp over random
+// bases and exponent widths, including the subgroup-order reduction path
+// (exponents at and beyond the order's width) and degenerate bases.
+func TestExpCRTMatchesExp(t *testing.T) {
+	k := testKey
+	so := k.Ops()
+	rng := mrand.New(mrand.NewSource(17))
+
+	check := func(base, e *big.Int) {
+		t.Helper()
+		want := new(big.Int).Exp(base, e, k.N2)
+		if got := so.ExpCRT(base, e); got.Cmp(want) != 0 {
+			t.Fatalf("ExpCRT(base %d bits, exp %d bits) diverges from big.Int.Exp", base.BitLen(), e.BitLen())
+		}
+	}
+
+	units := make([]*big.Int, 6)
+	for i := range units {
+		r, err := randUnit(rand.Reader, k.N2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		units[i] = r
+	}
+	edges := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		new(big.Int).Set(k.N),       // the encryption exponent r^N
+		new(big.Int).Sub(k.N2, one), // wider than both subgroup orders
+		new(big.Int).Rand(rng, new(big.Int).Lsh(one, 45)),  // signed-magnitude width
+		new(big.Int).Rand(rng, new(big.Int).Lsh(one, 400)), // short-exp blinding width
+	}
+	for _, base := range units {
+		for _, e := range edges {
+			check(base, e)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		base := new(big.Int).Rand(rng, k.N2)
+		e := new(big.Int).Rand(rng, new(big.Int).Lsh(one, uint(1+rng.Intn(1100))))
+		check(base, e)
+	}
+	// Degenerate bases: 0, 1, and multiples of the primes (no reduction).
+	check(big.NewInt(0), big.NewInt(0))
+	check(big.NewInt(0), big.NewInt(5))
+	check(big.NewInt(1), new(big.Int).Set(k.N))
+	pMult := new(big.Int).Mul(k.p, big.NewInt(7))
+	check(pMult, big.NewInt(3))
+	check(pMult, new(big.Int).Add(k.N, big.NewInt(12345)))
+}
+
+// TestSecretOpsMulPlainDecryptsIdentically: for scalars across the adaptive
+// cutoff (short CRT-split vs full-width decrypt–scale–re-blind), the
+// SecretOps result must decrypt exactly like the public MulPlain.
+func TestSecretOpsMulPlainDecryptsIdentically(t *testing.T) {
+	k := testKey
+	pk := &k.PublicKey
+	so := k.Ops()
+	rng := mrand.New(mrand.NewSource(23))
+	m := big.NewInt(987654321)
+	c, err := pk.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalars := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(-1),
+		big.NewInt(1 << 44),
+		big.NewInt(-(1 << 44)),                       // full-width ring image N−|k|
+		new(big.Int).Rand(rng, pk.N),                 // general full-width scalar
+		new(big.Int).Sub(pk.N, one),                  // ring image of −1
+		new(big.Int).Lsh(one, uint(pk.N.BitLen()/2)), // just over the cutoff
+		new(big.Int).Sub(new(big.Int).Lsh(one, uint(pk.N.BitLen()/2)), one), // just under
+	}
+	for _, s := range scalars {
+		want := k.Decrypt(pk.MulPlain(c, s))
+		// Compute the fast path directly so the comparison cannot silently
+		// collapse to public-vs-public if the registry is empty.
+		got := k.Decrypt(so.MulPlain(c, s))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("SecretOps.MulPlain(%v): decrypts to %v, public path %v", s, got, want)
+		}
+	}
+}
+
+// TestSecretOpsRegistryRouting: registration makes the pk-level entry points
+// take the fast path; unregistration restores the public path; fingerprint
+// hits for an aliased PublicKey allocation resolve; results stay correct.
+func TestSecretOpsRegistryRouting(t *testing.T) {
+	k, err := GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := &k.PublicKey
+	if SecretOpsFor(pk) != nil {
+		t.Fatal("unexpected pre-registered SecretOps")
+	}
+	RegisterSecretOps(k)
+	defer UnregisterSecretOps(pk)
+	alias := &PublicKey{N: new(big.Int).Set(pk.N), N2: new(big.Int).Set(pk.N2)}
+	if SecretOpsFor(alias) == nil {
+		t.Fatal("registry did not resolve an aliased public key")
+	}
+	m := big.NewInt(4242)
+	c, err := pk.Encrypt(rand.Reader, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kk := big.NewInt(-123456789)
+	if got := k.Decrypt(alias.MulPlain(c, kk)); got.Cmp(new(big.Int).Mod(new(big.Int).Mul(m, kk), pk.N)) != 0 {
+		t.Fatalf("registered MulPlain decrypts to %v", got)
+	}
+	UnregisterSecretOps(pk)
+	if SecretOpsFor(pk) != nil {
+		t.Fatal("SecretOps still registered after UnregisterSecretOps")
+	}
+}
+
+// TestDotCRTMatchesPublic: the Straus kernel built in CRT dual-chain mode
+// must produce the exact group element of the public-path kernel.
+func TestDotCRTMatchesPublic(t *testing.T) {
+	k, err := GenerateKey(rand.Reader, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk := &k.PublicKey
+	rng := mrand.New(mrand.NewSource(31))
+	n := 9
+	cs := make([]*Ciphertext, n)
+	es := make([]SignedExp, n)
+	for i := range cs {
+		if cs[i], err = pk.Encrypt(rand.Reader, big.NewInt(int64(rng.Intn(1<<20)))); err != nil {
+			t.Fatal(err)
+		}
+		mag := new(big.Int).Rand(rng, new(big.Int).Lsh(one, 45))
+		if i%3 == 0 {
+			mag.SetInt64(0) // sparse zeros
+		}
+		es[i] = SignedExp{Mag: mag, Neg: rng.Intn(2) == 0}
+	}
+	want := pk.DotRow(cs, es)
+	RegisterSecretOps(k)
+	got := pk.DotRow(cs, es)
+	tabs := pk.PrecomputeDot(cs, 5)
+	gotTabs := tabs.Dot(es)
+	UnregisterSecretOps(&k.PublicKey)
+	if got.C.Cmp(want.C) != 0 {
+		t.Fatal("CRT DotRow is not bit-identical to the public path")
+	}
+	if gotTabs.C.Cmp(want.C) != 0 {
+		t.Fatal("CRT DotTables.Dot is not bit-identical to the public path")
+	}
+	// All-negative and all-zero exponent vectors through the CRT tables.
+	RegisterSecretOps(k)
+	defer UnregisterSecretOps(&k.PublicKey)
+	allNeg := make([]SignedExp, n)
+	zeros := make([]SignedExp, n)
+	for i := range allNeg {
+		allNeg[i] = SignedExp{Mag: big.NewInt(int64(i + 1)), Neg: true}
+	}
+	wantNeg := new(big.Int).Set(one)
+	for i := range cs {
+		wantNeg.Mul(wantNeg, new(big.Int).Exp(cs[i].C, new(big.Int).Sub(pk.N, big.NewInt(int64(i+1))), pk.N2))
+		wantNeg.Mod(wantNeg, pk.N2)
+	}
+	crtTabs := pk.PrecomputeDot(cs, 4)
+	if k.Decrypt(crtTabs.Dot(allNeg)).Cmp(k.Decrypt(&Ciphertext{C: wantNeg})) != 0 {
+		t.Fatal("all-negative CRT dot decrypts wrong")
+	}
+	if crtTabs.Dot(zeros).C.Cmp(one) != 0 {
+		t.Fatal("all-zero CRT dot is not the identity")
+	}
+}
+
+// FuzzExpCRT fuzzes (base, exponent) byte strings against big.Int.Exp.
+func FuzzExpCRT(f *testing.F) {
+	f.Add([]byte{2}, []byte{3})
+	f.Add([]byte{0}, []byte{0})
+	f.Add([]byte{0xff, 0x01}, []byte{0xff, 0xff, 0xff, 0xff})
+	k := testKey
+	so := k.Ops()
+	f.Fuzz(func(t *testing.T, rawBase, rawExp []byte) {
+		if len(rawBase) > 128 || len(rawExp) > 160 {
+			return
+		}
+		base := new(big.Int).SetBytes(rawBase)
+		e := new(big.Int).SetBytes(rawExp)
+		want := new(big.Int).Exp(base, e, k.N2)
+		if got := so.ExpCRT(base, e); got.Cmp(want) != 0 {
+			t.Fatalf("ExpCRT diverges: base %d bits, exp %d bits", base.BitLen(), e.BitLen())
+		}
+	})
+}
+
+func BenchmarkMulPlainFullWidthPublic(b *testing.B) {
+	k := testKey
+	pk := &k.PublicKey
+	c, err := pk.Encrypt(rand.Reader, big.NewInt(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := rand.Int(rand.Reader, pk.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pk.MulPlain(c, s)
+	}
+}
+
+func BenchmarkMulPlainFullWidthSecretOps(b *testing.B) {
+	k := testKey
+	pk := &k.PublicKey
+	so := k.Ops()
+	c, err := pk.Encrypt(rand.Reader, big.NewInt(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := rand.Int(rand.Reader, pk.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	so.MulPlain(c, s) // build the re-blinding tables outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		so.MulPlain(c, s)
+	}
+}
+
+func BenchmarkExpCRTFullWidth(b *testing.B) {
+	k := testKey
+	so := k.Ops()
+	base, err := rand.Int(rand.Reader, k.N2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := rand.Int(rand.Reader, k.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		so.ExpCRT(base, e)
+	}
+}

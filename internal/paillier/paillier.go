@@ -27,6 +27,21 @@
 //	  drawn as (h^n)^α for a short random α in the style of
 //	  Damgård–Jurik–Nielsen, replacing the full n-bit refill
 //	  exponentiation with a ~400-bit one.
+//
+// and an amortized precomputation runtime (fixedbase.go, crt.go) that turns
+// one-time work into per-op savings:
+//
+//	FixedBase — Lim–Lee comb tables for a constant base (the pool's hⁿ):
+//	  after a one-time table build, base^e costs ~bits/8 multiplications
+//	  with no squarings. Short-exp pool refills use it by default
+//	  (WithFixedBase ablates it).
+//	SecretOps — the key holder's CRT fast paths: ExpCRT (exponentiate mod
+//	  p² and q² separately, exponents reduced modulo the subgroup orders,
+//	  recombine), an adaptive MulPlain (CRT-split for short scalars,
+//	  decrypt–scale–re-blind for full-width ring images), and dual-chain
+//	  Straus tables in PrecomputeDot/DotRow. Obtain with sk.Ops();
+//	  RegisterSecretOps routes the public entry points through it for keys
+//	  this process holds — a single-trust-domain optimization (see crt.go).
 package paillier
 
 import (
@@ -34,6 +49,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 )
 
 var one = big.NewInt(1)
@@ -43,6 +59,21 @@ var one = big.NewInt(1)
 type PublicKey struct {
 	N  *big.Int
 	N2 *big.Int // N², cached
+}
+
+// fingerprint returns a cheap 64-bit identity for the modulus, used to key
+// the process-wide pool and SecretOps registries. Mixing the lowest and
+// highest limbs with the bit length is O(1) — unlike the previous
+// N.String() key, which performed an O(n²) binary→decimal conversion of a
+// 2048-bit modulus on every registry lookup. Lookups confirm the full
+// modulus value on a hit, so a collision can only cost the fast path, never
+// correctness.
+func (pk *PublicKey) fingerprint() uint64 {
+	ws := pk.N.Bits()
+	if len(ws) == 0 {
+		return 0
+	}
+	return uint64(ws[0]) ^ uint64(ws[len(ws)-1])<<1 ^ uint64(pk.N.BitLen())
 }
 
 // PrivateKey holds the decryption key together with the CRT parameters that
@@ -58,6 +89,9 @@ type PrivateKey struct {
 
 	lambda *big.Int // lcm(p−1, q−1), cached for DecryptTextbook
 	mu     *big.Int // L(g^λ mod N²)⁻¹ mod N, cached for DecryptTextbook
+
+	opsOnce sync.Once
+	ops     *SecretOps // CRT fast-path handle, built once by Ops()
 }
 
 // Ciphertext is an element of Z_{N²} encrypting one plaintext.
@@ -150,7 +184,12 @@ func (pk *PublicKey) Encrypt(random io.Reader, m *big.Int) (*Ciphertext, error) 
 	gm := new(big.Int).Mul(m, pk.N)
 	gm.Add(gm, one)
 	gm.Mod(gm, pk.N2)
-	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	var rn *big.Int
+	if so := SecretOpsFor(pk); so != nil {
+		rn = so.ExpCRT(r, pk.N) // own-key encryption: CRT-split blinding
+	} else {
+		rn = new(big.Int).Exp(r, pk.N, pk.N2)
+	}
 	c := gm.Mul(gm, rn)
 	c.Mod(c, pk.N2)
 	return &Ciphertext{C: c}, nil
@@ -230,8 +269,14 @@ func (pk *PublicKey) AddPlain(a *Ciphertext, m *big.Int) *Ciphertext {
 }
 
 // MulPlain returns ⟦k·a⟧ given ⟦a⟧ and a plaintext scalar k (may be
-// negative; it is reduced into Z_N).
+// negative; it is reduced into Z_N). When a SecretOps is registered for pk
+// (the caller's process holds the key) the CRT fast path is taken; its
+// result decrypts identically but is a different group element for
+// full-width scalars (see SecretOps.MulPlain).
 func (pk *PublicKey) MulPlain(a *Ciphertext, k *big.Int) *Ciphertext {
+	if so := SecretOpsFor(pk); so != nil {
+		return so.MulPlain(a, k)
+	}
 	kk := new(big.Int).Mod(k, pk.N)
 	return &Ciphertext{C: new(big.Int).Exp(a.C, kk, pk.N2)}
 }

@@ -7,7 +7,6 @@ import (
 	"math/big"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"blindfl/internal/parallel"
 )
@@ -36,6 +35,17 @@ type Pool struct {
 	hn        *big.Int // h^N mod N², precomputed once per key
 	alphaMax  *big.Int // 2^shortBits, the exclusive draw bound for α
 
+	// Fixed-base comb acceleration for the constant short-exponent base hⁿ
+	// (on by default with WithShortExp; WithFixedBase(false) ablates it).
+	fixedBase bool
+	fbBudget  int64
+	fb        *FixedBase
+
+	// availMu/availCond wake WaitAvailable callers on every refill landing
+	// or slot loss, replacing the previous 50 µs sleep-poll loop.
+	availMu   sync.Mutex
+	availCond *sync.Cond
+
 	hits   atomic.Int64
 	misses atomic.Int64
 	lost   atomic.Int64 // slots permanently dropped (reader error, closed workers)
@@ -45,6 +55,7 @@ type Pool struct {
 type PoolStats struct {
 	Hits      int64 // encryptions served from precomputed blindings
 	Misses    int64 // encryptions that fell back to inline exponentiation
+	Lost      int64 // slots permanently dropped (reader error, closed workers)
 	Available int   // blindings currently buffered
 }
 
@@ -72,6 +83,16 @@ func WithShortExp(bits int) PoolOption {
 	return func(p *Pool) { p.shortBits = bits }
 }
 
+// WithFixedBase toggles the Lim–Lee comb tables for the short-exponent base
+// hⁿ. On by default: a short-exp refill then costs ~bits/8 multiplications
+// with no squarings instead of a ~bits-bit square-and-multiply. Pass false
+// for the ablation baseline (PR 3's plain big.Int.Exp refill). budget caps
+// the comb table bytes; <= 0 selects DefaultFixedBaseBudget. No effect
+// without WithShortExp.
+func WithFixedBase(on bool, budget int64) PoolOption {
+	return func(p *Pool) { p.fixedBase = on; p.fbBudget = budget }
+}
+
 // NewPool starts a blinding-factor pool for pk holding up to capacity
 // precomputed factors, refilled by the given number of background workers
 // (GOMAXPROCS if workers <= 0). random is the randomness source; pass a
@@ -82,24 +103,35 @@ func NewPool(pk *PublicKey, capacity, workers int, random io.Reader, opts ...Poo
 		capacity = 1
 	}
 	p := &Pool{
-		pk:      pk,
-		buf:     make(chan *big.Int, capacity),
-		workers: parallel.NewWorkers(workers, capacity),
-		random:  random,
+		pk:        pk,
+		buf:       make(chan *big.Int, capacity),
+		workers:   parallel.NewWorkers(workers, capacity),
+		random:    random,
+		fixedBase: true,
 	}
+	p.availCond = sync.NewCond(&p.availMu)
 	for _, o := range opts {
 		o(p)
 	}
 	if p.shortBits > 0 {
-		// One-time per-key setup: h = −y² mod N for random y, hⁿ = h^N mod N².
+		// One-time per-key setup: h = −y² mod N for random y, hⁿ = h^N mod N²
+		// (CRT-split when the process holds the key), and the comb tables
+		// that turn every later (hⁿ)^α refill into ~bits/8 multiplications.
 		y, err := randUnit(random, pk.N)
 		if err != nil {
 			panic(fmt.Sprintf("paillier: pool short-exp setup: %v", err))
 		}
 		h := new(big.Int).Mul(y, y)
 		h.Neg(h).Mod(h, pk.N)
-		p.hn = h.Exp(h, pk.N, pk.N2)
+		if so := SecretOpsFor(pk); so != nil {
+			p.hn = so.ExpCRT(h, pk.N)
+		} else {
+			p.hn = h.Exp(h, pk.N, pk.N2)
+		}
 		p.alphaMax = new(big.Int).Lsh(one, uint(p.shortBits))
+		if p.fixedBase {
+			p.fb = NewFixedBase(p.hn, pk.N2, p.shortBits+1, p.fbBudget)
+		}
 	}
 	for i := 0; i < capacity; i++ {
 		p.workers.Submit(p.refill)
@@ -118,6 +150,12 @@ func (p *Pool) blindingFactor() (*big.Int, error) {
 			return nil, err
 		}
 		alpha.Add(alpha, one) // α ∈ [1, 2^bits]: never an unblinded factor of 1
+		if p.fb != nil {
+			return p.fb.Exp(alpha), nil
+		}
+		if so := SecretOpsFor(p.pk); so != nil {
+			return so.ExpCRT(p.hn, alpha), nil
+		}
 		return new(big.Int).Exp(p.hn, alpha, p.pk.N2), nil
 	}
 	p.rmu.Lock()
@@ -126,7 +164,19 @@ func (p *Pool) blindingFactor() (*big.Int, error) {
 	if err != nil {
 		return nil, err
 	}
+	if so := SecretOpsFor(p.pk); so != nil {
+		return so.ExpCRT(r, p.pk.N), nil
+	}
 	return new(big.Int).Exp(r, p.pk.N, p.pk.N2), nil
+}
+
+// signalAvail wakes WaitAvailable callers after a refill lands or a slot is
+// lost. The lock pairs with the condition re-check in WaitAvailable so a
+// wakeup between check and Wait is never missed.
+func (p *Pool) signalAvail() {
+	p.availMu.Lock()
+	p.availCond.Broadcast()
+	p.availMu.Unlock()
 }
 
 // refill computes one blinding factor and buffers it. One refill job is in
@@ -136,9 +186,11 @@ func (p *Pool) refill() {
 	rn, err := p.blindingFactor()
 	if err != nil {
 		p.lost.Add(1) // degrade: the slot is lost, Enc falls back inline
+		p.signalAvail()
 		return
 	}
 	p.buf <- rn
+	p.signalAvail()
 }
 
 // blinding returns a precomputed factor, or nil if the pool is drained.
@@ -149,6 +201,7 @@ func (p *Pool) blinding() *big.Int {
 		p.hits.Add(1)
 		if !p.workers.Submit(p.refill) {
 			p.lost.Add(1) // workers closed: the slot will never refill
+			p.signalAvail()
 		}
 		return rn
 	default:
@@ -181,17 +234,21 @@ func (p *Pool) Enc(m *big.Int) (*Ciphertext, error) {
 
 // Stats returns effectiveness counters.
 func (p *Pool) Stats() PoolStats {
-	return PoolStats{Hits: p.hits.Load(), Misses: p.misses.Load(), Available: len(p.buf)}
+	return PoolStats{Hits: p.hits.Load(), Misses: p.misses.Load(), Lost: p.lost.Load(), Available: len(p.buf)}
 }
 
 // WaitAvailable blocks until at least n blinding factors are buffered,
 // capped at the fill level still reachable (capacity minus permanently lost
-// slots — reader errors, closed workers — so it cannot spin forever on a
-// degraded or closed pool). With workers=1 and a sequential consumer that
-// calls WaitAvailable(1) before each Enc, every encryption is served from
-// the pool in FIFO draw order, so a deterministic reader yields fully
-// reproducible ciphertexts — the mode the test suite uses.
+// slots — reader errors, closed workers — so it cannot wait forever on a
+// degraded or closed pool). The wait parks on a condition variable signalled
+// by every refill landing or slot loss, instead of the earlier 50 µs
+// sleep-poll loop. With workers=1 and a sequential consumer that calls
+// WaitAvailable(1) before each Enc, every encryption is served from the pool
+// in FIFO draw order, so a deterministic reader yields fully reproducible
+// ciphertexts — the mode the test suite uses.
 func (p *Pool) WaitAvailable(n int) {
+	p.availMu.Lock()
+	defer p.availMu.Unlock()
 	for {
 		max := cap(p.buf) - int(p.lost.Load())
 		target := n
@@ -201,7 +258,7 @@ func (p *Pool) WaitAvailable(n int) {
 		if len(p.buf) >= target {
 			return
 		}
-		time.Sleep(50 * time.Microsecond)
+		p.availCond.Wait()
 	}
 }
 
@@ -209,26 +266,39 @@ func (p *Pool) WaitAvailable(n int) {
 // remains usable afterwards (Enc falls back inline once the buffer drains).
 func (p *Pool) Close() { p.workers.Close() }
 
-// poolReg maps a public-key modulus (decimal string) to its registered pool.
-// Keys are compared by modulus value because distinct PublicKey allocations
-// for the same key circulate through the protocol layer.
+// poolReg maps a public-key fingerprint (pk.fingerprint(), an O(1) mix of
+// modulus limbs and bit length) to its registered pool. The previous keying
+// by pk.N.String() performed an O(n²) binary→decimal conversion of the whole
+// modulus on *every pooled encryption*; the fingerprint lookup is ~100×
+// cheaper at 2048 bits (see BenchmarkPoolLookup). Keys are still compared by
+// modulus value on a hit — distinct PublicKey allocations for the same key
+// circulate through the protocol layer, and a fingerprint collision must
+// degrade to the slow path, not alias another key's pool.
 var poolReg sync.Map
 
 // RegisterPool makes p the process-wide pool for its public key, so that
 // EncryptPooled (and through it the hetensor encryption paths) transparently
 // use the fast path. It replaces any previous registration for the key.
-func RegisterPool(p *Pool) { poolReg.Store(p.pk.N.String(), p) }
+func RegisterPool(p *Pool) { poolReg.Store(p.pk.fingerprint(), p) }
 
 // UnregisterPool removes the registration for pk (the pool is not closed).
-func UnregisterPool(pk *PublicKey) { poolReg.Delete(pk.N.String()) }
+func UnregisterPool(pk *PublicKey) {
+	if p := PoolFor(pk); p != nil {
+		poolReg.Delete(pk.fingerprint())
+	}
+}
 
 // PoolFor returns the registered pool for pk, or nil.
 func PoolFor(pk *PublicKey) *Pool {
-	v, ok := poolReg.Load(pk.N.String())
+	v, ok := poolReg.Load(pk.fingerprint())
 	if !ok {
 		return nil
 	}
-	return v.(*Pool)
+	p := v.(*Pool)
+	if p.pk.N.Cmp(pk.N) != 0 {
+		return nil // fingerprint collision with a different key
+	}
+	return p
 }
 
 // EncryptPooled encrypts m under pk, using the registered blinding pool for

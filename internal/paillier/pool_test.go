@@ -211,3 +211,90 @@ func BenchmarkPoolEnc(b *testing.B) {
 		}
 	}
 }
+
+// errReader always fails, simulating a broken randomness source.
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, errMismatch(one, one) }
+
+// TestPoolLostSurfaced: a pool with a broken randomness source loses every
+// slot; the Lost counter must record it and WaitAvailable must return (the
+// reachable fill level collapses to zero) instead of waiting forever.
+func TestPoolLostSurfaced(t *testing.T) {
+	k := testKey
+	p := NewPool(&k.PublicKey, 4, 2, errReader{})
+	defer p.Close()
+	p.WaitAvailable(4) // must unblock as the lost count grows, not hang
+	// All refills eventually fail; WaitAvailable returning doesn't guarantee
+	// every worker has recorded its loss yet, so wait for the full count.
+	for p.Stats().Lost < 4 {
+		p.WaitAvailable(4)
+	}
+	s := p.Stats()
+	if s.Lost != 4 || s.Available != 0 {
+		t.Fatalf("stats = %+v, want 4 lost / 0 available", s)
+	}
+}
+
+// TestPoolShortExpFixedBaseExact: with the same deterministic reader, the
+// comb-table refill path must produce bit-identical blindings (and therefore
+// ciphertexts) to the big.Int.Exp refill path it replaces.
+func TestPoolShortExpFixedBaseExact(t *testing.T) {
+	k := testKey
+	enc := func(fixedBase bool) []*big.Int {
+		p := NewPool(&k.PublicKey, 4, 1, mrand.New(mrand.NewSource(5)),
+			WithShortExp(64), WithFixedBase(fixedBase, 0))
+		defer p.Close()
+		var out []*big.Int
+		for i := 0; i < 10; i++ {
+			p.WaitAvailable(1)
+			c, err := p.Enc(big.NewInt(int64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := k.Decrypt(c); got.Cmp(big.NewInt(int64(i))) != 0 {
+				t.Fatalf("round trip %d = %v", i, got)
+			}
+			out = append(out, c.C)
+		}
+		return out
+	}
+	plain, comb := enc(false), enc(true)
+	for i := range plain {
+		if plain[i].Cmp(comb[i]) != 0 {
+			t.Fatalf("ciphertext %d differs between big.Int.Exp and fixed-base refills", i)
+		}
+	}
+}
+
+// BenchmarkPoolLookupStringKey measures the pre-fix registry keying: a
+// decimal conversion of the whole modulus on every lookup.
+func BenchmarkPoolLookupStringKey(b *testing.B) {
+	k := testKey
+	pk := &k.PublicKey
+	var reg sync.Map
+	reg.Store(pk.N.String(), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := reg.Load(pk.N.String()); !ok {
+			b.Fatal("lookup failed")
+		}
+	}
+}
+
+// BenchmarkPoolLookupFingerprint measures the fingerprint keying PoolFor
+// uses now: an O(1) limb mix plus one modulus comparison on the hit.
+func BenchmarkPoolLookupFingerprint(b *testing.B) {
+	k := testKey
+	pk := &k.PublicKey
+	p := NewPool(pk, 1, 1, rand.Reader)
+	defer p.Close()
+	RegisterPool(p)
+	defer UnregisterPool(pk)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if PoolFor(pk) == nil {
+			b.Fatal("lookup failed")
+		}
+	}
+}

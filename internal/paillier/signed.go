@@ -63,7 +63,12 @@ func (pk *PublicKey) MulPlainSigned(a *Ciphertext, mag *big.Int, neg bool) *Ciph
 	if a == nil || a.C == nil {
 		panic("paillier: MulPlainSigned on corrupted ciphertext (nil value)")
 	}
-	c := new(big.Int).Exp(a.C, mag, pk.N2)
+	var c *big.Int
+	if so := SecretOpsFor(pk); so != nil {
+		c = so.ExpCRT(a.C, mag) // secret-key side: two half-width chains
+	} else {
+		c = new(big.Int).Exp(a.C, mag, pk.N2)
+	}
 	if neg {
 		c = mustInverse(c, pk.N2, "MulPlainSigned")
 	}
@@ -106,34 +111,72 @@ func windowDigit(x *big.Int, off int, w uint) uint {
 	return d
 }
 
+// MaxDotWindow bounds the Straus/cache window width: 2^10−1 table entries
+// per base is the widest layout the persistent table cache ever pays for.
+const MaxDotWindow = 10
+
 // DotTables holds per-base window tables for Straus multi-exponentiation
 // over a fixed slice of ciphertext bases (one weight-matrix column, say).
 // Build once with PrecomputeDot, evaluate with Dot for each exponent vector.
+//
+// When a SecretOps is registered for the key at build time, the tables are
+// built modulo p² and q² instead of N² and Dot runs two half-width squaring
+// chains recombined once per evaluation — the CRT split for decrypt-adjacent
+// matmuls. The recombined result is bit-identical to the public-path Dot.
 type DotTables struct {
 	pk   *PublicKey
 	w    uint
 	tabs [][]*big.Int // tabs[i][d] = cs[i]^d mod N², d = 1..2^w−1 (index 0 unused)
+
+	so           *SecretOps   // non-nil selects the CRT dual-chain mode
+	tabsP, tabsQ [][]*big.Int // cs[i]^d mod p², mod q² (CRT mode)
+}
+
+// Window reports the table's Straus window width.
+func (t *DotTables) Window() uint { return t.w }
+
+// Bytes estimates the tables' memory footprint (the CRT layout's two
+// half-size residues cost the same as one full-size one).
+func (t *DotTables) Bytes() int64 {
+	bases := len(t.tabs)
+	if t.so != nil {
+		bases = len(t.tabsP)
+	}
+	return int64(bases) * int64((1<<t.w)-1) * fixedBaseEntryBytes(t.pk.N2)
+}
+
+// precomputeHalf builds width-w power tables for bases reduced mod m.
+func precomputeHalf(cs []*Ciphertext, w uint, m *big.Int) [][]*big.Int {
+	tabs := make([][]*big.Int, len(cs))
+	size := 1 << w
+	for i, c := range cs {
+		tab := make([]*big.Int, size)
+		tab[1] = new(big.Int).Mod(c.C, m)
+		for d := 2; d < size; d++ {
+			tab[d] = new(big.Int).Mul(tab[d-1], tab[1])
+			tab[d].Mod(tab[d], m)
+		}
+		tabs[i] = tab
+	}
+	return tabs
 }
 
 // PrecomputeDot builds Straus window tables of width w for the given bases.
 // The tables hold len(cs)·(2^w−1) residues mod N², so callers choose w via
 // dotWindow-style reasoning: wider windows pay off when the tables are reused
-// across many Dot calls.
+// across many Dot calls (the hetensor table cache goes up to MaxDotWindow).
 func (pk *PublicKey) PrecomputeDot(cs []*Ciphertext, w uint) *DotTables {
-	if w < 1 || w > 6 {
-		panic(fmt.Sprintf("paillier: PrecomputeDot window %d out of range [1,6]", w))
+	if w < 1 || w > MaxDotWindow {
+		panic(fmt.Sprintf("paillier: PrecomputeDot window %d out of range [1,%d]", w, MaxDotWindow))
 	}
-	t := &DotTables{pk: pk, w: w, tabs: make([][]*big.Int, len(cs))}
-	size := 1 << w
-	for i, c := range cs {
-		tab := make([]*big.Int, size)
-		tab[1] = c.C
-		for d := 2; d < size; d++ {
-			tab[d] = new(big.Int).Mul(tab[d-1], c.C)
-			tab[d].Mod(tab[d], pk.N2)
-		}
-		t.tabs[i] = tab
+	t := &DotTables{pk: pk, w: w}
+	if so := SecretOpsFor(pk); so != nil {
+		t.so = so
+		t.tabsP = precomputeHalf(cs, w, so.sk.p2)
+		t.tabsQ = precomputeHalf(cs, w, so.sk.q2)
+		return t
 	}
+	t.tabs = precomputeHalf(cs, w, pk.N2)
 	return t
 }
 
@@ -143,8 +186,12 @@ func (pk *PublicKey) PrecomputeDot(cs []*Ciphertext, w uint) *DotTables {
 // vectors are cheap). Negative factors accumulate into a separate
 // denominator inverted once at the end.
 func (t *DotTables) Dot(es []SignedExp) *Ciphertext {
-	if len(es) != len(t.tabs) {
-		panic(fmt.Sprintf("paillier: Dot over %d exponents for %d bases", len(es), len(t.tabs)))
+	nbases := len(t.tabs)
+	if t.so != nil {
+		nbases = len(t.tabsP)
+	}
+	if len(es) != nbases {
+		panic(fmt.Sprintf("paillier: Dot over %d exponents for %d bases", len(es), nbases))
 	}
 	maxBits := 0
 	for i := range es {
@@ -161,20 +208,35 @@ func (t *DotTables) Dot(es []SignedExp) *Ciphertext {
 	if maxBits == 0 {
 		return &Ciphertext{C: big.NewInt(1)}
 	}
+	if t.so != nil {
+		// CRT dual chain: the shared squaring chain runs twice at half
+		// width (≈¼ the per-multiplication cost each), recombined once.
+		posP, negP := strausChain(t.tabsP, es, maxBits, t.w, t.so.sk.p2)
+		posQ, negQ := strausChain(t.tabsQ, es, maxBits, t.w, t.so.sk.q2)
+		xp := combineDotHalf(posP, negP, t.so.sk.p2)
+		xq := combineDotHalf(posQ, negQ, t.so.sk.q2)
+		return &Ciphertext{C: t.so.combine(xp, xq)}
+	}
 	n2 := t.pk.N2
-	w := int(t.w)
+	pos, neg := strausChain(t.tabs, es, maxBits, t.w, n2)
+	return &Ciphertext{C: combineDotHalf(pos, neg, n2)}
+}
+
+// strausChain runs one Straus interleaved chain over width-w tables mod m,
+// returning the positive- and negative-factor accumulators (nil when that
+// sign never contributed). pos and neg stay nil until their first
+// contribution so leading all-zero window columns cost nothing.
+func strausChain(tabs [][]*big.Int, es []SignedExp, maxBits int, width uint, m *big.Int) (pos, neg *big.Int) {
+	w := int(width)
 	digits := (maxBits + w - 1) / w
-	// pos and neg stay nil until their first contribution so leading
-	// all-zero window columns cost nothing.
-	var pos, neg *big.Int
 	for d := digits - 1; d >= 0; d-- {
 		if pos != nil || neg != nil {
 			for s := 0; s < w; s++ {
 				if pos != nil {
-					pos.Mul(pos, pos).Mod(pos, n2)
+					pos.Mul(pos, pos).Mod(pos, m)
 				}
 				if neg != nil {
-					neg.Mul(neg, neg).Mod(neg, n2)
+					neg.Mul(neg, neg).Mod(neg, m)
 				}
 			}
 		}
@@ -183,37 +245,42 @@ func (t *DotTables) Dot(es []SignedExp) *Ciphertext {
 			if es[i].IsZero() {
 				continue
 			}
-			dig := windowDigit(es[i].Mag, off, t.w)
+			dig := windowDigit(es[i].Mag, off, width)
 			if dig == 0 {
 				continue
 			}
-			f := t.tabs[i][dig]
+			f := tabs[i][dig]
 			if es[i].Neg {
 				if neg == nil {
 					neg = new(big.Int).Set(f)
 				} else {
-					neg.Mul(neg, f).Mod(neg, n2)
+					neg.Mul(neg, f).Mod(neg, m)
 				}
 			} else {
 				if pos == nil {
 					pos = new(big.Int).Set(f)
 				} else {
-					pos.Mul(pos, f).Mod(pos, n2)
+					pos.Mul(pos, f).Mod(pos, m)
 				}
 			}
 		}
 	}
+	return pos, neg
+}
+
+// combineDotHalf folds one chain's accumulators into pos·neg⁻¹ mod m.
+func combineDotHalf(pos, neg, m *big.Int) *big.Int {
 	switch {
 	case pos == nil && neg == nil:
-		return &Ciphertext{C: big.NewInt(1)}
+		return big.NewInt(1)
 	case pos == nil:
-		return &Ciphertext{C: mustInverse(neg, n2, "Dot")}
+		return mustInverse(neg, m, "Dot")
 	case neg == nil:
-		return &Ciphertext{C: pos}
+		return pos
 	default:
-		inv := mustInverse(neg, n2, "Dot")
-		pos.Mul(pos, inv).Mod(pos, n2)
-		return &Ciphertext{C: pos}
+		inv := mustInverse(neg, m, "Dot")
+		pos.Mul(pos, inv).Mod(pos, m)
+		return pos
 	}
 }
 

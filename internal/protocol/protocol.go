@@ -149,7 +149,10 @@ func (p *Peer) RecvDense() *tensor.Dense {
 
 // RecvCipher receives a *hetensor.CipherMatrix. Ciphertexts arriving under
 // this party's own key get SK's public part attached so they can be used
-// homomorphically without trusting the sender's copy of the key.
+// homomorphically without trusting the sender's copy of the key. The
+// received matrix is minted a receiver-local table-cache identity: its
+// cells are never replaced locally, so the persistent dot-table cache may
+// key Straus tables to it.
 func (p *Peer) RecvCipher() *hetensor.CipherMatrix {
 	v := p.recv()
 	c, ok := v.(*hetensor.CipherMatrix)
@@ -157,6 +160,7 @@ func (p *Peer) RecvCipher() *hetensor.CipherMatrix {
 		p.fail("recv: want *hetensor.CipherMatrix, got %T", v)
 	}
 	p.trustCipher(c)
+	c.MintID()
 	return c
 }
 
@@ -189,6 +193,7 @@ func (p *Peer) RecvPacked() *hetensor.PackedMatrix {
 		p.fail("recv: want *hetensor.PackedMatrix, got %T", v)
 	}
 	p.trustPacked(c)
+	c.MintID()
 	return c
 }
 

@@ -125,7 +125,11 @@ func (p *Peer) recvStream(consume func(h *transport.StreamHeader, lo int, v any)
 }
 
 // trustCipher reattaches the locally trusted public key, as RecvCipher
-// does for monolithic transfers.
+// does for monolithic transfers. Table-cache identities are minted by the
+// whole-matrix receive paths (RecvCipher, RecvCipherStream), NOT here:
+// stream chunks pass through this helper too, and a chunk is a single-use
+// view that never recurs — minting per chunk would fill the persistent
+// cache with unreachable entries and evict the genuinely reusable ones.
 func (p *Peer) trustCipher(c *hetensor.CipherMatrix) {
 	if c.PK.N.Cmp(p.SK.N) == 0 {
 		c.PK = &p.SK.PublicKey
@@ -201,6 +205,9 @@ func (p *Peer) RecvCipherStream() *hetensor.CipherMatrix {
 		copy(out.C[lo*out.Cols:], c.C)
 		return c.Rows
 	})
+	if out != nil {
+		out.MintID() // assembled in full before use: a stable base set
+	}
 	return out
 }
 
@@ -220,6 +227,9 @@ func (p *Peer) RecvPackedStream() *hetensor.PackedMatrix {
 		copy(out.C[lo*out.GroupsPerRow():], c.C)
 		return c.Rows
 	})
+	if out != nil {
+		out.MintID()
+	}
 	return out
 }
 
