@@ -24,10 +24,12 @@ test-cpu:
 test-full:
 	$(GO) test -timeout 30m ./...
 
-# Examples lane: compile every example and smoke-run the quickstart.
+# Examples lane: compile every example, smoke-run the quickstart and the
+# multi-party group runtime.
 examples:
 	$(GO) build ./examples/...
 	$(GO) run ./examples/quickstart -short
+	$(GO) run ./examples/multiparty -short
 
 # Throughput-engine benchmarks: packed/pooled encryption and fed-step.
 bench:
@@ -40,11 +42,12 @@ bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x -short -timeout 15m ./...
 
 # Benchmarks as data: the exponentiation-engine and amortized-precompute
-# perf suites at a production key size, written to BENCH_PR4.json (format:
-# internal/bench/README.md). Earlier points of the trajectory (BENCH_PR3.json)
-# are kept, not rewritten.
+# perf suites at a production key size plus the multi-party k=3/k=1 fed-step
+# pair, written to BENCH_PR5.json (format: internal/bench/README.md).
+# Earlier points of the trajectory (BENCH_PR3.json, BENCH_PR4.json) are
+# kept, not rewritten.
 bench-json:
-	$(GO) run ./cmd/blindfl-bench -perf BENCH_PR4.json -keybits 2048
+	$(GO) run ./cmd/blindfl-bench -perf BENCH_PR5.json -keybits 2048
 
 fmt:
 	gofmt -w .

@@ -136,6 +136,23 @@ func BenchmarkFedStepPackedStreamed(b *testing.B) {
 	benchFedStep(b, bench.StepperOpts{Packed: true, Stream: true})
 }
 
+// Multi-party pair: the k=3 dense MatMul group vs the degenerate k=1 group
+// over the same total feature width — the per-session overhead of the group
+// runtime (extra piece traffic, per-session conversions) with the sessions
+// scheduled concurrently across cores.
+func benchFedStepMulti(b *testing.B, k int) {
+	spec := data.Spec{Name: "bench-multi", Feats: 32, AvgNNZ: 32, Classes: 2, Train: 256, Test: 64}
+	step := bench.NewBlindFLMultiStepper(spec, benchBatch, 4, k, bench.StepperOpts{Packed: true})
+	step() // warm-up outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
+func BenchmarkFedStepMultipartyK1(b *testing.B) { benchFedStepMulti(b, 1) }
+func BenchmarkFedStepMultipartyK3(b *testing.B) { benchFedStepMulti(b, 3) }
+
 // WAN pair: 5 ms one-way latency, 2 Mbit/s per direction over
 // transport.SimPair (wire time releases the CPU, as on a real link).
 // Monolithic sends pay encrypt→transfer→decrypt serially; streamed chunks

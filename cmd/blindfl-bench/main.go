@@ -50,6 +50,8 @@ func main() {
 			results = append(results, bench.RunPerfFedStep()...)
 			fmt.Println("running cold/warm table-cache fed-epoch pair (512-bit test keys)...")
 			results = append(results, bench.RunPerfFedEpoch()...)
+			fmt.Println("running multi-party fed-step k=3/k=1 pair (512-bit test keys)...")
+			results = append(results, bench.RunPerfFedStepMulti()...)
 		}
 		if err := bench.WritePerfJSON(*perf, results); err != nil {
 			fmt.Fprintln(os.Stderr, err)

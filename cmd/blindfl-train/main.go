@@ -5,6 +5,7 @@
 // Usage:
 //
 //	blindfl-train -dataset w8a -model lr -epochs 3
+//	blindfl-train -dataset w8a -model lr -parties 3
 //	blindfl-train -dataset avazu-app -model wdl -train 600 -quick
 package main
 
@@ -30,6 +31,7 @@ func main() {
 	train := flag.Int("train", 0, "override training instances (0 = spec default)")
 	test := flag.Int("test", 0, "override test instances")
 	seed := flag.Int64("seed", 1, "data/model seed")
+	parties := flag.Int("parties", 1, "feature parties; >1 trains the numeric families over a k-session protocol.Group (Algorithm 3)")
 	packed := flag.Bool("packed", false, "ciphertext packing on the source-layer hot paths")
 	pool := flag.Int("pool", 0, "Paillier blinding-pool capacity per key (0 disables)")
 	stream := flag.Bool("stream", false, "chunk-streamed ciphertext transfers (compute/comm overlap)")
@@ -80,10 +82,18 @@ func main() {
 	h.Textbook = *textbook
 	h.TableCacheMB = *tablecache
 
-	fmt.Println("training federated BlindFL model (both parties in-process)...")
+	if *parties < 1 {
+		fmt.Fprintln(os.Stderr, "-parties must be at least 1")
+		os.Exit(2)
+	}
+	// One key pair per session: the label party reuses its key across
+	// sessions, while every feature party is its own trust domain. The k
+	// in-process feature parties share the cached test key (keygen is a
+	// per-deployment cost, not a per-run cost).
 	skA, skB := protocol.TestKeys()
+	keys := []*paillier.PrivateKey{skA, skB}
 	if *secretops {
-		protocol.EnableSecretOps(skA, skB)
+		protocol.EnableSecretOps(keys...)
 	}
 	if *pool > 0 {
 		var poolOpts []paillier.PoolOption
@@ -91,20 +101,42 @@ func main() {
 			poolOpts = append(poolOpts, paillier.WithShortExp(*shortexp))
 			poolOpts = append(poolOpts, paillier.WithFixedBase(*fixedbase, 0))
 		}
-		for _, sk := range []*paillier.PrivateKey{skA, skB} {
+		for _, sk := range keys {
 			paillier.RegisterPool(paillier.NewPool(&sk.PublicKey, *pool, 0, paillier.Rand, poolOpts...))
 		}
 	}
-	pa, pb, err := protocol.Pipe(skA, skB, *seed)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	pa.ChunkRows, pb.ChunkRows = *chunk, *chunk
-	fed, err := model.TrainFederated(kind, ds, h, pa, pb)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	var fed *model.History
+	if *parties > 1 {
+		fmt.Printf("training federated BlindFL model (%d feature parties + label party in-process)...\n", *parties)
+		skAs := make([]*paillier.PrivateKey, *parties)
+		for i := range skAs {
+			skAs[i] = skA
+		}
+		as, g, err := protocol.GroupPipe(skAs, skB, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for i := range as {
+			as[i].ChunkRows, g.Peers[i].ChunkRows = *chunk, *chunk
+		}
+		if fed, err = model.TrainFederatedMulti(kind, ds, h, as, g); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println("training federated BlindFL model (both parties in-process)...")
+		pa, pb, err := protocol.Pipe(skA, skB, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		pa.ChunkRows, pb.ChunkRows = *chunk, *chunk
+		if fed, err = model.TrainFederated(kind, ds, h, pa, pb); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if *tablecache > 0 {
 		cs := hetensor.TableCacheStatsNow()

@@ -1,126 +1,49 @@
-// Multi-party BlindFL: Algorithm 3 of the paper's appendix with three
-// feature-holding Party A's and one label-holding Party B. Each Party A
-// runs the unmodified two-party protocol against its own session with B;
-// Party B spreads its weight piece across the sessions and sums the partial
-// activations.
+// Multi-party BlindFL (Algorithm 3 of the paper's appendix): three feature
+// parties and one label party train a federated logistic model over a
+// k-session protocol.Group — the whole runtime (column split, per-session
+// handshakes, concurrent scheduling, activation aggregation, teardown) lives
+// behind model.TrainFederatedMulti.
 //
 //	go run ./examples/multiparty
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"blindfl/internal/core"
 	"blindfl/internal/data"
-	"blindfl/internal/nn"
+	"blindfl/internal/model"
+	"blindfl/internal/paillier"
 	"blindfl/internal/protocol"
-	"blindfl/internal/tensor"
 )
 
-const parties = 3 // number of Party A's
-
 func main() {
-	// One joint dataset; columns split across three A's and B.
+	short := flag.Bool("short", false, "smoke-test sizes (one epoch, small split) for CI")
+	flag.Parse()
+
+	const parties = 3 // feature parties; the label party drives one session each
 	spec := data.Spec{Name: "multiparty", Feats: 40, AvgNNZ: 40, Classes: 2,
 		Train: 384, Test: 128, Margin: 4}
-	ds := data.Generate(spec, 17)
-	// Re-split Party A's half into three sub-parties.
-	colsPer := ds.TrainA.NumCols() / parties
-	trainAs := make([]*tensor.Dense, parties)
-	testAs := make([]*tensor.Dense, parties)
-	inAs := make([]int, parties)
-	for i := 0; i < parties; i++ {
-		lo := i * colsPer
-		hi := lo + colsPer
-		if i == parties-1 {
-			hi = ds.TrainA.NumCols()
-		}
-		trainAs[i] = ds.TrainA.Dense.SliceCols(lo, hi)
-		testAs[i] = ds.TestA.Dense.SliceCols(lo, hi)
-		inAs[i] = hi - lo
+	h := model.DefaultHyper()
+	h.Epochs, h.Batch, h.LR, h.Seed = 3, 64, 0.1, 17
+	if *short {
+		spec.Train, spec.Test = 128, 64
+		h.Epochs = 1
 	}
-	inB := ds.TrainB.NumCols()
+	ds := data.Generate(spec, h.Seed)
 
+	// One key pair per session: every feature party is its own trust domain.
+	// The demo reuses the cached test key for all three to skip keygen.
 	skA, skB := protocol.TestKeys()
-	peersA := make([]*protocol.Peer, parties)
-	peersB := make([]*protocol.Peer, parties)
-	for i := range peersA {
-		pa, pb, err := protocol.Pipe(skA, skB, int64(17+i))
-		if err != nil {
-			log.Fatal(err)
-		}
-		peersA[i], peersB[i] = pa, pb
+	as, g, err := protocol.GroupPipe([]*paillier.PrivateKey{skA, skA, skA}, skB, h.Seed)
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	cfg := core.Config{Out: 1, LR: 0.1, Momentum: 0.9}
-	const epochs, batch = 3, 64
-
-	done := make(chan error, parties+1)
-	// Each Party A runs the plain two-party A-side protocol.
-	for i := 0; i < parties; i++ {
-		i := i
-		go func() {
-			done <- peersA[i].Run(func() {
-				layer := core.NewMatMulA(peersA[i], core.Config{
-					Out: cfg.Out, LR: cfg.LR, Momentum: cfg.Momentum,
-					InitScale: 0.1 / parties,
-				}, inAs[i], inB)
-				for e := 0; e < epochs; e++ {
-					for _, idx := range data.BatchIndices(spec.Train, batch) {
-						layer.Forward(core.DenseFeatures{M: trainAs[i].GatherRows(idx)})
-						layer.Backward()
-					}
-				}
-				for _, idx := range data.BatchIndices(spec.Test, batch) {
-					layer.Forward(core.DenseFeatures{M: testAs[i].GatherRows(idx)})
-				}
-			})
-		}()
+	hist, err := model.TrainFederatedMulti(model.LR, ds, h, as, g)
+	if err != nil {
+		log.Fatal(err)
 	}
-	// Party B aggregates all sessions.
-	var auc float64
-	go func() {
-		done <- peersB[0].Run(func() {
-			layer := core.NewMultiMatMulB(peersB, cfg, inAs, inB)
-			bias := nn.NewBias(1)
-			opt := nn.NewSGD(cfg.LR, cfg.Momentum, bias.Params())
-			for e := 0; e < epochs; e++ {
-				var epochLoss float64
-				batches := data.BatchIndices(spec.Train, batch)
-				for _, idx := range batches {
-					z := layer.Forward(core.DenseFeatures{M: ds.TrainB.Batch(idx).Dense})
-					loss, grad := nn.BCEWithLogits(bias.Forward(z), gather(ds.TrainY, idx))
-					opt.ZeroGrad()
-					gradZ := bias.Backward(grad)
-					opt.Step()
-					layer.Backward(gradZ)
-					epochLoss += loss
-				}
-				fmt.Printf("epoch %d: loss %.4f\n", e+1, epochLoss/float64(len(batches)))
-			}
-			var scores []float64
-			var labels []int
-			for _, idx := range data.BatchIndices(spec.Test, batch) {
-				z := layer.Forward(core.DenseFeatures{M: ds.TestB.Batch(idx).Dense})
-				scores = append(scores, nn.Scores(bias.Forward(z))...)
-				labels = append(labels, gather(ds.TestY, idx)...)
-			}
-			auc = nn.AUC(scores, labels)
-		})
-	}()
-	for i := 0; i < parties+1; i++ {
-		if err := <-done; err != nil {
-			log.Fatal(err)
-		}
-	}
-	fmt.Printf("test AUC with %d feature parties: %.4f\n", parties, auc)
-}
-
-func gather(y []int, idx []int) []int {
-	out := make([]int, len(idx))
-	for i, j := range idx {
-		out[i] = y[j]
-	}
-	return out
+	fmt.Printf("final loss %.4f, test AUC with %d feature parties: %.4f\n",
+		hist.Losses[len(hist.Losses)-1], parties, hist.TestMetric)
 }

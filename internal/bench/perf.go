@@ -365,6 +365,27 @@ func RunPerfFedStep() []PerfResult {
 	return out
 }
 
+// RunPerfFedStepMulti benchmarks one forward+backward mini-batch of the
+// k-session dense MatMul group at k=3 against the degenerate k=1 group
+// (identical total feature width, 512-bit test keys, all parties
+// in-process): the pair isolates what k concurrent sessions cost over one —
+// extra encrypted V_B/U_B piece traffic and per-session HE2SS conversions —
+// with the group scheduling overlapping the sessions across cores.
+func RunPerfFedStepMulti() []PerfResult {
+	spec := data.Spec{Name: "bench-multi", Feats: 32, AvgNNZ: 32, Classes: 2, Train: 256, Test: 64}
+	var out []PerfResult
+	for _, k := range []int{1, 3} {
+		step := NewBlindFLMultiStepper(spec, 32, 4, k, StepperOpts{Packed: true})
+		step() // warm-up outside the measurement
+		out = append(out, perfRun("fedstep_multiparty", fmt.Sprintf("k%d", k), 512, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		}))
+	}
+	return out
+}
+
 // WritePerfJSON writes results as an indented PerfFile document.
 func WritePerfJSON(path string, results []PerfResult) error {
 	doc := PerfFile{Generator: "blindfl-bench -perf", GoMaxProcs: runtime.GOMAXPROCS(0), Results: results}

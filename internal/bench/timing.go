@@ -138,6 +138,63 @@ func NewBlindFLStepperOpts(spec data.Spec, batch, out int, opts StepperOpts) fun
 	}
 }
 
+// NewBlindFLMultiStepper builds a k-party dense MatMul group for a dataset
+// spec — Party A's half of the columns split across k feature parties, one
+// session each — and returns a closure that runs one forward+backward
+// mini-batch across all parties in process. k=1 is the degenerate group that
+// matches the two-party stepper's work, so a k=3-vs-k=1 pair isolates the
+// per-session overhead of the group runtime.
+func NewBlindFLMultiStepper(spec data.Spec, batch, out, k int, opts StepperOpts) func() {
+	skA, skB := protocol.TestKeys()
+	skAs := make([]*paillier.PrivateKey, k)
+	for i := range skAs {
+		skAs[i] = skA
+	}
+	as, g, err := protocol.GroupPipe(skAs, skB, 7)
+	if err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	half := spec.Feats / 2
+	inB := spec.Feats - half
+	base, rem := half/k, half%k
+	inAs := make([]int, k)
+	for i := range inAs {
+		inAs[i] = base
+		if i < rem {
+			inAs[i]++
+		}
+	}
+	cfg := core.Config{Out: out, LR: 0.05, Packed: opts.Packed, Stream: opts.Stream,
+		Textbook: opts.Textbook, TableCacheMB: opts.TableCacheMB}
+	acfg := cfg
+	acfg.GroupParties = k
+
+	las := make([]*core.MatMulA, k)
+	var lb *core.MultiMatMulB
+	runStep := func(fa func(i int), fb func()) {
+		if err := protocol.RunGroup(as, g, fa, fb); err != nil {
+			panic(err)
+		}
+	}
+	runStep(
+		func(i int) { las[i] = core.NewMatMulA(as[i], acfg, inAs[i], inB) },
+		func() { lb = core.NewMultiMatMulB(g, cfg, inAs, inB) },
+	)
+	xAs := make([]*tensor.Dense, k)
+	for i := range xAs {
+		xAs[i] = tensor.RandDense(rng, batch, inAs[i], 1)
+	}
+	xB := tensor.RandDense(rng, batch, inB, 1)
+	grad := tensor.RandDense(rng, batch, out, 0.01)
+	return func() {
+		runStep(
+			func(i int) { las[i].Forward(core.DenseFeatures{M: xAs[i]}); las[i].Backward() },
+			func() { lb.Forward(core.DenseFeatures{M: xB}); lb.Backward(grad) },
+		)
+	}
+}
+
 // TimeBlindFLBatch measures the mean seconds per federated forward+backward
 // mini-batch of the MatMul source layer on a dataset spec (the quantity the
 // paper's Table 5/6 report). Initialization is excluded; iters batches are

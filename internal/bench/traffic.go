@@ -143,6 +143,52 @@ func Traffic() *Table {
 		cleanup()
 	}
 
+	// k-party dense group: one row per session, so per-session asymmetries
+	// (here an uneven 12/10/10 column split) show up directly. Each row
+	// reports the bytes that session's feature party put on its own TCP
+	// connection during one group mini-batch.
+	{
+		const k = 3
+		peersA, g, cleanup := tcpPeerGroup(75, k)
+		inAs := []int{12, 10, 10}
+		inB := 32
+		cfg := core.Config{Out: out, LR: 0.1}
+		acfg := cfg
+		acfg.GroupParties = k
+		las := make([]*core.MatMulA, k)
+		var lb *core.MultiMatMulB
+		if err := protocol.RunGroup(peersA, g,
+			func(i int) { las[i] = core.NewMatMulA(peersA[i], acfg, inAs[i], inB) },
+			func() { lb = core.NewMultiMatMulB(g, cfg, inAs, inB) },
+		); err != nil {
+			panic(err)
+		}
+		m0 := make([]int64, k)
+		b0 := make([]int64, k)
+		for i, p := range peersA {
+			m0[i], b0[i] = p.Conn.Stats()
+		}
+		rng := rand.New(rand.NewSource(1))
+		xAs := make([]*tensor.Dense, k)
+		for i := range xAs {
+			xAs[i] = tensor.RandDense(rng, batch, inAs[i], 1)
+		}
+		xB := tensor.RandDense(rng, batch, inB, 1)
+		grad := tensor.RandDense(rng, batch, out, 0.1)
+		if err := protocol.RunGroup(peersA, g,
+			func(i int) { las[i].Forward(core.DenseFeatures{M: xAs[i]}); las[i].Backward() },
+			func() { lb.Forward(core.DenseFeatures{M: xB}); lb.Backward(grad) },
+		); err != nil {
+			panic(err)
+		}
+		for i, p := range peersA {
+			m1, b1 := p.Conn.Stats()
+			t.Add(fmt.Sprintf("MatMul multi k=%d session %d", k, i), fmt.Sprintf("%d", inAs[i]),
+				fmt.Sprintf("%d", m1-m0[i]), fmt.Sprintf("%.2f", float64(b1-b0[i])/(1<<20)), "—", "—", "—")
+		}
+		cleanup()
+	}
+
 	// Sparse 4096-dim layer with 8 nnz/row: despite 64× the dimensionality,
 	// the traffic stays in the same ballpark because only touched
 	// coordinates move.
@@ -167,12 +213,36 @@ func Traffic() *Table {
 		cleanup()
 	}
 	t.Note("dense traffic is dominated by the ⟦X·V⟧ and refresh ciphertexts (∝ dims·out); sparse traffic ∝ touched coordinates")
+	t.Note("multi rows: one TCP session per feature party of a k-party group — per-session bytes scale with that party's column count while the batch-sized transfers (⟦∇Z⟧, masked shares) repeat per session")
 	t.Note("streamed rows split ciphertext matrices into %d-row chunks: bytes stay ≈ equal (chunk envelopes are small) while encryption, wire and decryption overlap", protocol.DefaultChunkRows)
 	return t
 }
 
+// tcpPeerGroup wires a k-session group over TCP loopback (one connection per
+// feature party) and returns a cleanup func.
+func tcpPeerGroup(seed int64, k int) ([]*protocol.Peer, *protocol.Group, func()) {
+	peersA := make([]*protocol.Peer, k)
+	peersB := make([]*protocol.Peer, k)
+	cleanups := make([]func(), k)
+	for i := 0; i < k; i++ {
+		peersA[i], peersB[i], cleanups[i] = tcpPeerSession(seed, i)
+	}
+	return peersA, protocol.NewGroup(peersB), func() {
+		for _, c := range cleanups {
+			c()
+		}
+	}
+}
+
 // tcpPeerPair wires two peers over TCP loopback and returns a cleanup func.
 func tcpPeerPair(seed int64) (*protocol.Peer, *protocol.Peer, func()) {
+	return tcpPeerSession(seed, 0)
+}
+
+// tcpPeerSession is tcpPeerPair for session i of a group, with the peers'
+// RNG streams derived per (seed, session, role) exactly as Pipe/GroupPipe
+// derive them.
+func tcpPeerSession(seed int64, session int) (*protocol.Peer, *protocol.Peer, func()) {
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		panic(err)
@@ -194,8 +264,8 @@ func tcpPeerPair(seed int64) (*protocol.Peer, *protocol.Peer, func()) {
 	l.Close()
 
 	skA, skB := protocol.TestKeys()
-	pa := protocol.NewPeer(protocol.PartyA, connA, skA, rand.New(rand.NewSource(seed)))
-	pb := protocol.NewPeer(protocol.PartyB, connB, skB, rand.New(rand.NewSource(seed+1)))
+	pa := protocol.NewPeer(protocol.PartyA, connA, skA, protocol.SessionRNG(seed, session, protocol.PartyA))
+	pb := protocol.NewPeer(protocol.PartyB, connB, skB, protocol.SessionRNG(seed, session, protocol.PartyB))
 	done := make(chan error, 1)
 	go func() { done <- pa.Handshake() }()
 	if err := pb.Handshake(); err != nil {

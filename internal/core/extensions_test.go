@@ -8,92 +8,7 @@ import (
 	"blindfl/internal/tensor"
 )
 
-// --- Multi-party MatMul (Algorithm 3) ---
-
-func TestMultiPartyForwardMatchesPlaintext(t *testing.T) {
-	const M = 3
-	skA, skB := protocol.TestKeys()
-	var peersB []*protocol.Peer
-	var peersA []*protocol.Peer
-	for i := 0; i < M; i++ {
-		pa, pb, err := protocol.Pipe(skA, skB, int64(400+i))
-		if err != nil {
-			t.Fatal(err)
-		}
-		peersA = append(peersA, pa)
-		peersB = append(peersB, pb)
-	}
-	cfg := Config{Out: 2, LR: 0.1}
-	inAs := []int{3, 4, 5}
-	inB := 3
-
-	var as [M]*MatMulA
-	var b *MultiMatMulB
-	done := make(chan error, M+1)
-	for i := 0; i < M; i++ {
-		i := i
-		go func() {
-			done <- peersA[i].Run(func() {
-				as[i] = NewMatMulA(peersA[i], Config{Out: cfg.Out, LR: cfg.LR, InitScale: cfg.initScale() / M}, inAs[i], inB)
-			})
-		}()
-	}
-	go func() {
-		done <- peersB[0].Run(func() { b = NewMultiMatMulB(peersB, cfg, inAs, inB) })
-	}()
-	for i := 0; i < M+1; i++ {
-		if err := <-done; err != nil {
-			t.Fatal(err)
-		}
-	}
-
-	rng := rand.New(rand.NewSource(1))
-	xAs := make([]*tensor.Dense, M)
-	for i := range xAs {
-		xAs[i] = tensor.RandDense(rng, 4, inAs[i], 1)
-	}
-	xB := tensor.RandDense(rng, 4, inB, 1)
-	gradZ := tensor.RandDense(rng, 4, cfg.Out, 1)
-
-	want := xB.MatMul(DebugMultiWeightsB(b, as[:]))
-	for i := 0; i < M; i++ {
-		want.AddInPlace(xAs[i].MatMul(DebugMultiWeightsA(b, as[i], i)))
-	}
-	wantWB := DebugMultiWeightsB(b, as[:]).Sub(xB.TransposeMatMul(gradZ).Scale(cfg.LR))
-	wantWA0 := DebugMultiWeightsA(b, as[0], 0).Sub(xAs[0].TransposeMatMul(gradZ).Scale(cfg.LR))
-
-	var z *tensor.Dense
-	for i := 0; i < M; i++ {
-		i := i
-		go func() {
-			done <- peersA[i].Run(func() {
-				as[i].Forward(DenseFeatures{xAs[i]})
-				as[i].Backward()
-			})
-		}()
-	}
-	go func() {
-		done <- peersB[0].Run(func() {
-			z = b.Forward(DenseFeatures{xB})
-			b.Backward(gradZ)
-		})
-	}()
-	for i := 0; i < M+1; i++ {
-		if err := <-done; err != nil {
-			t.Fatal(err)
-		}
-	}
-
-	if !z.Equal(want, 1e-4) {
-		t.Fatalf("multi-party Z diverges (maxdiff %g)", z.Sub(want).MaxAbs())
-	}
-	if got := DebugMultiWeightsB(b, as[:]); !got.Equal(wantWB, 1e-4) {
-		t.Fatalf("multi-party W_B update wrong (maxdiff %g)", got.Sub(wantWB).MaxAbs())
-	}
-	if got := DebugMultiWeightsA(b, as[0], 0); !got.Equal(wantWA0, 1e-4) {
-		t.Fatalf("multi-party W_A(0) update wrong (maxdiff %g)", got.Sub(wantWA0).MaxAbs())
-	}
-}
+// Multi-party MatMul (Algorithm 3) coverage lives in multiparty_test.go.
 
 // --- Federated (SS) top model (Appendix B, Fig. 13) ---
 

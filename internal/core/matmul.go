@@ -59,7 +59,7 @@ func NewMatMulA(p *protocol.Peer, cfg Config, inA, inB int) *MatMulA {
 	l := &MatMulA{
 		cfg: cfg, peer: p,
 		UA:    tensor.RandDense(p.Rng, inA, cfg.Out, s),
-		VB:    tensor.RandDense(p.Rng, inB, cfg.Out, s),
+		VB:    tensor.RandDense(p.Rng, inB, cfg.Out, s/cfg.groupPieceDiv()),
 		momUA: momentum{mu: cfg.Momentum},
 		momVB: momentum{mu: cfg.Momentum},
 	}
@@ -79,7 +79,7 @@ func NewMatMulB(p *protocol.Peer, cfg Config, inA, inB int) *MatMulB {
 	s := cfg.initScale()
 	l := &MatMulB{
 		cfg: cfg, peer: p,
-		UB:    tensor.RandDense(p.Rng, inB, cfg.Out, s),
+		UB:    tensor.RandDense(p.Rng, inB, cfg.Out, s/cfg.groupPieceDiv()),
 		VA:    tensor.RandDense(p.Rng, inA, cfg.Out, s),
 		momUB: momentum{mu: cfg.Momentum},
 		momVA: momentum{mu: cfg.Momentum},
@@ -174,20 +174,28 @@ func (l *MatMulA) Backward() {
 // Backward runs Party B's backward pass: B updates U_B with the locally
 // computable ∇W_B = X_Bᵀ∇Z, ships ⟦∇Z⟧ to A, receives its masked share of
 // ∇W_A, updates V_A, and refreshes A's encrypted copy of V_A.
-func (l *MatMulB) Backward(gradZ *tensor.Dense) {
-	gradWB := l.x.TransposeMatMul(gradZ)
+func (l *MatMulB) Backward(gradZ *tensor.Dense) { l.backwardMulti(gradZ, gradZ) }
+
+// backwardMulti is Backward with separate gradients for the local U_B update
+// (gradLocal) and the cross-party ⟦∇Z⟧/V_A path (gradFull). The two-party
+// Backward passes the same gradient twice; a k-session group scales
+// gradLocal by 1/k so the k independent U_B(i) updates sum to one SGD step
+// of W_B = Σᵢ(U_B(i)+V_B(i)), while every session's A still sees the true
+// ∇Z for its own column block (W_A is partitioned, not summed).
+func (l *MatMulB) backwardMulti(gradFull, gradLocal *tensor.Dense) {
+	gradWB := l.x.TransposeMatMul(gradLocal)
 	l.momUB.step(l.UB, gradWB, l.cfg.LR)
 
 	stream := l.cfg.Stream
 	if l.cfg.Packed {
-		encryptAndSendPacked(l.peer, stream, gradZ, 1)
+		encryptAndSendPacked(l.peer, stream, gradFull, 1)
 		gradVAshare := he2ssRecvPacked(l.peer, stream) // ∇W_A − φ
 		l.momVA.step(l.VA, gradVAshare, l.cfg.LR)
 		encryptAndSendPacked(l.peer, stream, l.VA, 1) // refresh packed ⟦V_A⟧ at A
 		l.x = nil
 		return
 	}
-	encryptAndSend(l.peer, stream, gradZ, 1)
+	encryptAndSend(l.peer, stream, gradFull, 1)
 	gradVAshare := he2ssRecv(l.peer, stream) // ∇W_A − φ
 	l.momVA.step(l.VA, gradVAshare, l.cfg.LR)
 	encryptAndSend(l.peer, stream, l.VA, 1) // refresh ⟦V_A⟧ at A

@@ -127,7 +127,7 @@ func NewSparseMatMulA(p *protocol.Peer, cfg Config, inA, inB int) *SparseMatMulA
 	return &SparseMatMulA{
 		cfg: cfg, peer: p,
 		UA:      tensor.RandDense(p.Rng, inA, cfg.Out, s),
-		VB:      tensor.RandDense(p.Rng, inB, cfg.Out, s),
+		VB:      tensor.RandDense(p.Rng, inB, cfg.Out, s/cfg.groupPieceDiv()),
 		cacheVA: newRowCache(inA, cfg.Out),
 		momUA:   momentum{mu: cfg.Momentum},
 	}
@@ -139,7 +139,7 @@ func NewSparseMatMulB(p *protocol.Peer, cfg Config, inA, inB int) *SparseMatMulB
 	s := cfg.initScale()
 	return &SparseMatMulB{
 		cfg: cfg, peer: p,
-		UB:      tensor.RandDense(p.Rng, inB, cfg.Out, s),
+		UB:      tensor.RandDense(p.Rng, inB, cfg.Out, s/cfg.groupPieceDiv()),
 		VA:      tensor.RandDense(p.Rng, inA, cfg.Out, s),
 		cacheVB: newRowCache(inB, cfg.Out),
 		momUB:   momentum{mu: cfg.Momentum},
@@ -204,15 +204,21 @@ func (l *SparseMatMulA) Backward() {
 }
 
 // Backward runs Party B's sparse backward pass.
-func (l *SparseMatMulB) Backward(gradZ *tensor.Dense) {
+func (l *SparseMatMulB) Backward(gradZ *tensor.Dense) { l.backwardMulti(gradZ, gradZ) }
+
+// backwardMulti is Backward with separate local/cross-party gradients, the
+// sparse counterpart of MatMulB.backwardMulti: a k-session group passes ∇Z/k
+// as gradLocal so the k U_B(i) updates sum to one step of W_B, while the
+// touched-coordinate exchange and V_A update see the true ∇Z.
+func (l *SparseMatMulB) backwardMulti(gradFull, gradLocal *tensor.Dense) {
 	p := l.peer
 
 	// Local sparse update of U_B: only B's own touched coordinates move.
 	touchedB := touchedCols(l.x)
-	gradUB := l.x.TransposeMatMul(gradZ) // rows outside touchedB are zero
+	gradUB := l.x.TransposeMatMul(gradLocal) // rows outside touchedB are zero
 	l.momUB.stepRows(l.UB, gatherRows(gradUB, touchedB), touchedB, l.cfg.LR)
 
-	p.EncryptAndSend(gradZ, 1)
+	p.EncryptAndSend(gradFull, 1)
 	touchedA := p.RecvInts()
 	gradVAshare := p.HE2SSRecv() // len(touchedA)×Out: ∇W_A[touched] − φ
 	l.momVA.stepRows(l.VA, gradVAshare, touchedA, l.cfg.LR)

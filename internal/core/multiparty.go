@@ -1,104 +1,116 @@
 package core
 
 import (
+	"fmt"
+
 	"blindfl/internal/protocol"
 	"blindfl/internal/tensor"
 )
 
-// Multi-party MatMul source layer (paper Appendix C, Algorithm 3): one
-// Party B and M Party A's. Party B's weights are broken into M+1 pieces
-// W_B = U_B + Σᵢ V_B(i) with V_B(i) managed by the i-th Party A, and each
-// A(i)'s weights are shared with B exactly as in the two-party layer.
-// The forward pass runs the two-party sub-protocol against every A(i) with
-// U_B/M as B's local piece, so the partial results sum to
-// Σᵢ X_A(i)·W_A(i) + X_B·W_B.
+// Multi-party MatMul source layers (paper Appendix C, Algorithm 3): one
+// Party B and k Party A's. Party B's weights decompose across the sessions,
+// W_B = Σᵢ (U_B(i) + V_B(i)) with V_B(i) managed by the i-th Party A, and
+// each A(i)'s weights are shared with B exactly as in the two-party layer.
+// The forward pass runs the two-party sub-protocol against every A(i) and
+// sums the partial activations, so
 //
-// Each Party A runs the ordinary two-party MatMulA against its own
-// connection to B — Algorithm 3 requires no changes on the A side.
+//	Z = Σᵢ X_A(i)·W_A(i) + X_B·W_B.
+//
+// Each Party A runs the ordinary two-party A-half against its own session —
+// Algorithm 3 requires no changes on the A side beyond agreeing on
+// Config.GroupParties (which scales its V_B(i) draw by 1/√k). Party B drives
+// all k sessions concurrently through protocol.Group.ForEach; aggregation
+// (the activation sum, the 1/k gradient fan-in to the U_B pieces) is
+// deterministic in session order regardless of scheduling.
 
-// MultiMatMulB is Party B's half of the multi-party layer, holding one
-// protocol session per Party A.
+// MultiMatMulB is Party B's half of the multi-party dense MatMul layer:
+// one two-party B-half per session, driven concurrently.
 type MultiMatMulB struct {
-	cfg   Config
-	peers []*protocol.Peer
-	subs  []*MatMulB // one two-party B-half per A(i), each with U_B/M
-
-	x Numeric
+	g    *protocol.Group
+	subs []*MatMulB // session i's B-half, holding U_B(i) and V_A(i)
 }
 
-// NewMultiMatMulB initializes Party B against M = len(peers) Party A's.
-// inAs[i] is A(i)'s feature dimensionality. Must run concurrently with
-// NewMatMulA on every peer.
-func NewMultiMatMulB(peers []*protocol.Peer, cfg Config, inAs []int, inB int) *MultiMatMulB {
-	m := &MultiMatMulB{cfg: cfg, peers: peers}
-	for i, p := range peers {
-		// Each sub-layer draws an independent U_B(i); B's effective local
-		// piece is their sum, matching the U_B/M spreading of Algorithm 3
-		// (any decomposition of U_B across the M sub-protocols works, and
-		// independent draws avoid correlated shares).
-		sub := NewMatMulB(p, Config{
-			Out: cfg.Out, LR: cfg.LR, Momentum: cfg.Momentum,
-			InitScale: cfg.initScale() / float64(len(peers)),
-			Packed:    cfg.Packed, Stream: cfg.Stream,
-		}, inAs[i], inB)
-		m.subs = append(m.subs, sub)
+// NewMultiMatMulB initializes Party B against the group's k = g.K()
+// sessions. inAs[i] is A(i)'s feature dimensionality. Must run concurrently
+// with NewMatMulA (built with the same cfg and GroupParties = k) on every
+// session's feature party.
+func NewMultiMatMulB(g *protocol.Group, cfg Config, inAs []int, inB int) *MultiMatMulB {
+	if len(inAs) != g.K() {
+		panic(fmt.Sprintf("core: NewMultiMatMulB got %d feature widths for %d sessions", len(inAs), g.K()))
 	}
+	cfg.GroupParties = g.K()
+	m := &MultiMatMulB{g: g, subs: make([]*MatMulB, g.K())}
+	g.ForEach(func(i int, p *protocol.Peer) {
+		m.subs[i] = NewMatMulB(p, cfg, inAs[i], inB)
+	})
 	return m
 }
 
-// Forward aggregates the sub-protocol outputs into
-// Z = Σᵢ X_A(i)·W_A(i) + X_B·W_B.
+// Forward runs the k sub-protocol forwards concurrently and aggregates
+// Z = Σᵢ X_A(i)·W_A(i) + X_B·W_B, summing in session order.
 func (m *MultiMatMulB) Forward(x Numeric) *tensor.Dense {
-	m.x = x
-	var z *tensor.Dense
-	for _, sub := range m.subs {
-		zi := sub.Forward(x)
-		if z == nil {
-			z = zi
-		} else {
-			z.AddInPlace(zi)
-		}
-	}
-	return z
+	zs := make([]*tensor.Dense, len(m.subs))
+	m.g.ForEach(func(i int, _ *protocol.Peer) { zs[i] = m.subs[i].Forward(x) })
+	return sumInOrder(zs)
 }
 
-// Backward distributes ∇Z to every sub-protocol. Each sub-layer updates its
-// U_B(i) with the full ∇W_B = X_Bᵀ∇Z; scaling the gradient by 1/M keeps the
-// effective update of W_B = Σᵢ(U_B(i) + V_B(i)) equal to one SGD step.
+// Backward fans ∇Z out to every session concurrently. Each session's A gets
+// the true ⟦∇Z⟧ (its W_A(i) block owns its columns alone), while each local
+// U_B(i) updates with ∇Z/k so the k updates of W_B = Σᵢ(U_B(i)+V_B(i)) sum
+// to exactly one SGD step — the linearity that makes the k-party layer
+// lossless against the two-party one.
 func (m *MultiMatMulB) Backward(gradZ *tensor.Dense) {
 	scaled := gradZ.Scale(1 / float64(len(m.subs)))
-	for _, sub := range m.subs {
-		// The A(i)-side gradient must be unscaled; restore it inside the
-		// sub-protocol by sending the true ∇Z and scaling only U_B's
-		// update. We achieve both by letting the sub-layer see the true
-		// gradient for the cross-party part and the scaled one locally.
-		sub.backwardMulti(gradZ, scaled)
-	}
-	m.x = nil
+	m.g.ForEach(func(i int, _ *protocol.Peer) { m.subs[i].backwardMulti(gradZ, scaled) })
 }
 
-// backwardMulti is Backward with separate gradients for the local U_B
-// update (scaled by 1/M) and the cross-party V_A/encrypted-∇Z path (full).
-// It mirrors the two-party Backward's Packed/Stream dispatch so the A side
-// (an ordinary MatMulA honouring the same Config) stays in protocol.
-func (l *MatMulB) backwardMulti(gradFull, gradLocal *tensor.Dense) {
-	gradWB := l.x.TransposeMatMul(gradLocal)
-	l.momUB.step(l.UB, gradWB, l.cfg.LR)
+// MultiSparseMatMulB is Party B's half of the multi-party sparse MatMul
+// layer: the Table-5 sparse protocol (on-demand cipher rows, touched
+// coordinates only) run per session with the same aggregation as the dense
+// multi layer.
+type MultiSparseMatMulB struct {
+	g    *protocol.Group
+	subs []*SparseMatMulB
+}
 
-	stream := l.cfg.Stream
-	if l.cfg.Packed {
-		encryptAndSendPacked(l.peer, stream, gradFull, 1)
-		gradVAshare := he2ssRecvPacked(l.peer, stream)
-		l.momVA.step(l.VA, gradVAshare, l.cfg.LR)
-		encryptAndSendPacked(l.peer, stream, l.VA, 1)
-		l.x = nil
-		return
+// NewMultiSparseMatMulB initializes Party B's sparse halves against the
+// group's sessions. Must run concurrently with NewSparseMatMulA (same cfg,
+// GroupParties = k) on every feature party.
+func NewMultiSparseMatMulB(g *protocol.Group, cfg Config, inAs []int, inB int) *MultiSparseMatMulB {
+	if len(inAs) != g.K() {
+		panic(fmt.Sprintf("core: NewMultiSparseMatMulB got %d feature widths for %d sessions", len(inAs), g.K()))
 	}
-	encryptAndSend(l.peer, stream, gradFull, 1)
-	gradVAshare := he2ssRecv(l.peer, stream)
-	l.momVA.step(l.VA, gradVAshare, l.cfg.LR)
-	encryptAndSend(l.peer, stream, l.VA, 1)
-	l.x = nil
+	cfg.GroupParties = g.K()
+	m := &MultiSparseMatMulB{g: g, subs: make([]*SparseMatMulB, g.K())}
+	g.ForEach(func(i int, p *protocol.Peer) {
+		m.subs[i] = NewSparseMatMulB(p, cfg, inAs[i], inB)
+	})
+	return m
+}
+
+// Forward runs the k sparse sub-forwards concurrently and sums the partial
+// activations in session order.
+func (m *MultiSparseMatMulB) Forward(x *tensor.CSR) *tensor.Dense {
+	zs := make([]*tensor.Dense, len(m.subs))
+	m.g.ForEach(func(i int, _ *protocol.Peer) { zs[i] = m.subs[i].Forward(x) })
+	return sumInOrder(zs)
+}
+
+// Backward fans ∇Z out to every session concurrently, with the same 1/k
+// local scaling as the dense multi layer.
+func (m *MultiSparseMatMulB) Backward(gradZ *tensor.Dense) {
+	scaled := gradZ.Scale(1 / float64(len(m.subs)))
+	m.g.ForEach(func(i int, _ *protocol.Peer) { m.subs[i].backwardMulti(gradZ, scaled) })
+}
+
+// sumInOrder folds partial activations in session order, so the float
+// summation is deterministic no matter how ForEach scheduled the sessions.
+func sumInOrder(zs []*tensor.Dense) *tensor.Dense {
+	z := zs[0]
+	for _, zi := range zs[1:] {
+		z.AddInPlace(zi)
+	}
+	return z
 }
 
 // DebugMultiWeightsB reconstructs W_B = Σᵢ (U_B(i) + V_B(i)) given every
@@ -114,5 +126,20 @@ func DebugMultiWeightsB(b *MultiMatMulB, as []*MatMulA) *tensor.Dense {
 
 // DebugMultiWeightsA reconstructs W_A(i) for the i-th Party A. Test only.
 func DebugMultiWeightsA(b *MultiMatMulB, a *MatMulA, i int) *tensor.Dense {
+	return a.UA.Add(b.subs[i].VA)
+}
+
+// DebugMultiSparseWeightsB is DebugMultiWeightsB for the sparse layer.
+func DebugMultiSparseWeightsB(b *MultiSparseMatMulB, as []*SparseMatMulA) *tensor.Dense {
+	w := tensor.NewDense(b.subs[0].UB.Rows, b.subs[0].UB.Cols)
+	for i, sub := range b.subs {
+		w.AddInPlace(sub.UB)
+		w.AddInPlace(as[i].VB)
+	}
+	return w
+}
+
+// DebugMultiSparseWeightsA reconstructs W_A(i) for the sparse layer.
+func DebugMultiSparseWeightsA(b *MultiSparseMatMulB, a *SparseMatMulA, i int) *tensor.Dense {
 	return a.UA.Add(b.subs[i].VA)
 }

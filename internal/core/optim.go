@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+
 	"blindfl/internal/hetensor"
 	"blindfl/internal/tensor"
 )
@@ -83,6 +85,18 @@ type Config struct {
 	// way, the engine is just faster.
 	Textbook bool
 
+	// GroupParties marks the layer as one session of a k-party group
+	// (Appendix C, Algorithm 3) jointly representing Party B's weights:
+	// W_B = Σᵢ(U_B(i) + V_B(i)) over the k sessions. The W_B pieces each
+	// session draws — A's V_B and B's U_B — are initialized at
+	// InitScale/√k, so the variance of the 2k-piece sum matches the
+	// two-party W_B = U_B + V_B (2 pieces at the full scale); the
+	// per-session W_A pieces (U_A, V_A) keep the full scale (W_A is
+	// column-partitioned across sessions, not summed). 0 or 1 means the
+	// ordinary two-party layer. Both parties of every session must agree on
+	// the value, like Packed and Stream.
+	GroupParties int
+
 	// TableCacheMB sets the byte budget (in MiB) of the process-wide
 	// persistent dot-table cache (hetensor.SetTableCacheBudget): Straus
 	// window tables keyed by ciphertext-matrix identity survive across
@@ -108,4 +122,16 @@ func (c Config) initScale() float64 {
 		return 0.1
 	}
 	return c.InitScale
+}
+
+// groupPieceDiv returns the divisor for the W_B piece init draws: √k for a
+// k-session group, so the 2k independent uniform pieces sum to a W_B with
+// the variance of the two-party U_B + V_B pair at full scale (each piece
+// contributes scale²/3, so 2k·(s/√k)²/3 = 2s²/3); 1 for the two-party
+// layer.
+func (c Config) groupPieceDiv() float64 {
+	if c.GroupParties > 1 {
+		return math.Sqrt(float64(c.GroupParties))
+	}
+	return 1
 }

@@ -200,76 +200,40 @@ func TestStreamedFedTopMatchesMonolithic(t *testing.T) {
 // two-party half run the streamed protocol (a dropped flag on either side
 // desynchronizes the session and fails loudly).
 func TestStreamedMultiPartyForwardBackward(t *testing.T) {
-	const M = 2
-	skA, skB := protocol.TestKeys()
-	var peersA, peersB []*protocol.Peer
-	for i := 0; i < M; i++ {
-		pa, pb, err := protocol.Pipe(skA, skB, int64(810+i))
-		if err != nil {
-			t.Fatal(err)
-		}
-		pa.ChunkRows, pb.ChunkRows = 2, 2
-		peersA = append(peersA, pa)
-		peersB = append(peersB, pb)
+	const k = 2
+	peersA, g := groupPipe(t, k, 810)
+	for i, pa := range peersA {
+		pa.ChunkRows, g.Peers[i].ChunkRows = 2, 2
 	}
 	cfg := Config{Out: 2, LR: 0.1, Stream: true}
 	inAs := []int{3, 4}
 	inB := 3
-
-	var as [M]*MatMulA
-	var b *MultiMatMulB
-	done := make(chan error, M+1)
-	for i := 0; i < M; i++ {
-		i := i
-		go func() {
-			done <- peersA[i].Run(func() {
-				as[i] = NewMatMulA(peersA[i], Config{Out: cfg.Out, LR: cfg.LR, Stream: true,
-					InitScale: cfg.initScale() / M}, inAs[i], inB)
-			})
-		}()
-	}
-	go func() {
-		done <- peersB[0].Run(func() { b = NewMultiMatMulB(peersB, cfg, inAs, inB) })
-	}()
-	for i := 0; i < M+1; i++ {
-		if err := <-done; err != nil {
-			t.Fatal(err)
-		}
-	}
+	as, b := newMultiMatMul(t, peersA, g, cfg, inAs, inB)
 
 	rng := rand.New(rand.NewSource(9))
 	xAs := []*tensor.Dense{tensor.RandDense(rng, 4, 3, 1), tensor.RandDense(rng, 4, 4, 1)}
 	xB := tensor.RandDense(rng, 4, 3, 1)
 	gradZ := tensor.RandDense(rng, 4, 2, 1)
 
-	want := xB.MatMul(DebugMultiWeightsB(b, as[:]))
+	want := xB.MatMul(DebugMultiWeightsB(b, as))
 	for i := range as {
 		want.AddInPlace(xAs[i].MatMul(DebugMultiWeightsA(b, as[i], i)))
 	}
 
 	var z *tensor.Dense
-	for i := 0; i < M; i++ {
-		i := i
-		go func() {
-			done <- peersA[i].Run(func() {
-				as[i].Forward(DenseFeatures{xAs[i]})
-				as[i].Backward()
-			})
-		}()
-	}
-	go func() {
-		done <- peersB[0].Run(func() {
-			z = b.Forward(DenseFeatures{xB})
-			b.Backward(gradZ)
-		})
-	}()
-	for i := 0; i < M+1; i++ {
-		if err := <-done; err != nil {
-			t.Fatal(err)
-		}
+	if err := protocol.RunGroup(peersA, g,
+		func(i int) { as[i].Forward(DenseFeatures{xAs[i]}); as[i].Backward() },
+		func() { z = b.Forward(DenseFeatures{xB}); b.Backward(gradZ) },
+	); err != nil {
+		t.Fatal(err)
 	}
 	if !z.Equal(want, 1e-4) {
 		t.Fatalf("streamed multiparty Z diverges (maxdiff %g)", z.Sub(want).MaxAbs())
+	}
+	for i, pa := range peersA {
+		if pa.Stream.ChunksSent == 0 || pa.Stream.ChunksRecv == 0 {
+			t.Fatalf("session %d recorded no streamed chunks: %+v", i, pa.Stream)
+		}
 	}
 }
 

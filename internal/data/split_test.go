@@ -1,0 +1,62 @@
+package data
+
+import "testing"
+
+// TestSplitColsUnevenKeepsEveryColumn: widths differ by at most one, sum to
+// the original dimensionality, and every value lands in exactly one block.
+func TestSplitColsUnevenKeepsEveryColumn(t *testing.T) {
+	ds := Generate(Spec{Name: "t-split", Feats: 22, AvgNNZ: 22, Classes: 2, Train: 8, Test: 4}, 1)
+	// TrainA holds 11 columns: 3-way split must give 4+4+3.
+	parts := SplitCols(ds.TrainA, 3)
+	wantWidths := []int{4, 4, 3}
+	lo := 0
+	for i, p := range parts {
+		if p.NumCols() != wantWidths[i] {
+			t.Fatalf("block %d width = %d, want %d", i, p.NumCols(), wantWidths[i])
+		}
+		if !p.Dense.Equal(ds.TrainA.Dense.SliceCols(lo, lo+wantWidths[i]), 0) {
+			t.Fatalf("block %d values differ from the contiguous column slice", i)
+		}
+		lo += wantWidths[i]
+	}
+	if lo != ds.TrainA.NumCols() {
+		t.Fatalf("blocks cover %d of %d columns", lo, ds.TrainA.NumCols())
+	}
+}
+
+func TestSplitColsSparseRoundTrips(t *testing.T) {
+	ds := Generate(Spec{Name: "t-split-sp", Feats: 40, AvgNNZ: 6, Classes: 2, Train: 12, Test: 4}, 2)
+	parts := SplitCols(ds.TrainA, 3)
+	total := 0
+	dense := ds.TrainA.Sparse.ToDense()
+	lo := 0
+	for i, p := range parts {
+		w := p.NumCols()
+		total += w
+		if !p.Sparse.ToDense().Equal(dense.SliceCols(lo, lo+w), 0) {
+			t.Fatalf("sparse block %d values differ from the column slice", i)
+		}
+		lo += w
+	}
+	if total != ds.TrainA.NumCols() {
+		t.Fatalf("blocks cover %d of %d columns", total, ds.TrainA.NumCols())
+	}
+}
+
+func TestSplitColsSingleBlockIsWholePart(t *testing.T) {
+	ds := Generate(Spec{Name: "t-split-1", Feats: 10, AvgNNZ: 10, Classes: 2, Train: 6, Test: 2}, 3)
+	parts := SplitCols(ds.TrainA, 1)
+	if len(parts) != 1 || !parts[0].Dense.Equal(ds.TrainA.Dense, 0) {
+		t.Fatal("k=1 split must reproduce the whole part")
+	}
+}
+
+func TestSplitColsRejectsTooManyParties(t *testing.T) {
+	ds := Generate(Spec{Name: "t-split-bad", Feats: 6, AvgNNZ: 6, Classes: 2, Train: 4, Test: 2}, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SplitCols accepted more parties than columns")
+		}
+	}()
+	SplitCols(ds.TrainA, ds.TrainA.NumCols()+1)
+}

@@ -32,6 +32,13 @@ func (s *numericSrcA) backward() {
 	s.dense.Backward()
 }
 
+// numSrcB abstracts Party B's numeric source layer: the two-party
+// dense/sparse facade below, or the k-session multi-party one (multi.go).
+type numSrcB interface {
+	forward(p data.Part) *tensor.Dense
+	backward(g *tensor.Dense)
+}
+
 type numericSrcB struct {
 	dense  *core.MatMulB
 	sparse *core.SparseMatMulB
@@ -63,7 +70,7 @@ type FedA struct {
 type FedB struct {
 	kind    Kind
 	classes int
-	num     *numericSrcB
+	num     numSrcB
 	emb     *core.EmbedMatMulB
 	head    headB
 	opt     *nn.SGD
@@ -164,10 +171,16 @@ func restHidden(h Hyper) []int {
 	return h.Hidden[1:]
 }
 
+// coreCfg assembles the source-layer Config a Hyper implies for a family.
+func coreCfg(kind Kind, classes int, h Hyper) core.Config {
+	return core.Config{Out: sourceOut(kind, classes, h), LR: h.LR, Momentum: h.Momentum,
+		Packed: h.Packed, Stream: h.Stream, Textbook: h.Textbook, TableCacheMB: h.TableCacheMB}
+}
+
 // NewFedA builds Party A's model half. Must run concurrently with NewFedB.
 func NewFedA(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedA {
 	m := &FedA{}
-	cfg := core.Config{Out: sourceOut(kind, ds.Spec.Classes, h), LR: h.LR, Momentum: h.Momentum, Packed: h.Packed, Stream: h.Stream, Textbook: h.Textbook, TableCacheMB: h.TableCacheMB}
+	cfg := coreCfg(kind, ds.Spec.Classes, h)
 	inA, inB := ds.TrainA.NumCols(), ds.TrainB.NumCols()
 	if ds.Spec.Dense() {
 		m.num = &numericSrcA{dense: core.NewMatMulA(p, cfg, inA, inB)}
@@ -184,7 +197,7 @@ func NewFedA(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedA {
 func NewFedB(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedB {
 	classes := ds.Spec.Classes
 	m := &FedB{kind: kind, classes: classes}
-	cfg := core.Config{Out: sourceOut(kind, classes, h), LR: h.LR, Momentum: h.Momentum, Packed: h.Packed, Stream: h.Stream, Textbook: h.Textbook, TableCacheMB: h.TableCacheMB}
+	cfg := coreCfg(kind, classes, h)
 	inA, inB := ds.TrainA.NumCols(), ds.TrainB.NumCols()
 	if ds.Spec.Dense() {
 		m.num = &numericSrcB{dense: core.NewMatMulB(p, cfg, inA, inB)}
@@ -194,7 +207,14 @@ func NewFedB(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedB {
 	if kind.UsesEmbedding() {
 		m.emb = core.NewEmbedMatMulB(p, embedCfg(kind, ds, h))
 	}
+	m.finishTop(kind, classes, h)
+	return m
+}
 
+// finishTop builds the plaintext head and its optimizer for a family —
+// shared by the two-party and multi-party B constructors so both draw the
+// top-model init from the same (h.Seed+77) stream.
+func (m *FedB) finishTop(kind Kind, classes int, h Hyper) {
 	rng := rand.New(rand.NewSource(h.Seed + 77))
 	out := outDim(classes)
 	switch kind {
@@ -209,7 +229,6 @@ func NewFedB(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedB {
 		m.head = &dlrmHead{relu: &nn.ReLU{}, seq: nn.NewSequential(nn.NewLinear(rng, firstHidden(h), out))}
 	}
 	m.opt = nn.NewSGD(h.LR, h.Momentum, m.head.params())
-	return m
 }
 
 // sourceOutEmbed is the Embed-MatMul output width (the deep tower input).

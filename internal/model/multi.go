@@ -1,0 +1,146 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blindfl/internal/core"
+	"blindfl/internal/data"
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+// Multi-party training (paper Appendix C, Algorithm 3): k feature parties,
+// each holding a contiguous block of Party A's columns, train against one
+// label party that drives all k sessions through a protocol.Group. The
+// numeric model families (LR, MLR, MLP) are covered — their source layer is
+// the MatMul protocol Algorithm 3 generalizes; the embedding families (WDL,
+// DLRM) would additionally need a multi-party Embed-MatMul and are rejected.
+//
+// A 1-party group is *the* two-party protocol (same RNG streams, same
+// arithmetic), so TrainFederatedMulti with k=1 reproduces TrainFederated
+// bit-exactly; for k>1 the k-session decomposition is lossless to
+// fixed-point tolerance against the same training run with the column
+// blocks concatenated at a single Party A (the per-session weight pieces
+// are fresh random draws, so the trajectories agree in distribution and in
+// the reconstructed-weight algebra, not bit for bit).
+
+// multiNumericSrcB adapts the k-session dense and sparse MatMul halves
+// behind the same facade as the two-party numericSrcB.
+type multiNumericSrcB struct {
+	dense  *core.MultiMatMulB
+	sparse *core.MultiSparseMatMulB
+}
+
+func (s *multiNumericSrcB) forward(p data.Part) *tensor.Dense {
+	if s.sparse != nil {
+		return s.sparse.Forward(p.Sparse)
+	}
+	return s.dense.Forward(core.DenseFeatures{M: p.Dense})
+}
+
+func (s *multiNumericSrcB) backward(g *tensor.Dense) {
+	if s.sparse != nil {
+		s.sparse.Backward(g)
+		return
+	}
+	s.dense.Backward(g)
+}
+
+// NewFedAMulti builds one feature party's model half of a k-party group:
+// the ordinary two-party A-half over that party's inA columns, with the
+// group's k agreed in the layer Config. Must run concurrently with
+// NewFedBMulti on the label party.
+func NewFedAMulti(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper, inA, k int) *FedA {
+	m := &FedA{}
+	cfg := coreCfg(kind, ds.Spec.Classes, h)
+	cfg.GroupParties = k
+	inB := ds.TrainB.NumCols()
+	if ds.Spec.Dense() {
+		m.num = &numericSrcA{dense: core.NewMatMulA(p, cfg, inA, inB)}
+	} else {
+		m.num = &numericSrcA{sparse: core.NewSparseMatMulA(p, cfg, inA, inB)}
+	}
+	return m
+}
+
+// NewFedBMulti builds the label party's model half against a k-session
+// group: a multi-party numeric source layer under the same plaintext top
+// model as the two-party NewFedB. inAs[i] is feature party i's column
+// count. Must run concurrently with NewFedAMulti on every feature party.
+func NewFedBMulti(g *protocol.Group, kind Kind, ds *data.Dataset, h Hyper, inAs []int) *FedB {
+	classes := ds.Spec.Classes
+	m := &FedB{kind: kind, classes: classes}
+	cfg := coreCfg(kind, classes, h)
+	inB := ds.TrainB.NumCols()
+	if ds.Spec.Dense() {
+		m.num = &multiNumericSrcB{dense: core.NewMultiMatMulB(g, cfg, inAs, inB)}
+	} else {
+		m.num = &multiNumericSrcB{sparse: core.NewMultiSparseMatMulB(g, cfg, inAs, inB)}
+	}
+	m.finishTop(kind, classes, h)
+	return m
+}
+
+// TrainFederatedMulti trains a federated model end to end across a k-party
+// in-process group and returns the label party's training history — the
+// k-session counterpart of TrainFederated. Party A's columns are split into
+// k contiguous blocks (data.SplitCols: widths differ by at most one, so
+// uneven dimensionalities lose no columns), one per feature party; every
+// party derives the shared mini-batch order from the hyper-parameter seed.
+//
+// RunGroup closes every session's connections on the first party error, so
+// one failing session unblocks the other k−1 (and the label party) with
+// transport.ErrClosed instead of hanging, and the returned error is the
+// root cause.
+func TrainFederatedMulti(kind Kind, ds *data.Dataset, h Hyper, as []*protocol.Peer, g *protocol.Group) (*History, error) {
+	k := g.K()
+	if len(as) != k {
+		return nil, fmt.Errorf("model: TrainFederatedMulti got %d feature parties for %d sessions", len(as), k)
+	}
+	if kind.UsesEmbedding() {
+		return nil, fmt.Errorf("model: multi-party training covers the numeric families lr|mlr|mlp; %s needs a multi-party Embed-MatMul layer", kind)
+	}
+	if cols := ds.TrainA.NumCols(); k > cols {
+		return nil, fmt.Errorf("model: cannot split %d feature columns across %d parties", cols, k)
+	}
+	trainAs := data.SplitCols(ds.TrainA, k)
+	testAs := data.SplitCols(ds.TestA, k)
+	inAs := make([]int, k)
+	for i, p := range trainAs {
+		inAs[i] = p.NumCols()
+	}
+
+	hist := &History{MetricName: metricName(ds.Spec.Classes)}
+	err := protocol.RunGroup(as, g,
+		func(i int) {
+			ma := NewFedAMulti(as[i], kind, ds, h, inAs[i], k)
+			order := rand.New(rand.NewSource(h.Seed + 999))
+			for e := 0; e < h.Epochs; e++ {
+				perm := data.Shuffle(order, trainAs[i].Rows())
+				for _, idx := range batchesOf(perm, h.Batch) {
+					ma.StepA(trainAs[i].Batch(idx))
+				}
+			}
+			for _, idx := range data.BatchIndices(testAs[i].Rows(), h.Batch) {
+				ma.ForwardA(testAs[i].Batch(idx))
+			}
+		},
+		func() {
+			mb := NewFedBMulti(g, kind, ds, h, inAs)
+			order := rand.New(rand.NewSource(h.Seed + 999))
+			for e := 0; e < h.Epochs; e++ {
+				perm := data.Shuffle(order, ds.TrainB.Rows())
+				for _, idx := range batchesOf(perm, h.Batch) {
+					loss := mb.StepB(ds.TrainB.Batch(idx), gather(ds.TrainY, idx))
+					hist.Losses = append(hist.Losses, loss)
+				}
+			}
+			hist.TestLogits = evalB(mb, ds, h)
+		})
+	if err != nil {
+		return nil, err
+	}
+	finishHistory(hist, ds)
+	return hist, nil
+}

@@ -246,6 +246,24 @@ func (p *Pool) Stats() PoolStats {
 // WaitAvailable(1) before each Enc, every encryption is served from the pool
 // in FIFO draw order, so a deterministic reader yields fully reproducible
 // ciphertexts — the mode the test suite uses.
+//
+// Liveness against Close (audited for the k-session group runtime, which
+// closes per-party pools while group sessions may still be parked here):
+// every slot is always in exactly one of three states — buffered (len(buf)),
+// permanently lost (lost), or in flight (queued/running refill job, or taken
+// in blinding() before its replacement is submitted). NewPool starts every
+// slot in flight; refill moves in-flight → buffered or in-flight → lost;
+// blinding moves buffered → in-flight (Submit accepted) or buffered → lost
+// (Submit after Close). Both slot-consuming transitions broadcast under
+// availMu *after* the state change, and the waiter re-checks under the same
+// mutex, so a wakeup cannot be missed. A parked waiter implies
+// len(buf) < cap − lost, i.e. at least one slot is in flight — and Close
+// drains in-flight jobs rather than dropping them (Workers.Close), so that
+// slot's refill-or-loss broadcast is still coming. Hence a waiter racing
+// Close always wakes: either the remaining refills land (the buffer reaches
+// the target) or their slots are marked Lost (the reachable cap drops to
+// meet it). The close-while-waiting regression tests in pool_test.go pin
+// this contract.
 func (p *Pool) WaitAvailable(n int) {
 	p.availMu.Lock()
 	defer p.availMu.Unlock()
@@ -262,8 +280,12 @@ func (p *Pool) WaitAvailable(n int) {
 	}
 }
 
-// Close stops the background workers, waiting for in-flight refills. The pool
-// remains usable afterwards (Enc falls back inline once the buffer drains).
+// Close stops the background workers, waiting for in-flight refills rather
+// than dropping them — the property WaitAvailable's liveness argument (see
+// its comment) rests on: every slot a parked waiter is counting on either
+// lands in the buffer or is marked Lost with a broadcast, never silently
+// vanishes. The pool remains usable afterwards (Enc falls back inline once
+// the buffer drains; draining a taken slot after Close marks it Lost).
 func (p *Pool) Close() { p.workers.Close() }
 
 // poolReg maps a public-key fingerprint (pk.fingerprint(), an O(1) mix of

@@ -6,6 +6,7 @@ import (
 	mrand "math/rand"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestPoolEncDecryptRoundTrip(t *testing.T) {
@@ -233,6 +234,69 @@ func TestPoolLostSurfaced(t *testing.T) {
 	s := p.Stats()
 	if s.Lost != 4 || s.Available != 0 {
 		t.Fatalf("stats = %+v, want 4 lost / 0 available", s)
+	}
+}
+
+// TestPoolCloseWakesWaiter: a waiter parked in WaitAvailable while the pool
+// is being closed must always wake — the in-flight refills it is counting on
+// either land in the buffer or are marked Lost, each with a broadcast.
+// Drains before closing so the waiter genuinely parks on in-flight slots.
+func TestPoolCloseWakesWaiter(t *testing.T) {
+	k := testKey
+	for round := 0; round < 8; round++ {
+		p := NewPool(&k.PublicKey, 4, 2, rand.Reader)
+		// Drain whatever is buffered so WaitAvailable(4) has to park while
+		// replacement refills are still in flight.
+		for i := 0; i < 4; i++ {
+			if _, err := p.Enc(big.NewInt(int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		released := make(chan struct{})
+		go func() {
+			p.WaitAvailable(4)
+			close(released)
+		}()
+		p.Close()
+		select {
+		case <-released:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d: WaitAvailable still parked after Close", round)
+		}
+		s := p.Stats()
+		if s.Available+int(s.Lost) < 4 {
+			t.Fatalf("round %d: %d available + %d lost < capacity 4: a slot vanished without being buffered or marked Lost", round, s.Available, s.Lost)
+		}
+	}
+}
+
+// TestPoolDrainAfterCloseMarksSlotsLost: taking buffered factors after Close
+// cannot resubmit refills; every such slot must surface in the Lost counter
+// so WaitAvailable's reachable-fill cap collapses and callers never park on
+// slots that will not come back.
+func TestPoolDrainAfterCloseMarksSlotsLost(t *testing.T) {
+	k := testKey
+	p := NewPool(&k.PublicKey, 3, 1, rand.Reader)
+	p.WaitAvailable(3)
+	p.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := p.Enc(big.NewInt(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.Lost != 3 || s.Available != 0 {
+		t.Fatalf("stats after drain-past-close = %+v, want 3 lost / 0 available", s)
+	}
+	finished := make(chan struct{})
+	go func() {
+		p.WaitAvailable(1) // reachable cap is 0: must return immediately
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatal("WaitAvailable parked on a fully lost pool")
 	}
 }
 

@@ -1,0 +1,209 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blindfl/internal/paillier"
+	"blindfl/internal/parallel"
+	"blindfl/internal/transport"
+)
+
+// Multi-party session runtime (paper Appendix C, Algorithm 3): one label
+// party B holds k independent two-party sessions, one per feature party
+// A(i). Algorithm 3 needs no changes on the A side — each A(i) runs the
+// ordinary two-party protocol against its own connection — so the group
+// runtime is entirely a B-side construct: a bundle of Peers plus the
+// scheduling (ForEach), error conversion (Run) and whole-group teardown
+// (RunGroup) that the two-party Peer/RunParties pair provides for k = 1.
+//
+// Trust model: every session is an independent two-party protocol with its
+// own key pair and its own connection. Feature parties never communicate
+// with each other and learn nothing about each other's features, weights or
+// even participation beyond what B's aggregated model reveals; B holds one
+// Peer (and one mask/init RNG stream) per session.
+
+// Group is the label party's handle on k concurrent sessions, one Peer per
+// feature party. The slice order is the session order: session i of the
+// group talks to the i-th feature party, and deterministic aggregation
+// (partial-activation sums, gradient fan-out) follows it.
+type Group struct {
+	Peers []*Peer
+}
+
+// NewGroup bundles B-side peers into a group. The peers must already be
+// handshaken (GroupPipe returns them that way).
+func NewGroup(peers []*Peer) *Group {
+	if len(peers) == 0 {
+		panic("protocol: NewGroup needs at least one session")
+	}
+	return &Group{Peers: peers}
+}
+
+// K returns the number of sessions (feature parties).
+func (g *Group) K() int { return len(g.Peers) }
+
+// ForEach runs f(i, session i's peer) for every session concurrently via
+// internal/parallel and waits for all of them. Per-session protocol failures
+// (the panics the Peer helpers raise) are captured per session and re-raised
+// as one protocol failure — the lowest-index failing session — after every
+// session's f has returned, so ForEach composes with Run/RunGroup exactly
+// like a single-session helper. Sessions are independent protocols, so a
+// failed session never blocks a healthy one inside ForEach; a healthy
+// session whose *peer process* died blocks only until RunGroup's teardown
+// closes its connection.
+//
+// f must confine itself to session i's peer; the scheduler may run any
+// subset of sessions in parallel (bounded by GOMAXPROCS) and in any order.
+func (g *Group) ForEach(f func(i int, p *Peer)) {
+	errs := make([]error, len(g.Peers))
+	parallel.For(len(g.Peers), func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				if pe, ok := r.(protoErr); ok {
+					errs[i] = fmt.Errorf("session %d: %w", i, pe.err)
+					return
+				}
+				// Programming errors propagate like everywhere else. (On a
+				// worker goroutine this crashes the process, exactly as a
+				// panic inside RunParties' party goroutines does.)
+				panic(r)
+			}
+		}()
+		f(i, g.Peers[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			panic(protoErr{err})
+		}
+	}
+}
+
+// Run executes the label party's whole-group protocol function, converting
+// Peer/ForEach helper panics into an error — the k-session counterpart of
+// Peer.Run.
+func (g *Group) Run(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(protoErr); ok {
+				err = fmt.Errorf("PartyB: %w", pe.err)
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// Close closes every session's connection.
+func (g *Group) Close() {
+	for _, p := range g.Peers {
+		p.Conn.Close()
+	}
+}
+
+// RunGroup executes the k feature-party functions and the label-party
+// function concurrently and returns the first error (or nil) — RunParties
+// extended to a k-session group. fa(i) runs as feature party i under that
+// session's Run; fb runs under the group's Run.
+//
+// Teardown extends the two-party close-on-first-error semantics to all k
+// sessions: when any party fails, every other party is usually blocked in
+// Recv on its own session (a feature party waiting for B, or B's ForEach
+// waiting on the dead party's session), so RunGroup closes every session's
+// connections on the first error and the k−1 survivors unblock with
+// transport.ErrClosed instead of hanging forever. The group is not reusable
+// after a failed run.
+func RunGroup(as []*Peer, g *Group, fa func(i int), fb func()) error {
+	if len(as) != g.K() {
+		return fmt.Errorf("protocol: RunGroup got %d feature parties for %d sessions", len(as), g.K())
+	}
+	errs := make(chan error, g.K()+1)
+	for i := range as {
+		i := i
+		go func() { errs <- as[i].Run(func() { fa(i) }) }()
+	}
+	go func() { errs <- g.Run(fb) }()
+	var first error
+	for i := 0; i < g.K()+1; i++ {
+		if err := <-errs; err != nil && first == nil {
+			first = err
+			for _, p := range as {
+				p.Conn.Close()
+			}
+			g.Close()
+		}
+	}
+	return first
+}
+
+// GroupPipe wires k in-process sessions between feature parties holding
+// skAs[i] and a label party holding skB: per-session buffered channel
+// transports, per-(seed, session, role) mask/init RNG streams, and all
+// handshakes completed concurrently. It returns the A-side peers (one per
+// feature party) and the B-side group. Feature parties are separate trust
+// domains, so a real deployment gives each its own key; tests may pass the
+// same test key k times.
+func GroupPipe(skAs []*paillier.PrivateKey, skB *paillier.PrivateKey, seed int64) ([]*Peer, *Group, error) {
+	k := len(skAs)
+	if k == 0 {
+		return nil, nil, fmt.Errorf("protocol: GroupPipe needs at least one feature party")
+	}
+	as := make([]*Peer, k)
+	bs := make([]*Peer, k)
+	errs := make(chan error, 2*k)
+	for i := 0; i < k; i++ {
+		ca, cb := transport.Pair(4096)
+		a := NewPeer(PartyA, ca, skAs[i], sessionRNG(seed, i, PartyA))
+		b := NewPeer(PartyB, cb, skB, sessionRNG(seed, i, PartyB))
+		as[i], bs[i] = a, b
+		go func() { errs <- a.Handshake() }()
+		go func() { errs <- b.Handshake() }()
+	}
+	for i := 0; i < 2*k; i++ {
+		if err := <-errs; err != nil {
+			return nil, nil, err
+		}
+	}
+	return as, NewGroup(bs), nil
+}
+
+// SessionRNG returns the mask/init RNG stream for (seed, session, role) —
+// the derivation Pipe and GroupPipe use — for callers assembling peers over
+// their own transports (TCP deployments, benchmarks): seeding every peer of
+// every session through it keeps the whole deployment reproducible from one
+// seed without any two streams coinciding.
+func SessionRNG(seed int64, session int, role Role) *rand.Rand {
+	return sessionRNG(seed, session, role)
+}
+
+// sessionRNG derives the mask/init RNG stream for one (seed, session, role)
+// triple via a SplitMix64-style finalizer over all three inputs.
+//
+// The previous scheme seeded the two peers of session i with the raw values
+// seed+i and seed+i+1, so *adjacent sessions of a group shared mask
+// streams*: session i's Party B drew exactly the masks of session i+1's
+// Party A. Within one session that is harmless (the two parties' draws
+// interleave differently), but across sessions of a k-party group it
+// correlates the obfuscation values ε/φ that the HE2SS conversions rely on.
+// Hashing (seed, session, role) makes every stream of every session
+// statistically independent while keeping runs reproducible from one seed.
+func sessionRNG(seed int64, session int, role Role) *rand.Rand {
+	h := mix64(uint64(seed) + 0x9e3779b97f4a7c15)
+	h = mix64(h ^ (uint64(session) + 0x9e3779b97f4a7c15))
+	h = mix64(h ^ uint64(role))
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche mix, so distinct
+// (seed, session, role) triples cannot collide by construction of the chain
+// above unless the xor-accumulated states collide.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

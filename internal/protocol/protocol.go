@@ -283,10 +283,15 @@ func Pipe(skA, skB *paillier.PrivateKey, seed int64) (*Peer, *Peer, error) {
 
 // PipeOn is Pipe over caller-supplied connections (a counted pair, a
 // simulated-WAN pair, an established TCP session): it builds the two peers
-// and completes the handshake concurrently.
+// and completes the handshake concurrently. Mask/init RNG streams are
+// derived per (seed, session 0, role) — see sessionRNG — so a two-party pipe
+// is exactly session 0 of a group, and pipes built from nearby seeds never
+// share streams (the old seed/seed+1 scheme made session i's Party B draw
+// session i+1's Party A masks when callers seeded adjacent sessions with
+// consecutive values).
 func PipeOn(ca, cb transport.Conn, skA, skB *paillier.PrivateKey, seed int64) (*Peer, *Peer, error) {
-	a := NewPeer(PartyA, ca, skA, rand.New(rand.NewSource(seed)))
-	b := NewPeer(PartyB, cb, skB, rand.New(rand.NewSource(seed+1)))
+	a := NewPeer(PartyA, ca, skA, sessionRNG(seed, 0, PartyA))
+	b := NewPeer(PartyB, cb, skB, sessionRNG(seed, 0, PartyB))
 	errs := make(chan error, 2)
 	go func() { errs <- a.Handshake() }()
 	go func() { errs <- b.Handshake() }()
