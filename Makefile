@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-cpu test-full bench bench-smoke bench-json examples fmt fmt-check vet
+.PHONY: build test test-cpu test-full bench bench-smoke bench-json serve-smoke examples fmt fmt-check vet
 
 build:
 	$(GO) build ./...
@@ -42,12 +42,20 @@ bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x -short -timeout 15m ./...
 
 # Benchmarks as data: the exponentiation-engine and amortized-precompute
-# perf suites at a production key size plus the multi-party k=3/k=1 fed-step
-# pair, written to BENCH_PR5.json (format: internal/bench/README.md).
-# Earlier points of the trajectory (BENCH_PR3.json, BENCH_PR4.json) are
-# kept, not rewritten.
+# perf suites at a production key size, the multi-party k=3/k=1 fed-step
+# pair, and the serve latency/throughput pair, written to BENCH_PR6.json
+# (format: internal/bench/README.md). Earlier points of the trajectory
+# (BENCH_PR3.json..BENCH_PR5.json) are kept, not rewritten.
 bench-json:
-	$(GO) run ./cmd/blindfl-bench -perf BENCH_PR5.json -keybits 2048
+	$(GO) run ./cmd/blindfl-bench -perf BENCH_PR6.json -keybits 2048
+
+# Serve smoke lane: train a toy checkpoint, bring up the blindfl-serve
+# request batcher on fresh sessions, and fire the closed-loop load generator
+# through it with the integrity spot-check on. The command exits non-zero on
+# an empty, non-finite or integrity-mismatched response.
+serve-smoke:
+	$(GO) run ./cmd/blindfl-serve -dataset higgs -train 96 -test 48 -epochs 1 \
+		-requests 48 -spotcheck -packed -tablecache 64
 
 fmt:
 	gofmt -w .

@@ -24,6 +24,7 @@ import (
 
 	"blindfl/internal/bench"
 	"blindfl/internal/data"
+	"blindfl/internal/engine"
 	"blindfl/internal/model"
 	"blindfl/internal/paillier"
 	"blindfl/internal/protocol"
@@ -90,13 +91,13 @@ func benchFedStep(b *testing.B, opts bench.StepperOpts) {
 	step() // warm-up (and pool prefill time) outside the timer
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if opts.PoolCapacity > 0 {
+		if opts.Pool > 0 {
 			// Blinding precompute is designed to run between protocol
 			// rounds (data loading, network waits); refill outside the
 			// timer so the measurement reflects the critical path.
 			b.StopTimer()
 			for _, p := range pools() {
-				p.WaitAvailable(opts.PoolCapacity)
+				p.WaitAvailable(opts.Pool)
 			}
 			b.StartTimer()
 		}
@@ -105,25 +106,27 @@ func benchFedStep(b *testing.B, opts bench.StepperOpts) {
 }
 
 func BenchmarkFedStepUnpacked(b *testing.B) { benchFedStep(b, bench.StepperOpts{}) }
-func BenchmarkFedStepPacked(b *testing.B)   { benchFedStep(b, bench.StepperOpts{Packed: true}) }
+func BenchmarkFedStepPacked(b *testing.B) {
+	benchFedStep(b, bench.StepperOpts{Options: engine.Options{Packed: true}})
+}
 func BenchmarkFedStepPackedPooled(b *testing.B) {
-	benchFedStep(b, bench.StepperOpts{Packed: true, PoolCapacity: 4096})
+	benchFedStep(b, bench.StepperOpts{Options: engine.Options{Packed: true, Pool: 4096}})
 }
 
 // Textbook variants disable the signed/Straus exponentiation engine: the
 // pre-PR-3 baselines the ≥2× acceptance criterion is measured against.
 func BenchmarkFedStepTextbook(b *testing.B) {
-	benchFedStep(b, bench.StepperOpts{Textbook: true})
+	benchFedStep(b, bench.StepperOpts{Options: engine.Options{Textbook: true}})
 }
 func BenchmarkFedStepPackedTextbook(b *testing.B) {
-	benchFedStep(b, bench.StepperOpts{Packed: true, Textbook: true})
+	benchFedStep(b, bench.StepperOpts{Options: engine.Options{Packed: true, Textbook: true}})
 }
 
 // Short-exponent blinding on top of packing and pooling: pool refills cost a
 // ~400-bit exponentiation instead of a full-width one, so the same refill
 // budget sustains ~5× the encryption throughput at production key sizes.
 func BenchmarkFedStepPackedPooledShortExp(b *testing.B) {
-	benchFedStep(b, bench.StepperOpts{Packed: true, PoolCapacity: 4096, ShortExp: true})
+	benchFedStep(b, bench.StepperOpts{Options: engine.Options{Packed: true, Pool: 4096, ShortExp: 400}})
 }
 
 // Streamed variants: chunked transfers pipeline one party's encryption
@@ -131,9 +134,11 @@ func BenchmarkFedStepPackedPooledShortExp(b *testing.B) {
 // encrypt→ship→decrypt phases overlap (the PR's acceptance benchmark is
 // PackedStreamed vs Packed, and the WAN pair below for the
 // compute/communication overlap on a modeled link).
-func BenchmarkFedStepStreamed(b *testing.B) { benchFedStep(b, bench.StepperOpts{Stream: true}) }
+func BenchmarkFedStepStreamed(b *testing.B) {
+	benchFedStep(b, bench.StepperOpts{Options: engine.Options{Stream: true}})
+}
 func BenchmarkFedStepPackedStreamed(b *testing.B) {
-	benchFedStep(b, bench.StepperOpts{Packed: true, Stream: true})
+	benchFedStep(b, bench.StepperOpts{Options: engine.Options{Packed: true, Stream: true}})
 }
 
 // Multi-party pair: the k=3 dense MatMul group vs the degenerate k=1 group
@@ -142,7 +147,7 @@ func BenchmarkFedStepPackedStreamed(b *testing.B) {
 // scheduled concurrently across cores.
 func benchFedStepMulti(b *testing.B, k int) {
 	spec := data.Spec{Name: "bench-multi", Feats: 32, AvgNNZ: 32, Classes: 2, Train: 256, Test: 64}
-	step := bench.NewBlindFLMultiStepper(spec, benchBatch, 4, k, bench.StepperOpts{Packed: true})
+	step := bench.NewBlindFLMultiStepper(spec, benchBatch, 4, k, bench.StepperOpts{Options: engine.Options{Packed: true}})
 	step() // warm-up outside the timer
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -166,10 +171,10 @@ const (
 )
 
 func BenchmarkFedStepPackedWAN(b *testing.B) {
-	benchFedStep(b, bench.StepperOpts{Packed: true, SimLatency: wanLatency, SimBandwidth: wanBandwidth})
+	benchFedStep(b, bench.StepperOpts{Options: engine.Options{Packed: true}, SimLatency: wanLatency, SimBandwidth: wanBandwidth})
 }
 func BenchmarkFedStepPackedStreamedWAN(b *testing.B) {
-	benchFedStep(b, bench.StepperOpts{Packed: true, Stream: true, SimLatency: wanLatency, SimBandwidth: wanBandwidth})
+	benchFedStep(b, bench.StepperOpts{Options: engine.Options{Packed: true, Stream: true}, SimLatency: wanLatency, SimBandwidth: wanBandwidth})
 }
 
 // --- Table 5: per-batch training time, BlindFL vs SecureML variants ---

@@ -20,6 +20,8 @@ import (
 	"strings"
 
 	"blindfl/internal/bench"
+	"blindfl/internal/engine"
+	"blindfl/internal/protocol"
 )
 
 func main() {
@@ -29,7 +31,27 @@ func main() {
 	perf := flag.String("perf", "", "run the exponentiation-engine perf suite and write JSON to this path (skips -exp)")
 	keybits := flag.Int("keybits", 2048, "Paillier key size for the -perf kernel benchmarks")
 	fedstep := flag.Bool("fedstep", true, "include the end-to-end packed fed-step pair (512-bit test keys) in -perf")
+	serveMode := flag.Bool("serve", false, "run the serve latency/throughput benchmark (batched vs sequential) and exit")
+	serveReqs := flag.Int("servereqs", 64, "batched-run request count for -serve and the -perf serve rows")
+	serveBits := flag.Int("servebits", protocol.KeyBits, "Paillier key size for the serve benchmark (512 reuses the cached test keys)")
+	var eng engine.Options
+	eng.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	if err := eng.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *serveMode {
+		fmt.Printf("running serve benchmark (%d requests batched run, %d-bit keys)...\n", *serveReqs, *serveBits)
+		sp, err := bench.RunServePerf(eng, *serveBits, *serveReqs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(sp)
+		return
+	}
 
 	if *perf != "" {
 		fmt.Printf("running exponentiation-engine perf suite (%d-bit kernels)...\n", *keybits)
@@ -52,6 +74,13 @@ func main() {
 			results = append(results, bench.RunPerfFedEpoch()...)
 			fmt.Println("running multi-party fed-step k=3/k=1 pair (512-bit test keys)...")
 			results = append(results, bench.RunPerfFedStepMulti()...)
+			fmt.Printf("running serve latency/throughput pair (%d-bit keys)...\n", *serveBits)
+			srows, err := bench.RunPerfServe(eng, *serveBits, *serveReqs)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			results = append(results, srows...)
 		}
 		if err := bench.WritePerfJSON(*perf, results); err != nil {
 			fmt.Fprintln(os.Stderr, err)

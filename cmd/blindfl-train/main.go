@@ -16,6 +16,7 @@ import (
 
 	"blindfl/internal/bench"
 	"blindfl/internal/data"
+	"blindfl/internal/engine"
 	"blindfl/internal/hetensor"
 	"blindfl/internal/model"
 	"blindfl/internal/paillier"
@@ -32,15 +33,8 @@ func main() {
 	test := flag.Int("test", 0, "override test instances")
 	seed := flag.Int64("seed", 1, "data/model seed")
 	parties := flag.Int("parties", 1, "feature parties; >1 trains the numeric families over a k-session protocol.Group (Algorithm 3)")
-	packed := flag.Bool("packed", false, "ciphertext packing on the source-layer hot paths")
-	pool := flag.Int("pool", 0, "Paillier blinding-pool capacity per key (0 disables)")
-	stream := flag.Bool("stream", false, "chunk-streamed ciphertext transfers (compute/comm overlap)")
-	chunk := flag.Int("chunk", 0, "rows per streamed chunk (0 = protocol default)")
-	textbook := flag.Bool("textbook", false, "disable the signed/Straus exponentiation engine (ablation baseline)")
-	shortexp := flag.Int("shortexp", 0, "DJN short-exponent blinding width in bits for the pool (0 = classic full-width)")
-	fixedbase := flag.Bool("fixedbase", true, "Lim–Lee fixed-base comb tables for short-exp pool refills (false = PR 3 big.Int.Exp ablation baseline)")
-	tablecache := flag.Int("tablecache", 0, "persistent Straus dot-table cache budget in MiB (0 disables)")
-	secretops := flag.Bool("secretops", false, "register the secret-key CRT fast paths for both in-process parties (a real deployment gets them on the label party only)")
+	var eng engine.Options
+	eng.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	kind, err := model.ParseKind(*kindStr)
@@ -53,8 +47,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
 		os.Exit(2)
 	}
-	if *shortexp > 0 && *pool <= 0 {
-		fmt.Fprintln(os.Stderr, "-shortexp only affects the blinding pool; pass -pool N to enable it")
+	if err := eng.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if kind.UsesEmbedding() && spec.CatFields == 0 {
@@ -77,10 +71,7 @@ func main() {
 	h.Batch = *batch
 	h.LR = *lr
 	h.Seed = *seed
-	h.Packed = *packed
-	h.Stream = *stream
-	h.Textbook = *textbook
-	h.TableCacheMB = *tablecache
+	h.Options = eng
 
 	if *parties < 1 {
 		fmt.Fprintln(os.Stderr, "-parties must be at least 1")
@@ -91,20 +82,7 @@ func main() {
 	// in-process feature parties share the cached test key (keygen is a
 	// per-deployment cost, not a per-run cost).
 	skA, skB := protocol.TestKeys()
-	keys := []*paillier.PrivateKey{skA, skB}
-	if *secretops {
-		protocol.EnableSecretOps(keys...)
-	}
-	if *pool > 0 {
-		var poolOpts []paillier.PoolOption
-		if *shortexp > 0 {
-			poolOpts = append(poolOpts, paillier.WithShortExp(*shortexp))
-			poolOpts = append(poolOpts, paillier.WithFixedBase(*fixedbase, 0))
-		}
-		for _, sk := range keys {
-			paillier.RegisterPool(paillier.NewPool(&sk.PublicKey, *pool, 0, paillier.Rand, poolOpts...))
-		}
-	}
+	eng.SetupKeys(skA, skB)
 
 	var fed *model.History
 	if *parties > 1 {
@@ -119,7 +97,7 @@ func main() {
 			os.Exit(1)
 		}
 		for i := range as {
-			as[i].ChunkRows, g.Peers[i].ChunkRows = *chunk, *chunk
+			as[i].ChunkRows, g.Peers[i].ChunkRows = eng.ChunkRows, eng.ChunkRows
 		}
 		if fed, err = model.TrainFederatedMulti(kind, ds, h, as, g); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -132,16 +110,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		pa.ChunkRows, pb.ChunkRows = *chunk, *chunk
+		pa.ChunkRows, pb.ChunkRows = eng.ChunkRows, eng.ChunkRows
 		if fed, err = model.TrainFederated(kind, ds, h, pa, pb); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
-	if *tablecache > 0 {
+	if eng.TableCacheMB > 0 {
 		cs := hetensor.TableCacheStatsNow()
 		fmt.Printf("table cache: %d hits / %d misses, %d entries holding %.1f MiB of %d MiB budget, %d evicted\n",
-			cs.Hits, cs.Misses, cs.Entries, float64(cs.Bytes)/(1<<20), *tablecache, cs.Evicted)
+			cs.Hits, cs.Misses, cs.Entries, float64(cs.Bytes)/(1<<20), eng.TableCacheMB, cs.Evicted)
 	}
 	fmt.Println("training NonFed-collocated baseline...")
 	co := model.TrainCollocated(kind, ds, h)

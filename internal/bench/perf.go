@@ -13,6 +13,7 @@ import (
 
 	"blindfl/internal/core"
 	"blindfl/internal/data"
+	"blindfl/internal/engine"
 	"blindfl/internal/hetensor"
 	"blindfl/internal/paillier"
 	"blindfl/internal/protocol"
@@ -312,7 +313,7 @@ func RunPerfFedEpoch() []PerfResult {
 		if err != nil {
 			panic(err)
 		}
-		lcfg := core.Config{Out: outW, LR: 0.05, Packed: true, TableCacheMB: cfg.cacheMB}
+		lcfg := core.Config{Out: outW, LR: 0.05, Options: engine.Options{Packed: true, TableCacheMB: cfg.cacheMB}}
 		var la *core.MatMulA
 		var lb *core.MatMulB
 		runStep := func(fa, fb func()) {
@@ -354,7 +355,7 @@ func RunPerfFedStep() []PerfResult {
 		name     string
 		textbook bool
 	}{{"textbook", true}, {"engine", false}} {
-		step := NewBlindFLStepperOpts(spec, 32, 4, StepperOpts{Packed: true, Textbook: cfg.textbook})
+		step := NewBlindFLStepperOpts(spec, 32, 4, StepperOpts{Options: engine.Options{Packed: true, Textbook: cfg.textbook}})
 		step() // warm-up outside the measurement
 		out = append(out, perfRun("fedstep_packed", cfg.name, 512, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -375,7 +376,7 @@ func RunPerfFedStepMulti() []PerfResult {
 	spec := data.Spec{Name: "bench-multi", Feats: 32, AvgNNZ: 32, Classes: 2, Train: 256, Test: 64}
 	var out []PerfResult
 	for _, k := range []int{1, 3} {
-		step := NewBlindFLMultiStepper(spec, 32, 4, k, StepperOpts{Packed: true})
+		step := NewBlindFLMultiStepper(spec, 32, 4, k, StepperOpts{Options: engine.Options{Packed: true}})
 		step() // warm-up outside the measurement
 		out = append(out, perfRun("fedstep_multiparty", fmt.Sprintf("k%d", k), 512, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"testing"
+
+	"blindfl/internal/engine"
+)
+
+// TestServeBatchingSpeedup is the acceptance check for cross-request lane
+// batching: with concurrency 2K the batcher must serve at least 2× the
+// sequential per-request throughput (the ideal is K×: a full lane group costs
+// the same homomorphic work as one request), and the steady-state queries
+// must run against warm dot-table cache entries.
+func TestServeBatchingSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve benchmark pair skipped in -short")
+	}
+	sp, err := RunServePerf(engine.Options{Packed: true}, 1024, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Speedup() < 2 {
+		// One retry: this is a wall-clock measurement and a loaded machine
+		// can stall the load generator mid-run. Two consecutive sub-2× runs
+		// mean the batcher genuinely is not amortizing.
+		t.Logf("speedup %.2fx below bar, retrying once", sp.Speedup())
+		if sp, err = RunServePerf(engine.Options{Packed: true}, 1024, 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sp.Sequential.OK == 0 || sp.Batched.OK == 0 {
+		t.Fatalf("load generator served nothing: sequential %+v batched %+v", sp.Sequential, sp.Batched)
+	}
+	if sp.Batched.P50 <= 0 || sp.Batched.P95 < sp.Batched.P50 || sp.Batched.P99 < sp.Batched.P95 {
+		t.Fatalf("implausible percentiles p50=%v p95=%v p99=%v", sp.Batched.P50, sp.Batched.P95, sp.Batched.P99)
+	}
+	if s := sp.Speedup(); s < 2 {
+		t.Fatalf("cross-request batching speedup %.2fx, want >= 2x (sequential %.1f req/s, batched %.1f req/s, lanes %d)",
+			s, sp.Sequential.Throughput, sp.Batched.Throughput, sp.Lanes)
+	}
+	if sp.CacheHits == 0 {
+		t.Fatalf("steady-state queries missed the dot-table cache (%d hits / %d misses)", sp.CacheHits, sp.Misses)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"blindfl/internal/core"
 	"blindfl/internal/data"
+	"blindfl/internal/engine"
 	"blindfl/internal/paillier"
 	"blindfl/internal/protocol"
 	"blindfl/internal/secureml"
@@ -14,14 +15,15 @@ import (
 )
 
 // StepperOpts selects the throughput-engine features a stepper exercises.
+// The engine knobs (Packed, Stream, Textbook, Pool, …) live on the embedded
+// engine.Options — the single declaration shared with core.Config and
+// model.Hyper; the stepper applies pool/secret-ops setup via
+// Options.SetupKeys at construction, and the installed state stays
+// registered for the process (benchmarks that care unregister via
+// paillier.PoolFor).
 type StepperOpts struct {
-	// Packed enables ciphertext packing on the dense MatMul source layer.
-	Packed bool
-	// Stream chunk-streams the layer's ciphertext transfers so one party's
-	// encryption overlaps the other's decryption/accumulation.
-	Stream bool
-	// ChunkRows overrides the rows per streamed chunk (0 = protocol default).
-	ChunkRows int
+	engine.Options
+
 	// SimLatency/SimBandwidth, when either is set, run the parties over a
 	// transport.SimPair link with that one-way propagation delay and
 	// bytes/sec bandwidth instead of the zero-cost channel pair: the
@@ -29,32 +31,6 @@ type StepperOpts struct {
 	// is visible on any machine (wire time releases the CPU).
 	SimLatency   time.Duration
 	SimBandwidth float64
-	// PoolCapacity, when positive, registers a blinding-randomness pool of
-	// that capacity for each party's key so every encryption site takes the
-	// precomputed fast path. A pool already registered for the key is
-	// replaced and closed. The new pools stay registered for the process
-	// (benchmarks that care unregister and close them via paillier.PoolFor).
-	PoolCapacity int
-	// ShortExp switches the registered pools (PoolCapacity > 0) to
-	// DJN-style short-exponent blinding: refills draw (hⁿ)^α for a fresh
-	// ~400-bit α instead of a full-width r^N.
-	ShortExp bool
-	// NoFixedBase disables the Lim–Lee comb tables on the short-exp pools,
-	// restoring the PR 3 big.Int.Exp refill as the ablation baseline.
-	NoFixedBase bool
-	// Textbook disables the signed/Straus exponentiation engine
-	// (core.Config.Textbook) so a run measures the classic full-width
-	// MulPlain paths — the pre-engine baseline.
-	Textbook bool
-	// TableCacheMB budgets the persistent Straus dot-table cache
-	// (core.Config.TableCacheMB); 0 disables it. Process-wide: the stepper
-	// sets the budget at construction and leaves it, like the pools.
-	TableCacheMB int
-	// SecretOps registers the CRT fast paths for both parties' keys. Note
-	// that in-process this accelerates both parties, which a real two-party
-	// deployment cannot do — use it to measure the label-party ceiling, not
-	// a deployment. Stays registered for the process, like the pools.
-	SecretOps bool
 }
 
 // NewBlindFLStepper builds a federated MatMul source layer for a dataset
@@ -80,27 +56,11 @@ func NewBlindFLStepperOpts(spec data.Spec, batch, out int, opts StepperOpts) fun
 	if err != nil {
 		panic(err)
 	}
-	if opts.SecretOps {
-		protocol.EnableSecretOps(skA, skB)
-	}
-	if opts.PoolCapacity > 0 {
-		var poolOpts []paillier.PoolOption
-		if opts.ShortExp {
-			poolOpts = append(poolOpts, paillier.WithShortExp(0), paillier.WithFixedBase(!opts.NoFixedBase, 0))
-		}
-		for _, sk := range []*paillier.PrivateKey{skA, skB} {
-			old := paillier.PoolFor(&sk.PublicKey)
-			paillier.RegisterPool(paillier.NewPool(&sk.PublicKey, opts.PoolCapacity, 0, paillier.Rand, poolOpts...))
-			if old != nil {
-				old.Close()
-			}
-		}
-	}
+	opts.SetupKeys(skA, skB)
 	pa.ChunkRows, pb.ChunkRows = opts.ChunkRows, opts.ChunkRows
 	rng := rand.New(rand.NewSource(11))
 	half := spec.Feats / 2
-	cfg := core.Config{Out: out, LR: 0.05, Packed: opts.Packed, Stream: opts.Stream, Textbook: opts.Textbook,
-		TableCacheMB: opts.TableCacheMB}
+	cfg := core.Config{Out: out, LR: 0.05, Options: opts.Options}
 
 	runStep := func(fa, fb func()) {
 		if err := protocol.RunParties(pa, pb, fa, fb); err != nil {
@@ -165,8 +125,7 @@ func NewBlindFLMultiStepper(spec data.Spec, batch, out, k int, opts StepperOpts)
 			inAs[i]++
 		}
 	}
-	cfg := core.Config{Out: out, LR: 0.05, Packed: opts.Packed, Stream: opts.Stream,
-		Textbook: opts.Textbook, TableCacheMB: opts.TableCacheMB}
+	cfg := core.Config{Out: out, LR: 0.05, Options: opts.Options}
 	acfg := cfg
 	acfg.GroupParties = k
 

@@ -6,6 +6,7 @@ import (
 	"net"
 
 	"blindfl/internal/core"
+	"blindfl/internal/engine"
 	"blindfl/internal/paillier"
 	"blindfl/internal/protocol"
 	"blindfl/internal/tensor"
@@ -59,7 +60,7 @@ func Traffic() *Table {
 		pa, pb, cleanup := tcpPeerPair(73)
 		var la *core.MatMulA
 		var lb *core.MatMulB
-		cfg := core.Config{Out: out, LR: 0.1, Stream: true}
+		cfg := core.Config{Out: out, LR: 0.1, Options: engine.Options{Stream: true}}
 		if err := protocol.RunParties(pa, pb,
 			func() { la = core.NewMatMulA(pa, cfg, 32, 32) },
 			func() { lb = core.NewMatMulB(pb, cfg, 32, 32) },

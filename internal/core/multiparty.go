@@ -103,6 +103,23 @@ func (m *MultiSparseMatMulB) Backward(gradZ *tensor.Dense) {
 	m.g.ForEach(func(i int, _ *protocol.Peer) { m.subs[i].backwardMulti(gradZ, scaled) })
 }
 
+// Sub returns session i's two-party B-half. Checkpointing and the serve
+// runtime walk the per-session halves through it.
+func (m *MultiMatMulB) Sub(i int) *MatMulB { return m.subs[i] }
+
+// K returns the number of sessions (feature parties).
+func (m *MultiMatMulB) K() int { return len(m.subs) }
+
+// NewMultiMatMulBFrom assembles a multi-party B half from per-session halves
+// restored by LoadMatMulB — the checkpoint-restore constructor. subs[i] must
+// be attached to the group's session-i peer.
+func NewMultiMatMulBFrom(g *protocol.Group, subs []*MatMulB) *MultiMatMulB {
+	if len(subs) != g.K() {
+		panic(fmt.Sprintf("core: NewMultiMatMulBFrom got %d halves for %d sessions", len(subs), g.K()))
+	}
+	return &MultiMatMulB{g: g, subs: subs}
+}
+
 // sumInOrder folds partial activations in session order, so the float
 // summation is deterministic no matter how ForEach scheduled the sessions.
 func sumInOrder(zs []*tensor.Dense) *tensor.Dense {

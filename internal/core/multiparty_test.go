@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"blindfl/internal/engine"
 	"blindfl/internal/paillier"
 	"blindfl/internal/protocol"
 	"blindfl/internal/tensor"
@@ -203,7 +204,7 @@ func TestMultiPartyPackedStreamMatchesPlaintext(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			const k = 3
 			peersA, g := groupPipe(t, k, 403)
-			cfg := Config{Out: 2, LR: 0.1, Packed: tc.packed, Stream: tc.stream}
+			cfg := Config{Out: 2, LR: 0.1, Options: engine.Options{Packed: tc.packed, Stream: tc.stream}}
 			inAs := []int{4, 3, 5}
 			inB := 4
 			as, b := newMultiMatMul(t, peersA, g, cfg, inAs, inB)

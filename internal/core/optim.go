@@ -3,7 +3,7 @@ package core
 import (
 	"math"
 
-	"blindfl/internal/hetensor"
+	"blindfl/internal/engine"
 	"blindfl/internal/tensor"
 )
 
@@ -53,37 +53,14 @@ func (m *momentum) stepRows(w, gradRows *tensor.Dense, idx []int, lr float64) {
 
 // Config carries the hyper-parameters shared by both halves of a source
 // layer. Both parties must construct their halves with identical values.
+// The engine knobs (Packed, Stream, Textbook, TableCacheMB, …) live on the
+// embedded engine.Options — the single declaration shared with model.Hyper
+// and bench.StepperOpts.
 type Config struct {
 	Out       int     // output dimensionality of the source layer
 	LR        float64 // learning rate η
 	Momentum  float64 // momentum coefficient μ (0 disables)
 	InitScale float64 // uniform init range for weight pieces; 0 means 0.1
-
-	// Packed enables ciphertext packing (K fixed-point lanes per Paillier
-	// plaintext) on the layer's homomorphic hot paths: the dense MatMul
-	// layer end to end and the Embed-MatMul lookup path. Both parties must
-	// agree on the flag; results match the unpacked protocol to fixed-point
-	// tolerance. The sparse MatMul layer ignores the flag (its on-demand
-	// row-cache protocol is already bandwidth-bound, not blinding-bound).
-	Packed bool
-
-	// Stream splits the layer's large ciphertext transfers into bounded
-	// row-chunks (protocol stream helpers): the sender encrypts chunk i+1
-	// while chunk i is on the wire and the receiver decrypts/accumulates
-	// chunk i−1, overlapping compute with communication. Orthogonal to
-	// Packed; both parties must agree on the flag. Results match the
-	// monolithic protocol exactly (chunking changes message framing, not
-	// values). The sparse MatMul layer ignores the flag, like Packed.
-	Stream bool
-
-	// Textbook disables the signed/Straus exponentiation engine on the
-	// homomorphic matmul kernels, restoring the classic full-width MulPlain
-	// paths (hetensor.SetTextbook). The toggle is process-wide — in-process
-	// parties share it, and the most recently constructed layer wins, so
-	// don't interleave construction of textbook and engine models. It
-	// exists for A/B ablation benchmarking; results are identical either
-	// way, the engine is just faster.
-	Textbook bool
 
 	// GroupParties marks the layer as one session of a k-party group
 	// (Appendix C, Algorithm 3) jointly representing Party B's weights:
@@ -97,25 +74,14 @@ type Config struct {
 	// the value, like Packed and Stream.
 	GroupParties int
 
-	// TableCacheMB sets the byte budget (in MiB) of the process-wide
-	// persistent dot-table cache (hetensor.SetTableCacheBudget): Straus
-	// window tables keyed by ciphertext-matrix identity survive across
-	// kernel invocations, batches and epochs instead of being rebuilt per
-	// call. 0 disables the cache (the default). Process-wide like Textbook,
-	// with the same last-constructed-layer-wins caveat. Results are
-	// bit-identical with the cache on or off; it only trades memory for
-	// recomputation.
-	TableCacheMB int
+	engine.Options
 }
 
 // applyExpEngine applies the process-wide exponentiation-engine toggles (the
 // Textbook ablation and the persistent dot-table cache budget). Called by
 // the layer constructors so the flags take effect wherever a Config enters
 // the system.
-func (c Config) applyExpEngine() {
-	hetensor.SetTextbook(c.Textbook)
-	hetensor.SetTableCacheBudget(int64(c.TableCacheMB) << 20)
-}
+func (c Config) applyExpEngine() { c.Options.Apply() }
 
 func (c Config) initScale() float64 {
 	if c.InitScale == 0 {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"blindfl/internal/engine"
 	"blindfl/internal/protocol"
 	"blindfl/internal/tensor"
 )
@@ -14,7 +15,7 @@ import (
 
 func TestPackedMatMulForwardMatchesPlaintext(t *testing.T) {
 	pa, pb := pipe(t, 700)
-	cfg := Config{Out: 3, LR: 0.1, Packed: true}
+	cfg := Config{Out: 3, LR: 0.1, Options: engine.Options{Packed: true}}
 	la, lb := newMatMulPair(t, pa, pb, cfg, 5, 4)
 
 	rng := rand.New(rand.NewSource(1))
@@ -36,7 +37,7 @@ func TestPackedMatMulForwardMatchesPlaintext(t *testing.T) {
 
 func TestPackedMatMulForwardSparseMatchesDense(t *testing.T) {
 	pa, pb := pipe(t, 701)
-	cfg := Config{Out: 2, LR: 0.1, Packed: true}
+	cfg := Config{Out: 2, LR: 0.1, Options: engine.Options{Packed: true}}
 	la, lb := newMatMulPair(t, pa, pb, cfg, 20, 4)
 
 	rng := rand.New(rand.NewSource(2))
@@ -58,7 +59,7 @@ func TestPackedMatMulForwardSparseMatchesDense(t *testing.T) {
 
 func TestPackedMatMulBackwardMatchesSGD(t *testing.T) {
 	pa, pb := pipe(t, 702)
-	cfg := Config{Out: 2, LR: 0.05, Packed: true}
+	cfg := Config{Out: 2, LR: 0.05, Options: engine.Options{Packed: true}}
 	la, lb := newMatMulPair(t, pa, pb, cfg, 3, 4)
 
 	rng := rand.New(rand.NewSource(3))
@@ -88,7 +89,7 @@ func TestPackedMatMulBackwardMatchesSGD(t *testing.T) {
 // weights against plaintext SGD.
 func TestPackedMatMulMultiStep(t *testing.T) {
 	pa, pb := pipe(t, 703)
-	cfg := Config{Out: 2, LR: 0.05, Packed: true}
+	cfg := Config{Out: 2, LR: 0.05, Options: engine.Options{Packed: true}}
 	la, lb := newMatMulPair(t, pa, pb, cfg, 4, 3)
 
 	rng := rand.New(rand.NewSource(4))
@@ -175,7 +176,7 @@ func TestPackedEmbedMatMulMultiStep(t *testing.T) {
 // mid-training: the packed ⟦V⟧ copies must survive the gob state.
 func TestPackedMatMulCheckpointRoundTrip(t *testing.T) {
 	pa, pb := pipe(t, 706)
-	cfg := Config{Out: 2, LR: 0.1, Momentum: 0.9, Packed: true}
+	cfg := Config{Out: 2, LR: 0.1, Momentum: 0.9, Options: engine.Options{Packed: true}}
 	la, lb := newMatMulPair(t, pa, pb, cfg, 3, 3)
 
 	rng := rand.New(rand.NewSource(7))

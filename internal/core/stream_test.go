@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"blindfl/internal/engine"
 	"blindfl/internal/protocol"
 	"blindfl/internal/tensor"
 )
@@ -16,7 +17,7 @@ import (
 func TestStreamedMatMulForwardMatchesPlaintext(t *testing.T) {
 	pa, pb := pipe(t, 800)
 	pa.ChunkRows, pb.ChunkRows = 2, 2 // force several chunks on a small batch
-	cfg := Config{Out: 3, LR: 0.1, Stream: true}
+	cfg := Config{Out: 3, LR: 0.1, Options: engine.Options{Stream: true}}
 	la, lb := newMatMulPair(t, pa, pb, cfg, 5, 4)
 
 	rng := rand.New(rand.NewSource(1))
@@ -39,7 +40,7 @@ func TestStreamedMatMulForwardMatchesPlaintext(t *testing.T) {
 func TestStreamedMatMulBackwardMatchesSGD(t *testing.T) {
 	pa, pb := pipe(t, 801)
 	pa.ChunkRows, pb.ChunkRows = 2, 2
-	cfg := Config{Out: 2, LR: 0.05, Stream: true}
+	cfg := Config{Out: 2, LR: 0.05, Options: engine.Options{Stream: true}}
 	la, lb := newMatMulPair(t, pa, pb, cfg, 3, 4)
 
 	rng := rand.New(rand.NewSource(3))
@@ -69,7 +70,7 @@ func TestStreamedMatMulBackwardMatchesSGD(t *testing.T) {
 func TestStreamedSparseMatMulBackwardMatchesSGD(t *testing.T) {
 	pa, pb := pipe(t, 802)
 	pa.ChunkRows, pb.ChunkRows = 2, 2
-	cfg := Config{Out: 2, LR: 0.05, Stream: true}
+	cfg := Config{Out: 2, LR: 0.05, Options: engine.Options{Stream: true}}
 	la, lb := newMatMulPair(t, pa, pb, cfg, 12, 4)
 
 	rng := rand.New(rand.NewSource(4))
@@ -98,7 +99,7 @@ func TestStreamedPackedMatMulTrajectoryMatchesMonolithic(t *testing.T) {
 	runSteps := func(stream bool) (*tensor.Dense, *tensor.Dense, *tensor.Dense) {
 		pa, pb := pipe(t, 803) // same seed: identical init and masks per run
 		pa.ChunkRows, pb.ChunkRows = 2, 2
-		cfg := Config{Out: 2, LR: 0.05, Packed: true, Stream: stream}
+		cfg := Config{Out: 2, LR: 0.05, Options: engine.Options{Packed: true, Stream: stream}}
 		la, lb := newMatMulPair(t, pa, pb, cfg, 4, 3)
 		rng := rand.New(rand.NewSource(5))
 		var z *tensor.Dense
@@ -169,7 +170,7 @@ func TestStreamedFedTopMatchesMonolithic(t *testing.T) {
 	runStep := func(stream bool) (*tensor.Dense, *tensor.Dense) {
 		pa, pb := pipe(t, 805)
 		pa.ChunkRows, pb.ChunkRows = 2, 2
-		cfg := Config{Out: 2, LR: 0.1, Stream: stream}
+		cfg := Config{Out: 2, LR: 0.1, Options: engine.Options{Stream: stream}}
 		la, lb := newMatMulPair(t, pa, pb, cfg, 3, 3)
 		rng := rand.New(rand.NewSource(7))
 		xA := tensor.RandDense(rng, 5, 3, 1)
@@ -205,7 +206,7 @@ func TestStreamedMultiPartyForwardBackward(t *testing.T) {
 	for i, pa := range peersA {
 		pa.ChunkRows, g.Peers[i].ChunkRows = 2, 2
 	}
-	cfg := Config{Out: 2, LR: 0.1, Stream: true}
+	cfg := Config{Out: 2, LR: 0.1, Options: engine.Options{Stream: true}}
 	inAs := []int{3, 4}
 	inB := 3
 	as, b := newMultiMatMul(t, peersA, g, cfg, inAs, inB)
@@ -243,7 +244,7 @@ func TestStreamedMultiPartyForwardBackward(t *testing.T) {
 func TestStreamedMatMulOverTCP(t *testing.T) {
 	pa, pb := tcpPeers(t, 806)
 	pa.ChunkRows, pb.ChunkRows = 2, 2
-	cfg := Config{Out: 2, LR: 0.1, Packed: true, Stream: true}
+	cfg := Config{Out: 2, LR: 0.1, Options: engine.Options{Packed: true, Stream: true}}
 	la, lb := newMatMulPair(t, pa, pb, cfg, 4, 4)
 
 	rng := rand.New(rand.NewSource(8))

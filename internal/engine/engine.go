@@ -1,0 +1,156 @@
+// Package engine is the single definition of the throughput-engine knobs
+// shared by training, benchmarking and serving: ciphertext packing,
+// chunk-streamed transfers, the textbook-exponentiation ablation, the
+// persistent dot-table cache budget, and the blinding-pool / secret-key
+// fast-path setup. core.Config, model.Hyper and bench.StepperOpts embed
+// Options, and the blindfl-train / blindfl-bench / blindfl-serve CLIs all
+// register their engine flags through RegisterFlags, so there is exactly one
+// declaration of each knob instead of four drifting copies.
+package engine
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+
+	"blindfl/internal/hetensor"
+	"blindfl/internal/paillier"
+)
+
+// Options selects the throughput-engine features of a run. The zero value is
+// the baseline engine: unpacked, monolithic transfers, signed/Straus
+// exponentiation on, no table cache, no pools, no secret-key fast paths.
+type Options struct {
+	// Packed enables ciphertext packing (K fixed-point lanes per Paillier
+	// plaintext) on the source-layer homomorphic hot paths. Both parties
+	// must agree on the flag; results match the unpacked protocol to
+	// fixed-point tolerance. The sparse MatMul layer ignores it (its
+	// on-demand row-cache protocol is bandwidth-bound, not blinding-bound).
+	Packed bool
+
+	// Stream splits large ciphertext transfers into bounded row-chunks so
+	// the sender encrypts chunk i+1 while chunk i is on the wire and the
+	// receiver decrypts chunk i−1. Orthogonal to Packed; both parties must
+	// agree. Chunking changes message framing, not values.
+	Stream bool
+
+	// ChunkRows bounds the rows per streamed chunk (0 = protocol default).
+	ChunkRows int
+
+	// Textbook disables the signed/Straus exponentiation engine on the
+	// homomorphic matmul kernels, restoring the classic full-width MulPlain
+	// paths (hetensor.SetTextbook). Process-wide: in-process parties share
+	// the toggle and the most recently applied Options wins. It exists for
+	// A/B ablation benchmarking; results are identical either way.
+	Textbook bool
+
+	// TableCacheMB budgets the process-wide persistent Straus dot-table
+	// cache in MiB (hetensor.SetTableCacheBudget): window tables keyed by
+	// ciphertext-matrix identity survive across kernel invocations, batches
+	// and epochs. 0 disables the cache. Process-wide like Textbook, with the
+	// same last-applied-wins caveat. Results are bit-identical with the
+	// cache on or off; it only trades memory for recomputation.
+	TableCacheMB int
+
+	// Pool, when positive, registers a blinding-randomness pool of that
+	// capacity for each key passed to SetupKeys, so every encryption site
+	// takes the precomputed fast path. A pool already registered for a key
+	// is replaced and closed. Pools stay registered for the process.
+	Pool int
+
+	// ShortExp, when positive, switches the registered pools to DJN-style
+	// short-exponent blinding with exponents of that many bits (400 is the
+	// standard choice): refills draw (hⁿ)^α for a fresh short α instead of a
+	// full-width r^N. Requires Pool > 0.
+	ShortExp int
+
+	// NoFixedBase disables the Lim–Lee fixed-base comb tables on the
+	// short-exp pool refills, restoring the plain big.Int.Exp refill as the
+	// ablation baseline. The zero value (combs on) is the fast default.
+	NoFixedBase bool
+
+	// SecretOps registers the CRT secret-key fast paths for every key passed
+	// to SetupKeys. In-process this accelerates both parties, which a real
+	// two-party deployment cannot do — use it to measure the label-party
+	// ceiling, not a deployment. Stays registered for the process.
+	SecretOps bool
+}
+
+// RegisterFlags registers one CLI flag per engine knob on fs, with o's
+// current values as defaults — the one flag surface shared by blindfl-train,
+// blindfl-bench and blindfl-serve. The -fixedbase flag keeps its historical
+// positive sense (default true) and writes NoFixedBase inverted.
+func (o *Options) RegisterFlags(fs *flag.FlagSet) {
+	fs.BoolVar(&o.Packed, "packed", o.Packed, "ciphertext packing on the source-layer hot paths")
+	fs.BoolVar(&o.Stream, "stream", o.Stream, "chunk-streamed ciphertext transfers (compute/comm overlap)")
+	fs.IntVar(&o.ChunkRows, "chunk", o.ChunkRows, "rows per streamed chunk (0 = protocol default)")
+	fs.BoolVar(&o.Textbook, "textbook", o.Textbook, "disable the signed/Straus exponentiation engine (ablation)")
+	fs.IntVar(&o.TableCacheMB, "tablecache", o.TableCacheMB, "persistent dot-table cache budget in MiB (0 = off)")
+	fs.IntVar(&o.Pool, "pool", o.Pool, "blinding-randomness pool capacity per key (0 = off)")
+	fs.IntVar(&o.ShortExp, "shortexp", o.ShortExp, "short-exponent blinding bits on the pools (0 = full-width; needs -pool)")
+	fs.Var(negatedBool{&o.NoFixedBase}, "fixedbase", "Lim–Lee fixed-base combs for short-exp pool refills (false = big.Int.Exp ablation)")
+	fs.BoolVar(&o.SecretOps, "secretops", o.SecretOps, "CRT secret-key fast paths for homomorphic ops (in-process measurement aid)")
+}
+
+// negatedBool adapts the positive-sense -fixedbase flag onto the
+// zero-value-is-on NoFixedBase field.
+type negatedBool struct{ no *bool }
+
+func (n negatedBool) IsBoolFlag() bool { return true }
+
+func (n negatedBool) String() string {
+	if n.no == nil {
+		return "true"
+	}
+	return strconv.FormatBool(!*n.no)
+}
+
+func (n negatedBool) Set(s string) error {
+	v, err := strconv.ParseBool(s)
+	*n.no = !v
+	return err
+}
+
+// Validate checks cross-knob consistency.
+func (o Options) Validate() error {
+	if o.ShortExp > 0 && o.Pool <= 0 {
+		return fmt.Errorf("engine: -shortexp requires -pool (short exponents only exist as pool refills)")
+	}
+	if o.ChunkRows < 0 || o.TableCacheMB < 0 || o.Pool < 0 || o.ShortExp < 0 {
+		return fmt.Errorf("engine: negative option value")
+	}
+	return nil
+}
+
+// Apply installs the process-wide engine settings (the Textbook ablation
+// toggle and the dot-table cache budget). Layer constructors call it through
+// core.Config, so the knobs take effect wherever an Options enters the
+// system; CLIs may also call it up front.
+func (o Options) Apply() {
+	hetensor.SetTextbook(o.Textbook)
+	hetensor.SetTableCacheBudget(int64(o.TableCacheMB) << 20)
+}
+
+// SetupKeys installs the per-key engine state the options select — secret-key
+// CRT fast paths and blinding pools (with short-exp / fixed-base refill
+// configuration) — for each key pair, replacing and closing any pool already
+// registered for it. Call once per process after key generation.
+func (o Options) SetupKeys(keys ...*paillier.PrivateKey) {
+	for _, sk := range keys {
+		if o.SecretOps {
+			paillier.RegisterSecretOps(sk)
+		}
+		if o.Pool <= 0 {
+			continue
+		}
+		var poolOpts []paillier.PoolOption
+		if o.ShortExp > 0 {
+			poolOpts = append(poolOpts, paillier.WithShortExp(o.ShortExp), paillier.WithFixedBase(!o.NoFixedBase, 0))
+		}
+		old := paillier.PoolFor(&sk.PublicKey)
+		paillier.RegisterPool(paillier.NewPool(&sk.PublicKey, o.Pool, 0, paillier.Rand, poolOpts...))
+		if old != nil {
+			old.Close()
+		}
+	}
+}

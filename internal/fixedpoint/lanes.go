@@ -81,6 +81,28 @@ func (lc LaneCodec) Unpack(x *big.Int, k int, scale uint) []float64 {
 	return out
 }
 
+// UnpackInts recovers k signed lane integers from a packed integer without
+// decoding them to float64: the serving path's extraction, where shares stay
+// exact integers until the masked pieces have cancelled.
+func (lc LaneCodec) UnpackInts(x *big.Int, k int) []*big.Int {
+	out := make([]*big.Int, k)
+	rem := new(big.Int).Set(x)
+	mask := new(big.Int).Lsh(big.NewInt(1), lc.W)
+	mask.Sub(mask, big.NewInt(1))
+	half := new(big.Int).Lsh(big.NewInt(1), lc.W-1)
+	full := new(big.Int).Lsh(big.NewInt(1), lc.W)
+	for i := 0; i < k; i++ {
+		lane := new(big.Int).And(rem, mask)
+		if lane.Cmp(half) >= 0 {
+			lane.Sub(lane, full)
+		}
+		out[i] = lane
+		rem.Sub(rem, lane)
+		rem.Rsh(rem, lc.W)
+	}
+	return out
+}
+
 // UnpackRing lifts a Z_n element to a signed integer and unpacks k lanes.
 func (lc LaneCodec) UnpackRing(x *big.Int, k int, scale uint, n *big.Int) []float64 {
 	return lc.Unpack(FromRing(x, n), k, scale)

@@ -1,0 +1,146 @@
+package model
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"blindfl/internal/data"
+	"blindfl/internal/tensor"
+)
+
+// Serve checkpoint format. Trainer writes it after a successful run over a
+// serveable model; Predictor (predictor.go) restores a forward-only model
+// from it onto fresh protocol sessions. The format bundles every party's
+// dense source-layer half (the core-layer gob, including the encrypted
+// copies of the peer's weight pieces) with the label party's plaintext head
+// parameters — exactly the joint state the single-binary runtime held.
+
+// fedCheckpoint is the gob root of a serve checkpoint.
+type fedCheckpoint struct {
+	Kind    Kind
+	Classes int
+	Hyper   Hyper
+	InAs    []int // feature party i's column width, len = number of sessions
+	InB     int
+	LayerA  [][]byte        // feature party i's MatMulA half (core gob)
+	LayerB  [][]byte        // label party's session-i MatMulB half (core gob)
+	Head    []*tensor.Dense // head parameters in params() order
+}
+
+// ckCapture accumulates the per-party checkpoint pieces from inside the
+// training closures. captureA(i, ·) is called once per feature party on
+// distinct indices and captureB once, so the slices need no locking; write
+// assembles and encodes after the run succeeds. A zero/nil-disabled capture
+// is a no-op throughout.
+type ckCapture struct {
+	ck   *fedCheckpoint
+	errA []error
+	errB error
+}
+
+func newCkCapture(t Trainer, ds *data.Dataset, inAs []int) *ckCapture {
+	if t.Checkpoint == nil {
+		return &ckCapture{}
+	}
+	return &ckCapture{
+		ck: &fedCheckpoint{
+			Kind: t.Kind, Classes: ds.Spec.Classes, Hyper: t.Hyper,
+			InAs: inAs, InB: ds.TrainB.NumCols(),
+			LayerA: make([][]byte, len(inAs)),
+			LayerB: make([][]byte, len(inAs)),
+		},
+		errA: make([]error, len(inAs)),
+	}
+}
+
+func (c *ckCapture) captureA(i int, ma *FedA) {
+	if c.ck == nil {
+		return
+	}
+	c.ck.LayerA[i], c.errA[i] = saveLayerA(ma)
+}
+
+func (c *ckCapture) captureB(mb *FedB) {
+	if c.ck == nil {
+		return
+	}
+	var layers [][]byte
+	layers, c.errB = saveLayerB(mb)
+	if c.errB != nil {
+		return
+	}
+	copy(c.ck.LayerB, layers)
+	c.ck.Head = headParams(mb.head)
+}
+
+func (c *ckCapture) write(w io.Writer) error {
+	if c.ck == nil {
+		return nil
+	}
+	for _, err := range c.errA {
+		if err != nil {
+			return err
+		}
+	}
+	if c.errB != nil {
+		return c.errB
+	}
+	if err := gob.NewEncoder(w).Encode(c.ck); err != nil {
+		return fmt.Errorf("model: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// saveLayerA serializes a feature party's dense source-layer half.
+func saveLayerA(ma *FedA) ([]byte, error) {
+	if ma.num == nil || ma.num.dense == nil {
+		return nil, fmt.Errorf("model: checkpoint covers dense numeric source layers only")
+	}
+	var buf bytes.Buffer
+	if err := ma.num.dense.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// saveLayerB serializes the label party's dense source-layer half, one blob
+// per session.
+func saveLayerB(mb *FedB) ([][]byte, error) {
+	switch src := mb.num.(type) {
+	case *numericSrcB:
+		if src.dense == nil {
+			return nil, fmt.Errorf("model: checkpoint covers dense numeric source layers only")
+		}
+		var buf bytes.Buffer
+		if err := src.dense.Save(&buf); err != nil {
+			return nil, err
+		}
+		return [][]byte{buf.Bytes()}, nil
+	case *multiNumericSrcB:
+		if src.dense == nil {
+			return nil, fmt.Errorf("model: checkpoint covers dense numeric source layers only")
+		}
+		out := make([][]byte, src.dense.K())
+		for i := range out {
+			var buf bytes.Buffer
+			if err := src.dense.Sub(i).Save(&buf); err != nil {
+				return nil, err
+			}
+			out[i] = buf.Bytes()
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("model: unknown source-layer facade %T", mb.num)
+}
+
+// headParams clones the head's parameters in params() order.
+func headParams(h headB) []*tensor.Dense {
+	ps := h.params()
+	out := make([]*tensor.Dense, len(ps))
+	for i, p := range ps {
+		out[i] = p.W.Clone()
+	}
+	return out
+}

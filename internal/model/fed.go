@@ -32,11 +32,24 @@ func (s *numericSrcA) backward() {
 	s.dense.Backward()
 }
 
+func (s *numericSrcA) serveStart() {
+	if s.sparse != nil {
+		panic("model: the serve path covers dense numeric source layers only")
+	}
+	s.dense.ServeStart()
+}
+
+func (s *numericSrcA) serveForward(x *tensor.Dense) { s.dense.ServeForward(x) }
+
 // numSrcB abstracts Party B's numeric source layer: the two-party
 // dense/sparse facade below, or the k-session multi-party one (multi.go).
+// The serve methods are defined for the dense layers only (Serveable guards
+// every call site); the sparse facades panic.
 type numSrcB interface {
 	forward(p data.Part) *tensor.Dense
 	backward(g *tensor.Dense)
+	serveStart()
+	serveForward(x *tensor.Dense) *tensor.Dense
 }
 
 type numericSrcB struct {
@@ -58,6 +71,15 @@ func (s *numericSrcB) backward(g *tensor.Dense) {
 	}
 	s.dense.Backward(g)
 }
+
+func (s *numericSrcB) serveStart() {
+	if s.sparse != nil {
+		panic("model: the serve path covers dense numeric source layers only")
+	}
+	s.dense.ServeStart()
+}
+
+func (s *numericSrcB) serveForward(x *tensor.Dense) *tensor.Dense { return s.dense.ServeForward(x) }
 
 // FedA is Party A's half of a federated model: at most one numeric source
 // layer and one Embed-MatMul source layer, mirroring FedB.
@@ -174,7 +196,7 @@ func restHidden(h Hyper) []int {
 // coreCfg assembles the source-layer Config a Hyper implies for a family.
 func coreCfg(kind Kind, classes int, h Hyper) core.Config {
 	return core.Config{Out: sourceOut(kind, classes, h), LR: h.LR, Momentum: h.Momentum,
-		Packed: h.Packed, Stream: h.Stream, Textbook: h.Textbook, TableCacheMB: h.TableCacheMB}
+		Options: h.Options}
 }
 
 // NewFedA builds Party A's model half. Must run concurrently with NewFedB.
@@ -215,20 +237,28 @@ func NewFedB(p *protocol.Peer, kind Kind, ds *data.Dataset, h Hyper) *FedB {
 // shared by the two-party and multi-party B constructors so both draw the
 // top-model init from the same (h.Seed+77) stream.
 func (m *FedB) finishTop(kind Kind, classes int, h Hyper) {
+	m.head = buildHead(kind, classes, h)
+	m.opt = nn.NewSGD(h.LR, h.Momentum, m.head.params())
+}
+
+// buildHead constructs the plaintext head for a family, drawing its init
+// from the (h.Seed+77) stream. The Predictor rebuilds heads through the same
+// constructor before overwriting the parameters from a checkpoint, so the
+// module shapes always match the training-time head.
+func buildHead(kind Kind, classes int, h Hyper) headB {
 	rng := rand.New(rand.NewSource(h.Seed + 77))
 	out := outDim(classes)
 	switch kind {
 	case LR, MLR:
-		m.head = &biasHead{bias: nn.NewBias(out)}
+		return &biasHead{bias: nn.NewBias(out)}
 	case MLP:
-		m.head = &mlpHead{seq: buildMLPTop(rng, firstHidden(h), restHidden(h), out)}
+		return &mlpHead{seq: buildMLPTop(rng, firstHidden(h), restHidden(h), out)}
 	case WDL:
-		deepIn := sourceOutEmbed(h)
-		m.head = &wdlHead{deep: buildMLPTop(rng, deepIn, restHidden(h), out)}
+		return &wdlHead{deep: buildMLPTop(rng, sourceOutEmbed(h), restHidden(h), out)}
 	case DLRM:
-		m.head = &dlrmHead{relu: &nn.ReLU{}, seq: nn.NewSequential(nn.NewLinear(rng, firstHidden(h), out))}
+		return &dlrmHead{relu: &nn.ReLU{}, seq: nn.NewSequential(nn.NewLinear(rng, firstHidden(h), out))}
 	}
-	m.opt = nn.NewSGD(h.LR, h.Momentum, m.head.params())
+	panic("model: unreachable")
 }
 
 // sourceOutEmbed is the Embed-MatMul output width (the deep tower input).
@@ -240,7 +270,7 @@ func embedCfg(kind Kind, ds *data.Dataset, h Hyper) core.EmbedConfig {
 		out = firstHidden(h)
 	}
 	return core.EmbedConfig{
-		Config:  core.Config{Out: out, LR: h.LR, Momentum: h.Momentum, Packed: h.Packed, Stream: h.Stream, Textbook: h.Textbook, TableCacheMB: h.TableCacheMB},
+		Config:  core.Config{Out: out, LR: h.LR, Momentum: h.Momentum, Options: h.Options},
 		VocabA:  ds.Spec.CatVocab,
 		VocabB:  ds.Spec.CatVocab,
 		FieldsA: ds.TrainA.Cat.Cols,
@@ -296,6 +326,33 @@ func (m *FedB) StepB(p data.Part, y []int) float64 {
 // ForwardB runs Party B's inference-only pass and returns the logits.
 func (m *FedB) ForwardB(p data.Part) *tensor.Dense { return m.forwardB(p) }
 
+// Serveable reports whether a family/dataset pair is covered by the serve
+// path: the dense numeric families (LR, MLR, MLP). The embedding families
+// and sparse datasets keep the training-shaped forward only.
+func Serveable(kind Kind, ds *data.Dataset) bool {
+	return !kind.UsesEmbedding() && ds.Spec.Dense()
+}
+
+// ServeStart opens a serve session on Party A's numeric source layer (the
+// unpacked weight-piece exchange). Serveable models only; must run
+// concurrently with FedB.ServeStart.
+func (m *FedA) ServeStart() { m.num.serveStart() }
+
+// ServeForward runs Party A's half of a batched serve forward.
+func (m *FedA) ServeForward(x *tensor.Dense) { m.num.serveForward(x) }
+
+// ServeStart opens a serve session on Party B's numeric source layer.
+func (m *FedB) ServeStart() { m.num.serveStart() }
+
+// ServeForward runs Party B's half of a batched serve forward and applies
+// the plaintext head. This is the inference path blindfl-serve runs; the
+// training-time evaluation of serveable models goes through it too, so a
+// Predictor restored from a checkpoint is bit-identical to the reported
+// test logits.
+func (m *FedB) ServeForward(x *tensor.Dense) *tensor.Dense {
+	return m.head.forward(m.num.serveForward(x), nil)
+}
+
 func (m *FedB) lossGrad(logits *tensor.Dense, y []int) (float64, *tensor.Dense) {
 	if m.classes == 2 {
 		return nn.BCEWithLogits(logits, y)
@@ -303,54 +360,53 @@ func (m *FedB) lossGrad(logits *tensor.Dense, y []int) (float64, *tensor.Dense) 
 	return nn.SoftmaxCE(logits, y)
 }
 
-// TrainFederated trains a federated model end to end on an in-process
-// protocol session and returns Party B's training history. The mini-batch
-// order is derived from the shared hyper-parameter seed, standing in for the
-// order the parties would agree on at setup time.
+// TrainFederated trains a two-party federated model end to end on an
+// in-process protocol session and returns Party B's training history.
+//
+// Deprecated: use Trainer.Train with Pair(pa, pb) — the single entry point
+// across party counts (and the only one that can write serve checkpoints).
+// Kept as a thin wrapper for existing callers.
 func TrainFederated(kind Kind, ds *data.Dataset, h Hyper, pa, pb *protocol.Peer) (*History, error) {
-	hist := &History{MetricName: metricName(ds.Spec.Classes)}
-	// RunParties closes both conns on the first party error, so a one-sided
-	// failure unblocks the survivor with transport.ErrClosed instead of
-	// hanging, and the returned error is the root cause (first to arrive).
-	err := protocol.RunParties(pa, pb,
-		func() {
-			ma := NewFedA(pa, kind, ds, h)
-			order := rand.New(rand.NewSource(h.Seed + 999))
-			for e := 0; e < h.Epochs; e++ {
-				perm := data.Shuffle(order, ds.TrainA.Rows())
-				for _, idx := range batchesOf(perm, h.Batch) {
-					ma.StepA(ds.TrainA.Batch(idx))
-				}
-			}
-			for _, idx := range data.BatchIndices(ds.TestA.Rows(), h.Batch) {
-				ma.ForwardA(ds.TestA.Batch(idx))
-			}
-		},
-		func() {
-			mb := NewFedB(pb, kind, ds, h)
-			order := rand.New(rand.NewSource(h.Seed + 999))
-			for e := 0; e < h.Epochs; e++ {
-				perm := data.Shuffle(order, ds.TrainB.Rows())
-				for _, idx := range batchesOf(perm, h.Batch) {
-					loss := mb.StepB(ds.TrainB.Batch(idx), gather(ds.TrainY, idx))
-					hist.Losses = append(hist.Losses, loss)
-				}
-			}
-			hist.TestLogits = evalB(mb, ds, h)
-		})
-	if err != nil {
-		return nil, err
-	}
-	finishHistory(hist, ds)
-	return hist, nil
+	return Trainer{Kind: kind, Hyper: h}.Train(ds, Pair(pa, pb))
 }
 
+// evalB computes Party B's test-set logits. Serveable models evaluate
+// through the exact-integer serve forward (mask- and engine-independent, so
+// a later Predictor reproduces these logits bit for bit); the rest use the
+// training forward. Must run concurrently with evalA's matching branch.
 func evalB(mb *FedB, ds *data.Dataset, h Hyper) *tensor.Dense {
+	serveable := Serveable(mb.kind, ds)
+	if serveable {
+		mb.ServeStart()
+	}
 	var rows []*tensor.Dense
 	for _, idx := range data.BatchIndices(ds.TestB.Rows(), h.Batch) {
-		rows = append(rows, mb.ForwardB(ds.TestB.Batch(idx)))
+		p := ds.TestB.Batch(idx)
+		if serveable {
+			rows = append(rows, mb.ServeForward(p.Dense))
+		} else {
+			rows = append(rows, mb.ForwardB(p))
+		}
 	}
 	return vstack(rows)
+}
+
+// evalA is Party A's half of the test-set evaluation, mirroring evalB's
+// serve/training branch. testA is this party's test split (a column block of
+// ds.TestA in the multi-party case).
+func evalA(ma *FedA, kind Kind, ds *data.Dataset, testA data.Part, batch int) {
+	serveable := Serveable(kind, ds)
+	if serveable {
+		ma.ServeStart()
+	}
+	for _, idx := range data.BatchIndices(testA.Rows(), batch) {
+		p := testA.Batch(idx)
+		if serveable {
+			ma.ServeForward(p.Dense)
+		} else {
+			ma.ForwardA(p)
+		}
+	}
 }
 
 func finishHistory(hist *History, ds *data.Dataset) {

@@ -15,6 +15,7 @@ package model
 import (
 	"fmt"
 
+	"blindfl/internal/engine"
 	"blindfl/internal/tensor"
 )
 
@@ -43,7 +44,10 @@ func ParseKind(s string) (Kind, error) {
 func (k Kind) UsesEmbedding() bool { return k == WDL || k == DLRM }
 
 // Hyper carries the training hyper-parameters. The paper's protocol
-// (Sec. 7.1) uses LR 0.05, batch 128, embedding dim 8, momentum 0.9.
+// (Sec. 7.1) uses LR 0.05, batch 128, embedding dim 8, momentum 0.9. The
+// engine knobs (Packed, Stream, Textbook, TableCacheMB, …) live on the
+// embedded engine.Options — the single declaration shared with core.Config
+// and bench.StepperOpts.
 type Hyper struct {
 	LR       float64
 	Momentum float64
@@ -52,14 +56,8 @@ type Hyper struct {
 	Hidden   []int // hidden layer widths for MLP and the WDL/DLRM deep part
 	EmbDim   int
 	Seed     int64
-	Packed   bool // ciphertext packing on the source-layer hot paths
-	Stream   bool // chunk-streamed ciphertext transfers (compute/comm overlap)
-	Textbook bool // disable the signed/Straus exponentiation engine (ablation)
 
-	// TableCacheMB budgets the persistent Straus dot-table cache in MiB
-	// (core.Config.TableCacheMB); 0 disables it. Bit-identical results
-	// either way — the cache only trades memory for recomputation.
-	TableCacheMB int
+	engine.Options
 }
 
 // DefaultHyper returns the paper's protocol settings.

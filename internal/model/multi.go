@@ -1,9 +1,6 @@
 package model
 
 import (
-	"fmt"
-	"math/rand"
-
 	"blindfl/internal/core"
 	"blindfl/internal/data"
 	"blindfl/internal/protocol"
@@ -47,6 +44,17 @@ func (s *multiNumericSrcB) backward(g *tensor.Dense) {
 	s.dense.Backward(g)
 }
 
+func (s *multiNumericSrcB) serveStart() {
+	if s.sparse != nil {
+		panic("model: the serve path covers dense numeric source layers only")
+	}
+	s.dense.ServeStart()
+}
+
+func (s *multiNumericSrcB) serveForward(x *tensor.Dense) *tensor.Dense {
+	return s.dense.ServeForward(x)
+}
+
 // NewFedAMulti builds one feature party's model half of a k-party group:
 // the ordinary two-party A-half over that party's inA columns, with the
 // group's k agreed in the layer Config. Must run concurrently with
@@ -84,63 +92,10 @@ func NewFedBMulti(g *protocol.Group, kind Kind, ds *data.Dataset, h Hyper, inAs 
 
 // TrainFederatedMulti trains a federated model end to end across a k-party
 // in-process group and returns the label party's training history — the
-// k-session counterpart of TrainFederated. Party A's columns are split into
-// k contiguous blocks (data.SplitCols: widths differ by at most one, so
-// uneven dimensionalities lose no columns), one per feature party; every
-// party derives the shared mini-batch order from the hyper-parameter seed.
+// k-session counterpart of TrainFederated.
 //
-// RunGroup closes every session's connections on the first party error, so
-// one failing session unblocks the other k−1 (and the label party) with
-// transport.ErrClosed instead of hanging, and the returned error is the
-// root cause.
+// Deprecated: use Trainer.Train with PartySet{As: as, B: g}. Kept as a thin
+// wrapper for existing callers.
 func TrainFederatedMulti(kind Kind, ds *data.Dataset, h Hyper, as []*protocol.Peer, g *protocol.Group) (*History, error) {
-	k := g.K()
-	if len(as) != k {
-		return nil, fmt.Errorf("model: TrainFederatedMulti got %d feature parties for %d sessions", len(as), k)
-	}
-	if kind.UsesEmbedding() {
-		return nil, fmt.Errorf("model: multi-party training covers the numeric families lr|mlr|mlp; %s needs a multi-party Embed-MatMul layer", kind)
-	}
-	if cols := ds.TrainA.NumCols(); k > cols {
-		return nil, fmt.Errorf("model: cannot split %d feature columns across %d parties", cols, k)
-	}
-	trainAs := data.SplitCols(ds.TrainA, k)
-	testAs := data.SplitCols(ds.TestA, k)
-	inAs := make([]int, k)
-	for i, p := range trainAs {
-		inAs[i] = p.NumCols()
-	}
-
-	hist := &History{MetricName: metricName(ds.Spec.Classes)}
-	err := protocol.RunGroup(as, g,
-		func(i int) {
-			ma := NewFedAMulti(as[i], kind, ds, h, inAs[i], k)
-			order := rand.New(rand.NewSource(h.Seed + 999))
-			for e := 0; e < h.Epochs; e++ {
-				perm := data.Shuffle(order, trainAs[i].Rows())
-				for _, idx := range batchesOf(perm, h.Batch) {
-					ma.StepA(trainAs[i].Batch(idx))
-				}
-			}
-			for _, idx := range data.BatchIndices(testAs[i].Rows(), h.Batch) {
-				ma.ForwardA(testAs[i].Batch(idx))
-			}
-		},
-		func() {
-			mb := NewFedBMulti(g, kind, ds, h, inAs)
-			order := rand.New(rand.NewSource(h.Seed + 999))
-			for e := 0; e < h.Epochs; e++ {
-				perm := data.Shuffle(order, ds.TrainB.Rows())
-				for _, idx := range batchesOf(perm, h.Batch) {
-					loss := mb.StepB(ds.TrainB.Batch(idx), gather(ds.TrainY, idx))
-					hist.Losses = append(hist.Losses, loss)
-				}
-			}
-			hist.TestLogits = evalB(mb, ds, h)
-		})
-	if err != nil {
-		return nil, err
-	}
-	finishHistory(hist, ds)
-	return hist, nil
+	return Trainer{Kind: kind, Hyper: h}.Train(ds, PartySet{As: as, B: g})
 }

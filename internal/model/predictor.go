@@ -1,0 +1,229 @@
+package model
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sync"
+
+	"blindfl/internal/core"
+	"blindfl/internal/hetensor"
+	"blindfl/internal/paillier"
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+// Predictor is the forward-only model blindfl-serve runs: the dense source
+// layers restored from a serve checkpoint onto live protocol sessions, plus
+// the label party's plaintext head. Train and serve share one forward path —
+// the layers' serve protocol is exactly the one training-time evaluation
+// used — so served logits are bit-identical to the checkpointed model's
+// reported test logits.
+//
+// The serve-session weight exchange runs once at construction; the encrypted
+// weight pieces then never change, so every query reuses their Straus tables
+// out of the persistent dot-table cache.
+type Predictor struct {
+	kind    Kind
+	classes int
+	hyper   Hyper
+	inAs    []int
+	inB     int
+
+	as   []*protocol.Peer
+	g    *protocol.Group
+	las  []*core.MatMulA
+	lb   *core.MultiMatMulB
+	head headB
+
+	// mu serializes batches: the serve protocol is a fixed message sequence
+	// per session, so concurrent callers must not interleave. The serve
+	// Server (internal/serve) batches concurrent requests into lanes above
+	// this lock rather than contending on it per request.
+	mu sync.Mutex
+}
+
+// NewPredictor restores a Predictor from a serve checkpoint onto the party
+// set's live sessions and runs the serve-session weight exchange. The party
+// set must span exactly the checkpoint's feature-party count.
+func NewPredictor(r io.Reader, ps PartySet) (*Predictor, error) {
+	var ck fedCheckpoint
+	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("model: read checkpoint: %w", err)
+	}
+	k := len(ck.InAs)
+	if k == 0 || len(ck.LayerA) != k || len(ck.LayerB) != k {
+		return nil, fmt.Errorf("model: malformed checkpoint (%d parties, %d A layers, %d B layers)",
+			k, len(ck.LayerA), len(ck.LayerB))
+	}
+	if ps.K() != k || ps.B.K() != k {
+		return nil, fmt.Errorf("model: checkpoint spans %d feature parties, party set has %d", k, ps.K())
+	}
+
+	p := &Predictor{
+		kind: ck.Kind, classes: ck.Classes, hyper: ck.Hyper,
+		inAs: ck.InAs, inB: ck.InB,
+		as: ps.As, g: ps.B,
+		las: make([]*core.MatMulA, k),
+	}
+	head := buildHead(ck.Kind, ck.Classes, ck.Hyper)
+	params := head.params()
+	if len(params) != len(ck.Head) {
+		return nil, fmt.Errorf("model: checkpoint head has %d parameters, %s wants %d", len(ck.Head), ck.Kind, len(params))
+	}
+	for i, par := range params {
+		saved := ck.Head[i]
+		if saved == nil || !par.W.SameShape(saved) {
+			return nil, fmt.Errorf("model: checkpoint head parameter %d shape mismatch", i)
+		}
+		copy(par.W.Data, saved.Data)
+	}
+	p.head = head
+
+	// Restore each session's layer halves and run the serve-session weight
+	// exchange. A local decode failure closes that party's own connections
+	// so the peers unblock with a transport error instead of hanging; the
+	// recorded decode error then takes precedence in the report.
+	loadErrA := make([]error, k)
+	loadErrB := make([]error, k)
+	subs := make([]*core.MatMulB, k)
+	err := protocol.RunGroup(ps.As, ps.B,
+		func(i int) {
+			la, err := core.LoadMatMulA(bytes.NewReader(ck.LayerA[i]), ps.As[i])
+			if err != nil {
+				loadErrA[i] = err
+				ps.As[i].Conn.Close()
+				return
+			}
+			p.las[i] = la
+			la.ServeStart()
+		},
+		func() {
+			failed := false
+			ps.B.ForEach(func(i int, peer *protocol.Peer) {
+				lbHalf, err := core.LoadMatMulB(bytes.NewReader(ck.LayerB[i]), peer)
+				if err != nil {
+					loadErrB[i] = err
+					failed = true
+					return
+				}
+				subs[i] = lbHalf
+			})
+			if failed {
+				ps.B.Close()
+				return
+			}
+			p.lb = core.NewMultiMatMulBFrom(ps.B, subs)
+			p.lb.ServeStart()
+		})
+	for i := 0; i < k; i++ {
+		if loadErrA[i] != nil {
+			return nil, loadErrA[i]
+		}
+		if loadErrB[i] != nil {
+			return nil, loadErrB[i]
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// K returns the number of feature parties the model spans.
+func (p *Predictor) K() int { return len(p.inAs) }
+
+// InAs returns the per-feature-party column widths.
+func (p *Predictor) InAs() []int { return p.inAs }
+
+// InB returns the label party's feature width.
+func (p *Predictor) InB() int { return p.inB }
+
+// Kind returns the model family.
+func (p *Predictor) Kind() Kind { return p.kind }
+
+// Classes returns the label cardinality.
+func (p *Predictor) Classes() int { return p.classes }
+
+// LabelPK returns the label party's public key — the key serve-side blinding
+// pools warm for.
+func (p *Predictor) LabelPK() *paillier.PublicKey { return &p.g.Peers[0].SK.PublicKey }
+
+// Lanes returns the packing width of a serve batch: requests fill ciphertext
+// lanes, so batches of this size cost the same homomorphic work as one
+// request. Both directions of every session pack, so the effective width is
+// the minimum over all keys involved.
+func (p *Predictor) Lanes() int {
+	lanes := hetensor.Lanes(&p.g.Peers[0].SK.PublicKey)
+	for _, a := range p.as {
+		if l := hetensor.Lanes(&a.SK.PublicKey); l < lanes {
+			lanes = l
+		}
+	}
+	return lanes
+}
+
+// PredictBatch runs one federated serve forward over a batch of requests.
+// xAs[i] holds feature party i's columns of every request (rows align across
+// parties); xB the label party's. Returns the batch logits. Safe for
+// concurrent use; batches are serialized internally.
+func (p *Predictor) PredictBatch(xAs []*tensor.Dense, xB *tensor.Dense) (*tensor.Dense, error) {
+	if err := p.checkBatch(xAs, xB); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var logits *tensor.Dense
+	err := protocol.RunGroup(p.as, p.g,
+		func(i int) { p.las[i].ServeForward(xAs[i]) },
+		func() { logits = p.head.forward(p.lb.ServeForward(xB), nil) })
+	if err != nil {
+		return nil, err
+	}
+	return logits, nil
+}
+
+// PlainLogits computes the same batch logits directly from the secret-shared
+// weight pieces in the exact integer domain — no protocol, no masking. The
+// serve forward reconstructs the identical integer sum (integer addition is
+// commutative and masks cancel exactly), so PlainLogits is bit-identical to
+// PredictBatch: the reference the AHEAD-style integrity spot-check compares
+// served responses against. Only the single-binary simulation, which holds
+// both parties' pieces, can compute it.
+func (p *Predictor) PlainLogits(xAs []*tensor.Dense, xB *tensor.Dense) (*tensor.Dense, error) {
+	if err := p.checkBatch(xAs, xB); err != nil {
+		return nil, err
+	}
+	z := hetensor.IntMatMulT(xB, p.lb.Sub(0).UB)
+	for i := range p.las {
+		z.AddInPlace(hetensor.IntMatMulT(xAs[i], p.las[i].UA))
+		z.AddInPlace(hetensor.IntMatMulT(xAs[i], p.lb.Sub(i).VA))
+		z.AddInPlace(hetensor.IntMatMulT(xB, p.las[i].VB))
+		if i > 0 {
+			z.AddInPlace(hetensor.IntMatMulT(xB, p.lb.Sub(i).UB))
+		}
+	}
+	return p.head.forward(z.DecodeTranspose(), nil), nil
+}
+
+func (p *Predictor) checkBatch(xAs []*tensor.Dense, xB *tensor.Dense) error {
+	if len(xAs) != len(p.inAs) {
+		return fmt.Errorf("model: batch spans %d feature parties, model has %d", len(xAs), len(p.inAs))
+	}
+	if xB == nil || xB.Rows == 0 {
+		return fmt.Errorf("model: empty batch")
+	}
+	if xB.Cols != p.inB {
+		return fmt.Errorf("model: label-party features have %d columns, model wants %d", xB.Cols, p.inB)
+	}
+	for i, x := range xAs {
+		if x == nil || x.Rows != xB.Rows {
+			return fmt.Errorf("model: feature party %d batch rows mismatch", i)
+		}
+		if x.Cols != p.inAs[i] {
+			return fmt.Errorf("model: feature party %d has %d columns, model wants %d", i, x.Cols, p.inAs[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package model
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"blindfl/internal/data"
+	"blindfl/internal/protocol"
+)
+
+// Trainer is the single federated-training entry point across party counts:
+// a two-party run is a 1-session party set, a k-party run a k-session one,
+// and both share the same loop, evaluation and checkpoint machinery. The
+// positional TrainFederated/TrainFederatedMulti helpers are thin deprecated
+// wrappers over it.
+type Trainer struct {
+	Kind  Kind
+	Hyper Hyper
+
+	// Checkpoint, when set, receives the trained model in the serve
+	// checkpoint format (every party's dense source-layer half plus the
+	// label party's head) after a successful run — the file blindfl-serve
+	// loads through NewPredictor. Serveable families only. A real
+	// deployment would have each party persist its own half; the combined
+	// stream matches the single-binary simulation runtime, and still
+	// contains no more than the parties' processes jointly held.
+	Checkpoint io.Writer
+}
+
+// PartySet bundles the live protocol sessions a training run (or a serve
+// session) spans: one feature-party peer per session plus the label party's
+// group handle over the same sessions, in matching order.
+type PartySet struct {
+	As []*protocol.Peer
+	B  *protocol.Group
+}
+
+// K returns the number of sessions (feature parties).
+func (ps PartySet) K() int { return len(ps.As) }
+
+// Pair wraps a two-party session as a 1-session party set — a 1-party group
+// is exactly the two-party protocol (same RNG streams, same arithmetic).
+func Pair(pa, pb *protocol.Peer) PartySet {
+	return PartySet{As: []*protocol.Peer{pa}, B: protocol.NewGroup([]*protocol.Peer{pb})}
+}
+
+// Train runs federated training over the party set and returns the label
+// party's history. Party A's feature columns are split into K() contiguous
+// blocks for k>1 (data.SplitCols); the mini-batch order is derived from the
+// shared hyper-parameter seed, standing in for the order the parties would
+// agree on at setup time.
+//
+// RunParties/RunGroup close every session's connections on the first party
+// error, so a one-sided failure unblocks the survivors with
+// transport.ErrClosed instead of hanging, and the returned error is the
+// root cause (first to arrive).
+func (t Trainer) Train(ds *data.Dataset, ps PartySet) (*History, error) {
+	k := ps.K()
+	if ps.B == nil || k == 0 {
+		return nil, fmt.Errorf("model: Train needs a non-empty party set")
+	}
+	if k != ps.B.K() {
+		return nil, fmt.Errorf("model: party set has %d feature parties for %d sessions", k, ps.B.K())
+	}
+	if t.Checkpoint != nil && !Serveable(t.Kind, ds) {
+		return nil, fmt.Errorf("model: serve checkpoints cover the dense numeric families (lr|mlr|mlp on dense data); %s is not serveable here", t.Kind)
+	}
+	if k == 1 {
+		return t.trainPair(ds, ps.As[0], ps.B.Peers[0])
+	}
+	return t.trainMulti(ds, ps)
+}
+
+// trainPair is the two-party run: full family coverage (including the
+// embedding families, which the k-party path rejects).
+func (t Trainer) trainPair(ds *data.Dataset, pa, pb *protocol.Peer) (*History, error) {
+	kind, h := t.Kind, t.Hyper
+	hist := &History{MetricName: metricName(ds.Spec.Classes)}
+	cc := newCkCapture(t, ds, []int{ds.TrainA.NumCols()})
+	err := protocol.RunParties(pa, pb,
+		func() {
+			ma := NewFedA(pa, kind, ds, h)
+			trainLoopA(ma, ds.TrainA, h)
+			evalA(ma, kind, ds, ds.TestA, h.Batch)
+			cc.captureA(0, ma)
+		},
+		func() {
+			mb := NewFedB(pb, kind, ds, h)
+			trainLoopB(mb, ds, h, hist)
+			hist.TestLogits = evalB(mb, ds, h)
+			cc.captureB(mb)
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.write(t.Checkpoint); err != nil {
+		return nil, err
+	}
+	finishHistory(hist, ds)
+	return hist, nil
+}
+
+// trainMulti is the k-party run (paper Appendix C, Algorithm 3): numeric
+// families only; Party A's columns split into k contiguous blocks
+// (data.SplitCols: widths differ by at most one, so uneven dimensionalities
+// lose no columns), one per feature party.
+func (t Trainer) trainMulti(ds *data.Dataset, ps PartySet) (*History, error) {
+	kind, h, k := t.Kind, t.Hyper, ps.K()
+	if kind.UsesEmbedding() {
+		return nil, fmt.Errorf("model: multi-party training covers the numeric families lr|mlr|mlp; %s needs a multi-party Embed-MatMul layer", kind)
+	}
+	if cols := ds.TrainA.NumCols(); k > cols {
+		return nil, fmt.Errorf("model: cannot split %d feature columns across %d parties", cols, k)
+	}
+	trainAs := data.SplitCols(ds.TrainA, k)
+	testAs := data.SplitCols(ds.TestA, k)
+	inAs := make([]int, k)
+	for i, p := range trainAs {
+		inAs[i] = p.NumCols()
+	}
+
+	hist := &History{MetricName: metricName(ds.Spec.Classes)}
+	cc := newCkCapture(t, ds, inAs)
+	err := protocol.RunGroup(ps.As, ps.B,
+		func(i int) {
+			ma := NewFedAMulti(ps.As[i], kind, ds, h, inAs[i], k)
+			trainLoopA(ma, trainAs[i], h)
+			evalA(ma, kind, ds, testAs[i], h.Batch)
+			cc.captureA(i, ma)
+		},
+		func() {
+			mb := NewFedBMulti(ps.B, kind, ds, h, inAs)
+			trainLoopB(mb, ds, h, hist)
+			hist.TestLogits = evalB(mb, ds, h)
+			cc.captureB(mb)
+		})
+	if err != nil {
+		return nil, err
+	}
+	if err := cc.write(t.Checkpoint); err != nil {
+		return nil, err
+	}
+	finishHistory(hist, ds)
+	return hist, nil
+}
+
+// trainLoopA runs one feature party's training epochs over its column block.
+func trainLoopA(ma *FedA, trainA data.Part, h Hyper) {
+	order := rand.New(rand.NewSource(h.Seed + 999))
+	for e := 0; e < h.Epochs; e++ {
+		perm := data.Shuffle(order, trainA.Rows())
+		for _, idx := range batchesOf(perm, h.Batch) {
+			ma.StepA(trainA.Batch(idx))
+		}
+	}
+}
+
+// trainLoopB runs the label party's training epochs, recording losses.
+func trainLoopB(mb *FedB, ds *data.Dataset, h Hyper, hist *History) {
+	order := rand.New(rand.NewSource(h.Seed + 999))
+	for e := 0; e < h.Epochs; e++ {
+		perm := data.Shuffle(order, ds.TrainB.Rows())
+		for _, idx := range batchesOf(perm, h.Batch) {
+			loss := mb.StepB(ds.TrainB.Batch(idx), gather(ds.TrainY, idx))
+			hist.Losses = append(hist.Losses, loss)
+		}
+	}
+}

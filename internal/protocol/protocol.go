@@ -164,6 +164,16 @@ func (p *Peer) RecvCipher() *hetensor.CipherMatrix {
 	return c
 }
 
+// RecvBig receives a *hetensor.BigMatrix (an integer serve share).
+func (p *Peer) RecvBig() *hetensor.BigMatrix {
+	v := p.recv()
+	m, ok := v.(*hetensor.BigMatrix)
+	if !ok {
+		p.fail("recv: want *hetensor.BigMatrix, got %T", v)
+	}
+	return m
+}
+
 // RecvInts receives a []int (e.g. a touched-coordinate set).
 func (p *Peer) RecvInts() []int {
 	v := p.recv()

@@ -1,0 +1,316 @@
+// Package serve is the blindfl-serve runtime: an online encrypted-inference
+// service the label party runs over a trained vertical model. Concurrent
+// single-request callers are batched into the K ciphertext packing lanes —
+// cross-request lane batching, so a full lane group costs the same
+// homomorphic work as one request — and executed over the Predictor's
+// persistent serve sessions, whose long-lived encrypted weight pieces keep
+// the dot-table cache warm on every query. Admission control sheds load when
+// the queue is full or the label party's blinding pool runs dry, and an
+// AHEAD-style opt-in integrity spot-check re-verifies one random request per
+// batch against the plaintext forward path.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"blindfl/internal/model"
+	"blindfl/internal/paillier"
+	"blindfl/internal/tensor"
+)
+
+// ErrOverloaded is returned to a request shed by admission control (queue
+// full, or the blinding pool is below the configured depth).
+var ErrOverloaded = errors.New("serve: overloaded, request shed")
+
+// ErrClosed is returned to requests still pending when the server shuts down.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config tunes the request batcher and admission control. The zero value
+// serves with lane-width batches, a short flush interval, a queue of a few
+// batches, no pool-depth shedding and no spot-checks.
+type Config struct {
+	// Lanes is the target batch width. 0 means the Predictor's lane width —
+	// the packing-optimal choice: every batch of this size costs the same
+	// homomorphic work as a single request.
+	Lanes int
+
+	// MaxBatch caps the requests per protocol batch. 0 means Lanes (one
+	// lane group). Raising it trades per-request latency for throughput by
+	// running several lane groups per protocol round trip.
+	MaxBatch int
+
+	// FlushInterval bounds how long the batcher waits for a lane group to
+	// fill before running a partial batch. 0 means 2ms.
+	FlushInterval time.Duration
+
+	// MaxQueue is the pending-request queue depth; requests arriving when
+	// it is full are shed with ErrOverloaded. 0 means 4×MaxBatch.
+	MaxQueue int
+
+	// MinPool, when positive, sheds requests while the label party's
+	// blinding pool has fewer than this many precomputed blindings
+	// buffered — backpressure keyed on the pool's refill rate, so bursts
+	// degrade gracefully instead of queueing behind slow inline
+	// exponentiations. Ignored when no pool is registered for the key.
+	MinPool int
+
+	// SpotCheck enables the AHEAD-style integrity check: one random
+	// request per batch is re-verified against the plaintext forward path
+	// (Predictor.PlainLogits); mismatches are counted in Stats. The check
+	// runs on the batch goroutine after responses are delivered, so it
+	// costs throughput headroom, not request latency.
+	SpotCheck bool
+
+	// SpotSeed seeds the spot-check request picks (0 = fixed default).
+	SpotSeed int64
+}
+
+// Request is one user's inference request: a single feature row per party.
+// XAs[i] is feature party i's 1×inAs[i] slice of the request; XB the label
+// party's 1×inB slice.
+type Request struct {
+	XAs []*tensor.Dense
+	XB  *tensor.Dense
+}
+
+// Response carries the request's logits row (1×out) or an error.
+type Response struct {
+	Logits *tensor.Dense
+	Err    error
+}
+
+// Stats snapshots the server's counters.
+type Stats struct {
+	Served     int64 // requests answered with logits
+	Batches    int64 // protocol batches run
+	Shed       int64 // requests rejected by admission control
+	Failed     int64 // requests answered with a protocol error
+	SpotChecks int64 // integrity re-verifications run
+	Mismatches int64 // integrity re-verifications that disagreed
+}
+
+type pending struct {
+	req  Request
+	resp chan Response
+}
+
+// Server batches concurrent inference requests over one Predictor.
+type Server struct {
+	p   *model.Predictor
+	cfg Config
+
+	reqs chan *pending
+	quit chan struct{}
+	done chan struct{}
+
+	served     atomic.Int64
+	batches    atomic.Int64
+	shed       atomic.Int64
+	failed     atomic.Int64
+	spotChecks atomic.Int64
+	mismatches atomic.Int64
+}
+
+// NewServer starts the batcher over a restored Predictor. Close releases it.
+func NewServer(p *model.Predictor, cfg Config) *Server {
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = p.Lanes()
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = cfg.Lanes
+	}
+	if cfg.FlushInterval <= 0 {
+		cfg.FlushInterval = 2 * time.Millisecond
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxBatch
+	}
+	s := &Server{
+		p: p, cfg: cfg,
+		reqs: make(chan *pending, cfg.MaxQueue),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.batcher()
+	return s
+}
+
+// Predict submits one request and blocks until its response: the closed-loop
+// client call. Safe for arbitrary concurrency; concurrent callers are what
+// fills the packing lanes.
+func (s *Server) Predict(req Request) Response {
+	if err := s.checkReq(req); err != nil {
+		return Response{Err: err}
+	}
+	if s.cfg.MinPool > 0 {
+		if pool := paillier.PoolFor(s.p.LabelPK()); pool != nil && pool.Stats().Available < s.cfg.MinPool {
+			s.shed.Add(1)
+			return Response{Err: ErrOverloaded}
+		}
+	}
+	p := &pending{req: req, resp: make(chan Response, 1)}
+	select {
+	case s.reqs <- p:
+	default:
+		s.shed.Add(1)
+		return Response{Err: ErrOverloaded}
+	}
+	select {
+	case r := <-p.resp:
+		return r
+	case <-s.done:
+		// The batcher drains the queue on shutdown, so a response may still
+		// be in flight; prefer it over the shutdown signal.
+		select {
+		case r := <-p.resp:
+			return r
+		default:
+			return Response{Err: ErrClosed}
+		}
+	}
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Served: s.served.Load(), Batches: s.batches.Load(),
+		Shed: s.shed.Load(), Failed: s.failed.Load(),
+		SpotChecks: s.spotChecks.Load(), Mismatches: s.mismatches.Load(),
+	}
+}
+
+// Close stops the batcher; requests still queued are answered ErrClosed.
+func (s *Server) Close() {
+	close(s.quit)
+	<-s.done
+}
+
+// batcher is the single goroutine that fills lane groups across concurrent
+// requests: it blocks for the first request, then collects up to MaxBatch−1
+// more until FlushInterval elapses, and runs them as one protocol batch.
+func (s *Server) batcher() {
+	defer close(s.done)
+	spotSeed := s.cfg.SpotSeed
+	if spotSeed == 0 {
+		spotSeed = 4242
+	}
+	spotRng := rand.New(rand.NewSource(spotSeed))
+	for {
+		select {
+		case <-s.quit:
+			s.drain()
+			return
+		case first := <-s.reqs:
+			batch := []*pending{first}
+			timer := time.NewTimer(s.cfg.FlushInterval)
+		collect:
+			for len(batch) < s.cfg.MaxBatch {
+				select {
+				case p := <-s.reqs:
+					batch = append(batch, p)
+				case <-timer.C:
+					break collect
+				case <-s.quit:
+					break collect
+				}
+			}
+			timer.Stop()
+			s.runBatch(batch, spotRng)
+		}
+	}
+}
+
+func (s *Server) drain() {
+	for {
+		select {
+		case p := <-s.reqs:
+			p.resp <- Response{Err: ErrClosed}
+		default:
+			return
+		}
+	}
+}
+
+// runBatch stacks the batch's per-party feature rows, runs one federated
+// serve forward, and fans the logits rows back out to the callers.
+func (s *Server) runBatch(batch []*pending, spotRng *rand.Rand) {
+	s.batches.Add(1)
+	k := s.p.K()
+	xAs := make([]*tensor.Dense, k)
+	for i := 0; i < k; i++ {
+		i := i
+		xAs[i] = stackRows(batch, func(p *pending) *tensor.Dense { return p.req.XAs[i] })
+	}
+	xB := stackRows(batch, func(p *pending) *tensor.Dense { return p.req.XB })
+	logits, err := s.p.PredictBatch(xAs, xB)
+	if err != nil {
+		s.failed.Add(int64(len(batch)))
+		for _, p := range batch {
+			p.resp <- Response{Err: err}
+		}
+		return
+	}
+	for j, p := range batch {
+		p.resp <- Response{Logits: logits.RowSlice(j, j+1).Clone()}
+	}
+	s.served.Add(int64(len(batch)))
+	if s.cfg.SpotCheck {
+		s.spotCheckOne(logits, xAs, xB, spotRng)
+	}
+}
+
+// spotCheckOne re-verifies one random request of the batch against the
+// plaintext forward path. The serve protocol is exact, so any deviation —
+// not just a large one — is a mismatch.
+func (s *Server) spotCheckOne(logits *tensor.Dense, xAs []*tensor.Dense, xB *tensor.Dense, rng *rand.Rand) {
+	j := rng.Intn(xB.Rows)
+	rowAs := make([]*tensor.Dense, len(xAs))
+	for i, x := range xAs {
+		rowAs[i] = x.RowSlice(j, j+1)
+	}
+	want, err := s.p.PlainLogits(rowAs, xB.RowSlice(j, j+1))
+	s.spotChecks.Add(1)
+	if err != nil {
+		s.mismatches.Add(1)
+		return
+	}
+	got := logits.RowSlice(j, j+1)
+	for t := range want.Data {
+		if got.Data[t] != want.Data[t] {
+			s.mismatches.Add(1)
+			return
+		}
+	}
+}
+
+// checkReq validates one request's shape against the model before it can
+// join (and poison) a batch.
+func (s *Server) checkReq(req Request) error {
+	inAs := s.p.InAs()
+	if len(req.XAs) != len(inAs) {
+		return fmt.Errorf("serve: request spans %d feature parties, model has %d", len(req.XAs), len(inAs))
+	}
+	for i, x := range req.XAs {
+		if x == nil || x.Rows != 1 || x.Cols != inAs[i] {
+			return fmt.Errorf("serve: feature party %d row must be 1×%d", i, inAs[i])
+		}
+	}
+	if req.XB == nil || req.XB.Rows != 1 || req.XB.Cols != s.p.InB() {
+		return fmt.Errorf("serve: label party row must be 1×%d", s.p.InB())
+	}
+	return nil
+}
+
+// stackRows stacks the batch's 1×w rows into a len(batch)×w matrix.
+func stackRows(batch []*pending, row func(*pending) *tensor.Dense) *tensor.Dense {
+	cols := row(batch[0]).Cols
+	out := tensor.NewDense(len(batch), cols)
+	for j, p := range batch {
+		copy(out.Row(j), row(p).Row(0))
+	}
+	return out
+}

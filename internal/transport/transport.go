@@ -30,6 +30,7 @@ func init() {
 	gob.Register(&tensor.IntMatrix{})
 	gob.Register(&hetensor.CipherMatrix{})
 	gob.Register(&hetensor.PackedMatrix{})
+	gob.Register(&hetensor.BigMatrix{})
 	gob.Register(&paillier.PublicKey{})
 	gob.Register(&paillier.Ciphertext{})
 	gob.Register([]int(nil))
