@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-cpu test-full bench bench-smoke bench-json serve-smoke examples fmt fmt-check vet
+.PHONY: build test test-cpu test-full bench bench-smoke bench-json serve-smoke examples fmt fmt-check vet lint lint-tools
 
 build:
 	$(GO) build ./...
@@ -63,5 +63,34 @@ fmt:
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Vet lane: stock go vet, then the repo's own invariant analyzers
+# (internal/analyzers, driven by cmd/blindfl-vet over the go vet -vettool
+# protocol): bigval, rngstream, teardown, lockguard, floatpure. Suppressions
+# are //blindfl:allow directives only; see docs/INVARIANTS.md.
 vet:
 	$(GO) vet ./...
+	$(GO) build -o bin/blindfl-vet ./cmd/blindfl-vet
+	$(GO) vet -vettool=$(CURDIR)/bin/blindfl-vet ./...
+
+# Pinned external linters. lint-tools installs them (network needed); lint
+# skips any that are absent so offline runs still exercise blindfl-vet.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+# Lint lane: blindfl-vet (always), then staticcheck and govulncheck when
+# installed. CI runs lint-tools first so both always run there.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (make lint-tools)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (make lint-tools)"; \
+	fi

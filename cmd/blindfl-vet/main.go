@@ -1,0 +1,268 @@
+// Command blindfl-vet runs the repo's invariant analyzers (see
+// internal/analyzers) in two modes:
+//
+// Standalone, over package patterns:
+//
+//	blindfl-vet ./...
+//	blindfl-vet -rngstream -teardown ./internal/model/
+//
+// As a go vet tool, speaking the unitchecker protocol the go command uses
+// to drive vet tools (-flags, -V=full, and a vet.cfg unit file per
+// package):
+//
+//	go vet -vettool=$(command -v blindfl-vet) ./...
+//
+// With no analyzer flags every analyzer runs; naming analyzers runs just
+// those. Diagnostics go to stderr as file:line:col: message [analyzer];
+// the exit status is 2 when anything is reported, matching go vet.
+// Suppression is only via //blindfl:allow directives (and suppressing
+// nothing, or lacking a reason, is itself reported).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"blindfl/internal/analyzers"
+	"blindfl/internal/analyzers/allow"
+	"blindfl/internal/analyzers/analysis"
+	"blindfl/internal/analyzers/load"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	suite := analyzers.All()
+
+	vFlag := flag.String("V", "", "print version and exit (go tool protocol)")
+	flagsFlag := flag.Bool("flags", false, "print analyzer flags as JSON and exit (go vet protocol)")
+	enable := map[string]*bool{}
+	for _, a := range suite {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		enable[a.Name] = flag.Bool(a.Name, false, "run only the "+a.Name+" analyzer: "+doc)
+	}
+	flag.Parse()
+
+	switch {
+	case *vFlag != "":
+		// go vet identifies tools by `name version ... buildID=<hex>`; hash
+		// the executable so the ID tracks the binary's content.
+		fmt.Printf("blindfl-vet version devel buildID=%s\n", selfID())
+		return 0
+	case *flagsFlag:
+		return printFlags(suite)
+	}
+
+	// Analyzer selection: explicit flags pick a subset, none means all.
+	enabled := map[string]bool{}
+	any := false
+	for name, on := range enable {
+		if *on {
+			enabled[name] = true
+			any = true
+		}
+	}
+	if !any {
+		for _, a := range suite {
+			enabled[a.Name] = true
+		}
+	}
+
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return runUnit(suite, enabled, args[0])
+	}
+	return runPatterns(suite, enabled, args)
+}
+
+// selfID returns a content hash of the running executable, or a fixed ID
+// when the binary cannot be read (the go command only needs a stable token).
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// printFlags implements the -flags handshake: the go command asks which
+// flags the tool understands before constructing vet command lines.
+func printFlags(suite []*analysis.Analyzer) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range suite {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		out = append(out, jsonFlag{Name: a.Name, Bool: true, Usage: doc})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	os.Stdout.Write(append(data, '\n'))
+	return 0
+}
+
+// vetConfig is the unit file the go command writes for each package
+// (cmd/go/internal/work's vetConfig, fields this tool consumes).
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	SucceedOnTypecheckFailure bool
+	VetxOnly                  bool
+	VetxOutput                string
+}
+
+// runUnit analyzes one package from a go-vet unit file.
+func runUnit(suite []*analysis.Analyzer, enabled map[string]bool, cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "blindfl-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The tool exports no facts, but the go command caches and feeds back
+	// the output file, so it must exist even on the facts-only pass.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	l := load.New()
+	l.Exports = cfg.PackageFile
+	l.ImportMap = cfg.ImportMap
+	files := cfg.GoFiles
+	for i, f := range files {
+		if !strings.HasPrefix(f, "/") && cfg.Dir != "" {
+			files[i] = cfg.Dir + "/" + f
+		}
+	}
+	pkg, err := l.LoadFiles(cfg.ImportPath, files)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		for _, e := range pkg.TypeErrors {
+			fmt.Fprintln(os.Stderr, e)
+		}
+		return 1
+	}
+	n := analyze(suite, enabled, l.Fset, pkg)
+	writeVetx()
+	if n > 0 {
+		return 2
+	}
+	return 0
+}
+
+// runPatterns analyzes packages matched by go list patterns (default ./...).
+func runPatterns(suite []*analysis.Analyzer, enabled map[string]bool, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, exports, err := load.GoList("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	findings := 0
+	for _, t := range targets {
+		l := load.New()
+		l.Exports = exports
+		pkg, err := l.LoadFiles(t.Path(), t.AbsGoFiles())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		if len(pkg.TypeErrors) > 0 {
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintln(os.Stderr, e)
+			}
+			return 1
+		}
+		findings += analyze(suite, enabled, l.Fset, pkg)
+	}
+	if findings > 0 {
+		return 2
+	}
+	return 0
+}
+
+// analyze runs the enabled analyzers over one loaded package with
+// //blindfl:allow filtering, printing diagnostics; returns the count.
+func analyze(suite []*analysis.Analyzer, enabled map[string]bool, fset *token.FileSet, pkg *load.Package) int {
+	ix := allow.NewIndex(fset, pkg.Files)
+	count := 0
+	report := func(name string) func(analysis.Diagnostic) {
+		return func(d analysis.Diagnostic) {
+			count++
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, name)
+		}
+	}
+	for _, a := range suite {
+		if !enabled[a.Name] {
+			continue
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Report:    report(a.Name),
+		}
+		allow.Filter(pass, ix)
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "blindfl-vet: %s: %v\n", a.Name, err)
+			count++
+		}
+	}
+	for _, p := range ix.Problems(enabled) {
+		count++
+		fmt.Fprintf(os.Stderr, "%s: %s [allow]\n", fset.Position(p.Pos), p.Message)
+	}
+	return count
+}

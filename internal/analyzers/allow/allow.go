@@ -1,0 +1,158 @@
+// Package allow parses //blindfl:allow suppression directives — the audited
+// escape hatch for the blindfl-vet analyzers.
+//
+// A directive has the form
+//
+//	//blindfl:allow <analyzer> <reason>
+//
+// and suppresses diagnostics of the named analyzer on the directive's own
+// line, or — when the directive stands on a line of its own — on the first
+// following line that carries code. The reason is mandatory: an exception
+// without a recorded justification defeats the point of making exceptions
+// auditable, so a reasonless directive is itself reported as a finding, as
+// is a directive that no longer suppresses anything (stale exceptions rot
+// into folklore).
+package allow
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"blindfl/internal/analyzers/analysis"
+)
+
+// Prefix is the directive comment prefix (no space after //, like
+// //go:build — gofmt preserves directive comments verbatim).
+const Prefix = "//blindfl:allow"
+
+// Directive is one parsed //blindfl:allow comment.
+type Directive struct {
+	Analyzer string    // analyzer name the exception applies to
+	Reason   string    // mandatory justification
+	Pos      token.Pos // position of the directive comment
+	File     string    // file the directive appears in
+	Line     int       // line the directive suppresses (its own, or the next code line)
+	used     bool
+}
+
+// Problem is a malformed directive (missing analyzer name or reason).
+type Problem struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Index holds every directive of one package, keyed for suppression lookup.
+type Index struct {
+	fset       *token.FileSet
+	directives []*Directive
+	byKey      map[string][]*Directive // "file:line:analyzer"
+	problems   []Problem
+}
+
+// NewIndex scans the files' comments for directives.
+func NewIndex(fset *token.FileSet, files []*ast.File) *Index {
+	ix := &Index{fset: fset, byKey: map[string][]*Directive{}}
+	for _, f := range files {
+		tf := fset.File(f.Pos())
+		if tf == nil {
+			continue
+		}
+		// Lines holding code: a directive on its own line suppresses the
+		// next such line (the annotated statement below it).
+		codeLines := map[int]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if _, isComment := n.(*ast.Comment); isComment {
+				return false
+			}
+			if _, isGroup := n.(*ast.CommentGroup); isGroup {
+				return false
+			}
+			codeLines[fset.Position(n.Pos()).Line] = true
+			return true
+		})
+		maxLine := tf.LineCount()
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, Prefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, Prefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				pos := fset.Position(c.Pos())
+				if name == "" || reason == "" {
+					ix.problems = append(ix.problems, Problem{
+						Pos:     c.Pos(),
+						Message: "malformed " + Prefix + " directive: want \"" + Prefix + " <analyzer> <reason>\"",
+					})
+					continue
+				}
+				d := &Directive{
+					Analyzer: name, Reason: reason, Pos: c.Pos(),
+					File: pos.Filename, Line: pos.Line,
+				}
+				if !codeLines[pos.Line] {
+					// Own-line directive: attach to the next code line.
+					for l := pos.Line + 1; l <= maxLine; l++ {
+						if codeLines[l] {
+							d.Line = l
+							break
+						}
+					}
+				}
+				ix.directives = append(ix.directives, d)
+				key := d.File + ":" + strconv.Itoa(d.Line) + ":" + d.Analyzer
+				ix.byKey[key] = append(ix.byKey[key], d)
+			}
+		}
+	}
+	return ix
+}
+
+// Allowed reports whether a diagnostic of the named analyzer at pos is
+// suppressed, marking the matching directive as used.
+func (ix *Index) Allowed(pos token.Pos, analyzer string) bool {
+	p := ix.fset.Position(pos)
+	ds := ix.byKey[p.Filename+":"+strconv.Itoa(p.Line)+":"+analyzer]
+	if len(ds) == 0 {
+		return false
+	}
+	for _, d := range ds {
+		d.used = true
+	}
+	return true
+}
+
+// Problems returns malformed directives plus, for each analyzer name in
+// enabled, directives that suppressed nothing — every recorded exception
+// must still be earning its keep.
+func (ix *Index) Problems(enabled map[string]bool) []Problem {
+	out := append([]Problem(nil), ix.problems...)
+	for _, d := range ix.directives {
+		if !d.used && enabled[d.Analyzer] {
+			out = append(out, Problem{
+				Pos:     d.Pos,
+				Message: "unused " + Prefix + " " + d.Analyzer + " directive (nothing to suppress here; delete it)",
+			})
+		}
+	}
+	return out
+}
+
+// Filter wraps pass.Report so directives suppress diagnostics before they
+// reach the driver's sink. Call before pass.Analyzer.Run.
+func Filter(pass *analysis.Pass, ix *Index) {
+	name := pass.Analyzer.Name
+	inner := pass.Report
+	pass.Report = func(d analysis.Diagnostic) {
+		if ix.Allowed(d.Pos, name) {
+			return
+		}
+		inner(d)
+	}
+}

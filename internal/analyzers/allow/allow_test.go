@@ -1,0 +1,95 @@
+package allow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const src = `package p
+
+func f() int {
+	x := 1 //blindfl:allow bigval keeps the legacy layout
+	//blindfl:allow rngstream own-line directive covers the next code line
+	y := 2
+	z := 3 //blindfl:allow floatpure
+	_ = z
+	return x + y
+}
+`
+
+func parse(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// lineStart returns a position on the given 1-based line of the file.
+func lineStart(fset *token.FileSet, f *ast.File, line int) token.Pos {
+	return fset.File(f.Pos()).LineStart(line)
+}
+
+func TestSameLineDirective(t *testing.T) {
+	fset, f := parse(t)
+	ix := NewIndex(fset, []*ast.File{f})
+	if !ix.Allowed(lineStart(fset, f, 4), "bigval") {
+		t.Error("same-line directive did not suppress bigval on line 4")
+	}
+	if ix.Allowed(lineStart(fset, f, 4), "rngstream") {
+		t.Error("bigval directive suppressed a different analyzer")
+	}
+	if ix.Allowed(lineStart(fset, f, 9), "bigval") {
+		t.Error("directive suppressed an unrelated line")
+	}
+}
+
+func TestOwnLineDirectiveCoversNextCodeLine(t *testing.T) {
+	fset, f := parse(t)
+	ix := NewIndex(fset, []*ast.File{f})
+	if !ix.Allowed(lineStart(fset, f, 6), "rngstream") {
+		t.Error("own-line directive did not cover the following code line")
+	}
+	if ix.Allowed(lineStart(fset, f, 5), "rngstream") {
+		t.Error("own-line directive suppressed its own (code-free) line")
+	}
+}
+
+func TestProblems(t *testing.T) {
+	fset, f := parse(t)
+	ix := NewIndex(fset, []*ast.File{f})
+	// Use only the bigval directive; leave rngstream's unused.
+	ix.Allowed(lineStart(fset, f, 4), "bigval")
+	probs := ix.Problems(map[string]bool{"bigval": true, "rngstream": true})
+	var malformed, unused int
+	for _, p := range probs {
+		switch {
+		case strings.Contains(p.Message, "malformed"):
+			malformed++
+		case strings.Contains(p.Message, "unused"):
+			unused++
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("got %d malformed-directive problems, want 1 (the reasonless floatpure directive)", malformed)
+	}
+	if unused != 1 {
+		t.Errorf("got %d unused-directive problems, want 1 (the unused rngstream directive)", unused)
+	}
+}
+
+func TestUnusedIgnoredForDisabledAnalyzer(t *testing.T) {
+	fset, f := parse(t)
+	ix := NewIndex(fset, []*ast.File{f})
+	probs := ix.Problems(map[string]bool{"bigval": true})
+	for _, p := range probs {
+		if strings.Contains(p.Message, "rngstream") {
+			t.Errorf("rngstream directive reported unused while rngstream is disabled: %s", p.Message)
+		}
+	}
+}

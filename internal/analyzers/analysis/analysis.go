@@ -1,0 +1,80 @@
+// Package analysis is a minimal, API-compatible subset of
+// golang.org/x/tools/go/analysis, vendored as a local shim so the repo's
+// custom analyzers build in offline environments where the x/tools module
+// is unavailable. Analyzers written against this package use the same
+// Analyzer/Pass/Diagnostic shapes as the upstream framework, so they can be
+// moved onto golang.org/x/tools/go/analysis (and its multichecker or
+// unitchecker drivers) without source changes beyond the import path.
+//
+// Only the surface the blindfl-vet suite needs is provided: no Facts, no
+// Requires-based dependency scheduling, no SuggestedFixes. Drivers (the
+// cmd/blindfl-vet multichecker and internal/analyzers/analysistest) build a
+// Pass per package and invoke Run directly.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name, documentation, and a Run function
+// executed once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, command-line toggles and
+	// //blindfl:allow directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank line,
+	// then details.
+	Doc string
+
+	// Run applies the analyzer to a package. It may return a result (unused
+	// by the blindfl-vet drivers) and an error for abnormal failures;
+	// findings are delivered through Pass.Report, not the error.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer run with a single type-checked package and a
+// sink for its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one finding. Drivers install a function that applies
+	// //blindfl:allow suppression before recording or printing.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the static type of e, or nil when the type checker recorded
+// none (e.g. after an upstream type error).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if t, ok := p.TypesInfo.Types[e]; ok {
+		return t.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.TypesInfo.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+// Package analysistest runs blindfl-vet analyzers over testdata fixture
+// packages and checks reported diagnostics against // want annotations, in
+// the style of golang.org/x/tools/go/analysis/analysistest (which this repo
+// cannot depend on):
+//
+//	rand.New(rand.NewSource(seed + 1)) // want `derived arithmetically`
+//
+// Each backquoted string after "want" is a regexp that must match one
+// diagnostic on that line; lines without annotations must stay silent.
+// Fixtures live in testdata/src/<pkg> and are loaded GOPATH-style, with
+// real standard-library imports satisfied from export data. //blindfl:allow
+// directives are honored, so fixtures can also exercise suppression.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"blindfl/internal/analyzers/allow"
+	"blindfl/internal/analyzers/analysis"
+	"blindfl/internal/analyzers/load"
+)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("//[ \t]*want((?:[ \t]+`[^`]*`)+)")
+var wantArgRe = regexp.MustCompile("`([^`]*)`")
+
+// Run loads each fixture package from testdata/src/<pkg>, runs the analyzer
+// and compares diagnostics with the fixtures' // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	srcRoot := filepath.Join(testdata, "src")
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, srcRoot, a, pkg)
+		})
+	}
+}
+
+func runOne(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgPath string) {
+	t.Helper()
+	l := load.New()
+	l.SrcRoot = srcRoot
+
+	dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
+	files, err := l.ParseDir(dir)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", pkgPath, err)
+	}
+
+	// Satisfy standard-library imports from export data; fixture-local
+	// imports resolve through SrcRoot.
+	var std []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if dirExists(filepath.Join(srcRoot, filepath.FromSlash(path))) {
+				continue
+			}
+			std = append(std, path)
+		}
+	}
+	exports, err := load.StdlibExports(std)
+	if err != nil {
+		t.Fatalf("resolving stdlib exports %v: %v", std, err)
+	}
+	l.Exports = exports
+
+	pkg, info, errs := l.Check(pkgPath, files)
+	for _, e := range errs {
+		t.Errorf("fixture %s does not type-check: %v", pkgPath, e)
+	}
+	if t.Failed() {
+		return
+	}
+
+	wants := collectWants(t, l, files)
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      l.Fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	allow.Filter(pass, allow.NewIndex(l.Fset, files))
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	for _, d := range got {
+		p := l.Fset.Position(d.Pos)
+		if w := matchWant(wants, p.Filename, p.Line, d.Message); w == nil {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(p.Filename), p.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+// collectWants parses // want annotations from the fixtures' comments.
+func collectWants(t *testing.T, l *load.Loader, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				res, err := parseWantComment(c.Text)
+				if err != nil {
+					p := l.Fset.Position(c.Pos())
+					t.Fatalf("%s:%d: %v", filepath.Base(p.Filename), p.Line, err)
+				}
+				for _, re := range res {
+					p := l.Fset.Position(c.Pos())
+					wants = append(wants, &want{file: p.Filename, line: p.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func dirExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+// matchWant finds the first unmatched want on (file, line) whose regexp
+// matches msg, marking it matched.
+func matchWant(wants []*want, file string, line int, msg string) *want {
+	for _, w := range wants {
+		if w.matched || w.line != line || w.file != file {
+			continue
+		}
+		if w.re.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}
+
+// parseWantComment extracts the regexps from one comment's text.
+func parseWantComment(text string) ([]*regexp.Regexp, error) {
+	m := wantRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, nil
+	}
+	var res []*regexp.Regexp
+	for _, arg := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+		re, err := regexp.Compile(arg[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", arg[1], err)
+		}
+		res = append(res, re)
+	}
+	return res, nil
+}

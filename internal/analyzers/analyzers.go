@@ -1,0 +1,105 @@
+// Package analyzers is the blindfl-vet suite: five static checkers encoding
+// the invariants this repo has already shipped — and fixed — violations of.
+// Each analyzer targets a mechanically recognizable bug class from the
+// project's own history:
+//
+//	bigval    — big.Int/paillier.Ciphertext copied by value, and mutation of
+//	            shared read-only dot-table cache results (PR 4 discipline)
+//	rngstream — RNG seeds derived arithmetically from other seeds instead of
+//	            through the SplitMix64 derivation (the PR 5 mask-stream
+//	            aliasing bug class)
+//	teardown  — transport conns closed outside the approved lifecycle
+//	            helpers, and goroutines that discard Send/Recv errors (the
+//	            PR 2 double-close/hang bug class)
+//	lockguard — access to "guarded by mu" fields without the lock held
+//	floatpure — floating-point arithmetic inside the exact-integer zones
+//	            (paillier, fixedpoint cores, the integer serve kernels)
+//
+// Suppression is only via the audited //blindfl:allow directive
+// (internal/analyzers/allow); see docs/INVARIANTS.md for the catalogue.
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"blindfl/internal/analyzers/analysis"
+)
+
+// All returns the full suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{Bigval, Rngstream, Teardown, Lockguard, Floatpure}
+}
+
+// isTestFile reports whether the file sits in a _test.go file. Several
+// analyzers confine themselves to non-test code: tests legitimately own
+// conn lifecycles, probe locked structs single-threadedly, and compare
+// against float references.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// namedType unwraps aliases and reports the defining package path and name
+// of a named type, or ("", "") for unnamed types.
+func namedType(t types.Type) (pkgPath, name string) {
+	if t == nil {
+		return "", ""
+	}
+	n, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// fromPackage reports whether pkgPath names the given package: an exact
+// match, or any import path whose last segment matches (so the analyzers
+// recognize both blindfl/internal/transport and the analysistest fixture
+// package "transport").
+func fromPackage(pkgPath, pkg string) bool {
+	return pkgPath == pkg || strings.HasSuffix(pkgPath, "/"+pkg)
+}
+
+// isNamed reports whether t is the named type pkg.name (package matched by
+// last path segment, see fromPackage).
+func isNamed(t types.Type, pkg, name string) bool {
+	p, n := namedType(t)
+	return n == name && fromPackage(p, pkg)
+}
+
+// deref peels one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// enclosingFuncs maps every node position range to its nearest enclosing
+// named function declaration. funcFor walks the stack the analyzers build
+// while inspecting; kept simple: analyzers that need the enclosing FuncDecl
+// walk per-declaration instead of per-file.
+
+// calleeName returns the bare selector or identifier name a call invokes
+// ("Close" for x.Close(), "cachedTables" for cachedTables(...)), or "".
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isConv reports whether call is a type conversion rather than a function
+// or method call.
+func isConv(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	return ok && tv.IsType()
+}

@@ -1,0 +1,155 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"blindfl/internal/analyzers/analysis"
+)
+
+// Floatpure flags floating-point arithmetic inside the exact-integer zones:
+// the paillier and fixedpoint packages, and hetensor's integer serve
+// kernels. Everything between fixed-point encode and decode must be exact
+// integer math — a stray float operation silently reintroduces rounding
+// that the HE pipeline cannot detect, and the PR 6 serve path's
+// correctness argument (bit-identical client/server results) rests on the
+// kernels never touching floats. The codec boundary itself is allowlisted:
+// functions whose names start with Encode, Decode, Pack or Unpack are where
+// floats legitimately enter and leave the integer domain.
+var Floatpure = &analysis.Analyzer{
+	Name: "floatpure",
+	Doc: "flags float arithmetic inside the exact-integer zones (paillier, fixedpoint, serve kernels)\n\n" +
+		"Exact-arithmetic packages must not compute on floats outside the Encode/Decode/Pack/Unpack " +
+		"codec boundaries; a stray float op silently reintroduces rounding into the HE pipeline.",
+	Run: runFloatpure,
+}
+
+// floatZonePackages are exact-integer packages checked in full (matched by
+// import-path last segment).
+var floatZonePackages = []string{"paillier", "fixedpoint"}
+
+// floatZoneFiles names per-file zones inside otherwise float-friendly
+// packages: package last segment → file basename.
+var floatZoneFiles = map[string]string{
+	"hetensor": "serve.go",
+}
+
+// codecPrefixes are function-name prefixes allowed to do float math: the
+// encode/decode boundary where values cross into and out of the integer
+// domain.
+var codecPrefixes = []string{"Encode", "Decode", "Pack", "Unpack", "encode", "decode", "pack", "unpack"}
+
+func runFloatpure(pass *analysis.Pass) (interface{}, error) {
+	pkgZone := false
+	for _, p := range floatZonePackages {
+		if fromPackage(pass.Pkg.Path(), p) {
+			pkgZone = true
+			break
+		}
+	}
+	var zoneFile string
+	if !pkgZone {
+		for p, base := range floatZoneFiles {
+			if fromPackage(pass.Pkg.Path(), p) {
+				zoneFile = base
+				break
+			}
+		}
+		if zoneFile == "" {
+			return nil, nil
+		}
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		if zoneFile != "" && filepath.Base(pass.Fset.Position(f.Pos()).Filename) != zoneFile {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isCodecFunc(fd.Name.Name) {
+				continue
+			}
+			checkFloatOps(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// isCodecFunc reports whether name marks an allowlisted codec boundary.
+func isCodecFunc(name string) bool {
+	for _, p := range codecPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFloatOps flags float arithmetic inside one function body. Nested
+// function literals inherit the enclosing function's zone status.
+func checkFloatOps(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if !arithOp(n.Op) {
+				return true
+			}
+			if isFloat(pass.TypeOf(n.X)) || isFloat(pass.TypeOf(n.Y)) {
+				pass.Reportf(n.OpPos, "float arithmetic in an exact-integer zone; keep the computation "+
+					"in integers (or move it behind an Encode/Decode codec boundary)")
+			}
+		case *ast.AssignStmt:
+			if !arithAssignOp(n.Tok) {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				if isFloat(pass.TypeOf(lhs)) {
+					pass.Reportf(n.TokPos, "float arithmetic in an exact-integer zone; keep the computation "+
+						"in integers (or move it behind an Encode/Decode codec boundary)")
+					break
+				}
+			}
+		case *ast.IncDecStmt:
+			if isFloat(pass.TypeOf(n.X)) {
+				pass.Reportf(n.TokPos, "float arithmetic in an exact-integer zone; keep the computation "+
+					"in integers (or move it behind an Encode/Decode codec boundary)")
+			}
+		}
+		return true
+	})
+}
+
+// arithOp reports whether op computes a new value (comparisons are fine:
+// tolerance checks against thresholds don't perturb the data path).
+func arithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM:
+		return true
+	}
+	return false
+}
+
+func arithAssignOp(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN, token.REM_ASSIGN:
+		return true
+	}
+	return false
+}
+
+// isFloat reports whether t is a floating-point or complex basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,279 @@
+// Package load type-checks Go packages for the blindfl-vet analyzers without
+// golang.org/x/tools: dependencies are imported from compiler export data
+// (the same .a/.x files the go command hands to vet tools, or the build-cache
+// files `go list -export` reports), with an optional GOPATH-style source-tree
+// fallback used by the analysistest fixtures. Only the package under
+// analysis is parsed; everything below it loads through export data, so a
+// load costs one parse + one type-check like a real unitchecker run.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package, ready for analyzer passes.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	// TypeErrors collects every type-checker error. Analysis proceeds on the
+	// partial information go/types still provides; drivers decide whether the
+	// errors themselves are fatal.
+	TypeErrors []error
+}
+
+// Loader resolves imports and type-checks packages. The zero value is not
+// usable; construct with New.
+type Loader struct {
+	Fset *token.FileSet
+
+	// Exports maps canonical import paths to files containing gc export
+	// data (vet.cfg PackageFile entries or `go list -export` output).
+	Exports map[string]string
+
+	// ImportMap maps import paths as written in source to canonical package
+	// paths (vet.cfg ImportMap). Paths absent from the map are their own
+	// canonical path.
+	ImportMap map[string]string
+
+	// SrcRoot, when non-empty, is a GOPATH-style source root (a testdata/src
+	// directory): an import path with no export data resolves to
+	// SrcRoot/<path> and is parsed and type-checked from source.
+	SrcRoot string
+
+	gc      types.ImporterFrom
+	srcPkgs map[string]*types.Package
+	loading map[string]bool
+}
+
+// New returns an empty Loader sharing one FileSet across everything it
+// parses.
+func New() *Loader {
+	return &Loader{
+		Fset:      token.NewFileSet(),
+		Exports:   map[string]string{},
+		ImportMap: map[string]string{},
+		srcPkgs:   map[string]*types.Package{},
+		loading:   map[string]bool{},
+	}
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, "", 0)
+}
+
+// ImportFrom implements types.ImporterFrom: export data first, then the
+// source-root fallback.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if c, ok := l.ImportMap[path]; ok {
+		path = c
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.Exports[path]; ok {
+		if l.gc == nil {
+			l.gc = importer.ForCompiler(l.Fset, "gc", func(p string) (io.ReadCloser, error) {
+				f, ok := l.Exports[p]
+				if !ok {
+					return nil, fmt.Errorf("load: no export data for %q", p)
+				}
+				return os.Open(f)
+			}).(types.ImporterFrom)
+		}
+		return l.gc.ImportFrom(path, dir, mode)
+	}
+	if l.SrcRoot != "" {
+		if d := filepath.Join(l.SrcRoot, filepath.FromSlash(path)); isDir(d) {
+			return l.loadSource(path, d)
+		}
+	}
+	return nil, fmt.Errorf("load: cannot resolve import %q (no export data, no source)", path)
+}
+
+func isDir(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && st.IsDir()
+}
+
+// loadSource parses and type-checks SrcRoot package path from dir,
+// memoizing the result so diamond imports share one types.Package.
+func (l *Loader) loadSource(path, dir string) (*types.Package, error) {
+	if pkg, ok := l.srcPkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.ParseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, _, errs := l.Check(path, files)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("load: type-checking %q: %v", path, errs[0])
+	}
+	l.srcPkgs[path] = pkg
+	return pkg, nil
+}
+
+// ParseDir parses every non-test .go file in dir with comments.
+func (l *Loader) ParseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") {
+			continue
+		}
+		names = append(names, filepath.Join(dir, n))
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	return l.ParseFiles(names)
+}
+
+// ParseFiles parses the named files with comments.
+func (l *Loader) ParseFiles(names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, n, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// Check type-checks files as package path, collecting rather than aborting
+// on type errors so analyzers can run over partially broken packages.
+func (l *Loader) Check(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, _ := conf.Check(path, l.Fset, files, info)
+	return pkg, info, errs
+}
+
+// LoadFiles parses and type-checks the named files as one package.
+func (l *Loader) LoadFiles(path string, names []string) (*Package, error) {
+	files, err := l.ParseFiles(names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, errs := l.Check(path, files)
+	return &Package{Path: path, Files: files, Types: pkg, Info: info, TypeErrors: errs}, nil
+}
+
+// ListedPackage is the subset of `go list -json` output the loader consumes.
+type ListedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+}
+
+// GoList enumerates patterns via `go list -deps -export -json`, returning
+// the matched target packages and the export-data map covering their whole
+// dependency closure. dir is the working directory for the go invocation
+// ("" = current).
+func GoList(dir string, patterns ...string) (targets []*ListedPackage, exports map[string]string, err error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,DepOnly",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list: %v: %s", err, stderr.String())
+	}
+	exports = map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p ListedPackage
+		if derr := dec.Decode(&p); derr != nil {
+			if derr == io.EOF {
+				break
+			}
+			return nil, nil, fmt.Errorf("go list: decoding output: %v", derr)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	return targets, exports, nil
+}
+
+// AbsGoFiles returns the package's Go files as absolute paths.
+func (p *ListedPackage) AbsGoFiles() []string {
+	out := make([]string, len(p.GoFiles))
+	for i, n := range p.GoFiles {
+		if filepath.IsAbs(n) {
+			out[i] = n
+		} else {
+			out[i] = filepath.Join(p.Dir, n)
+		}
+	}
+	return out
+}
+
+// Path returns the package's import path.
+func (p *ListedPackage) Path() string { return p.ImportPath }
+
+// StdlibExports resolves export-data files for the given import paths (and
+// their dependency closure) via `go list -deps -export`. The analysistest
+// harness uses it to satisfy fixture imports of real standard-library
+// packages.
+func StdlibExports(paths []string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	_, exports, err := GoList("", paths...)
+	if err != nil {
+		return nil, err
+	}
+	return exports, nil
+}

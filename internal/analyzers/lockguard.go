@@ -1,0 +1,299 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"blindfl/internal/analyzers/analysis"
+)
+
+// Lockguard enforces "// guarded by mu" doc comments: every same-package
+// access to a field declared guarded must happen with the named mutex held.
+// The check is lexical — within one function body, an access is considered
+// protected when a <root>.mu.Lock() precedes it with no intervening
+// non-deferred <root>.mu.Unlock() (a deferred Unlock holds until return).
+// Functions whose names end in "Locked" follow the repo convention of being
+// called with the lock already held and are exempt.
+//
+// Two comment shapes declare a guard:
+//
+//	// All fields are guarded by mu.        (var doc — every field guarded)
+//	var tableCache struct { mu sync.Mutex; ... }
+//
+//	type cache struct {
+//		mu      sync.Mutex
+//		entries map[K]V // guarded by mu    (field comment — that field only)
+//	}
+var Lockguard = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc: "flags access to \"guarded by mu\" fields without the mutex lexically held\n\n" +
+		"Fields documented as guarded by a mutex must only be touched between Lock and Unlock " +
+		"on the same root expression (deferred Unlock counts as held-to-return); " +
+		"functions named *Locked are assumed to run under the lock.",
+	Run: runLockguard,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// varGuard guards every field of one package-level struct var.
+type varGuard struct {
+	obj   types.Object // the guarded var
+	mutex string       // mutex field name within it
+}
+
+// fieldGuard guards one field of one named struct type.
+type fieldGuard struct {
+	named *types.TypeName // defining type
+	field string          // guarded field
+	mutex string          // mutex field name on the same struct
+}
+
+func runLockguard(pass *analysis.Pass) (interface{}, error) {
+	var vars []varGuard
+	var fields []fieldGuard
+	for _, f := range pass.Files {
+		collectGuards(pass, f, &vars, &fields)
+	}
+	if len(vars) == 0 && len(fields) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			checkGuardedBody(pass, fd.Body, vars, fields)
+		}
+	}
+	return nil, nil
+}
+
+// collectGuards harvests guard declarations from var docs and struct field
+// comments. A captured mutex name only counts when the struct really has a
+// field of that name, so prose like "guarded by a gcd check" cannot match.
+func collectGuards(pass *analysis.Pass, f *ast.File, vars *[]varGuard, fields *[]fieldGuard) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				mu := guardName(n.Doc, vs.Doc, vs.Comment)
+				if mu == "" {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.TypesInfo.ObjectOf(name)
+					if obj != nil && structHasField(obj.Type(), mu) {
+						*vars = append(*vars, varGuard{obj: obj, mutex: mu})
+					}
+				}
+			}
+		case *ast.TypeSpec:
+			st, ok := n.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			tn, _ := pass.TypesInfo.ObjectOf(n.Name).(*types.TypeName)
+			if tn == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardName(field.Doc, field.Comment)
+				if mu == "" || !structHasField(tn.Type(), mu) {
+					continue
+				}
+				for _, name := range field.Names {
+					if name.Name == mu {
+						continue
+					}
+					*fields = append(*fields, fieldGuard{named: tn, field: name.Name, mutex: mu})
+				}
+			}
+		}
+		return true
+	})
+}
+
+// guardName extracts the mutex name from the first comment group matching
+// the "guarded by <name>" convention.
+func guardName(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(g.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// structHasField reports whether t's underlying struct has a field named
+// name (the candidate mutex).
+func structHasField(t types.Type, name string) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// lockEvent is one Lock/Unlock call or one guarded access, ordered by
+// position for the lexical held-lock scan.
+type lockEvent struct {
+	pos      token.Pos
+	kind     int    // 0 lock, 1 unlock, 2 deferred unlock, 3 access
+	root     string // rendering of the expression owning the mutex
+	mutex    string
+	what     string // for accesses: diagnostic detail
+	analyzer string
+}
+
+// checkGuardedBody runs the lexical lock-state scan over one function body.
+func checkGuardedBody(pass *analysis.Pass, body *ast.BlockStmt, vars []varGuard, fields []fieldGuard) {
+	var events []lockEvent
+	record := func(e lockEvent) { events = append(events, e) }
+
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				walk(n.Call, true)
+				return false
+			case *ast.CallExpr:
+				if root, mu, kind, ok := lockCall(n, deferred); ok {
+					record(lockEvent{pos: n.Pos(), kind: kind, root: root, mutex: mu})
+					return true
+				}
+			case *ast.SelectorExpr:
+				classifyAccess(pass, n, vars, fields, record)
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	held := map[string]bool{} // "root.mutex" → held
+	for _, e := range events {
+		key := e.root + "." + e.mutex
+		switch e.kind {
+		case 0:
+			held[key] = true
+		case 1:
+			held[key] = false
+		case 2:
+			// deferred Unlock releases at return, not here
+		case 3:
+			if !held[key] {
+				pass.Reportf(e.pos, "%s is accessed without %s held (declared \"guarded by %s\"); "+
+					"hold the lock or move the access into a *Locked helper", e.what, key, e.mutex)
+			}
+		}
+	}
+}
+
+// lockCall decodes <root>.<mu>.Lock() / Unlock() calls; kind is 0 for Lock,
+// 1 for Unlock, 2 for a deferred Unlock.
+func lockCall(call *ast.CallExpr, deferred bool) (root, mutex string, kind int, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = 0
+	case "Unlock", "RUnlock":
+		kind = 1
+		if deferred {
+			kind = 2
+		}
+	default:
+		return "", "", 0, false
+	}
+	muSel, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel {
+		// Bare mu.Lock(): mutex is a plain var; root is empty.
+		if id, isID := sel.X.(*ast.Ident); isID {
+			return "", id.Name, kind, true
+		}
+		return "", "", 0, false
+	}
+	return exprString(muSel.X), muSel.Sel.Name, kind, true
+}
+
+// classifyAccess records sel as a guarded access when it reaches a guarded
+// field (by var identity or by struct type+field name).
+func classifyAccess(pass *analysis.Pass, sel *ast.SelectorExpr, vars []varGuard, fields []fieldGuard, record func(lockEvent)) {
+	fieldName := sel.Sel.Name
+	// Var-level guards: tableCache.<anything but the mutex itself>.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			for _, g := range vars {
+				if g.obj == obj && fieldName != g.mutex {
+					record(lockEvent{
+						pos: sel.Pos(), kind: 3, root: exprString(sel.X), mutex: g.mutex,
+						what: exprString(sel.X) + "." + fieldName,
+					})
+					return
+				}
+			}
+		}
+	}
+	// Field-level guards: x.field where x's type declares field guarded.
+	selInfo, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selInfo.Kind() != types.FieldVal {
+		return
+	}
+	recv, ok := types.Unalias(deref(selInfo.Recv())).(*types.Named)
+	if !ok {
+		return
+	}
+	for _, g := range fields {
+		if g.field == fieldName && recv.Obj() == g.named {
+			record(lockEvent{
+				pos: sel.Pos(), kind: 3, root: exprString(sel.X), mutex: g.mutex,
+				what: exprString(sel.X) + "." + fieldName,
+			})
+			return
+		}
+	}
+}
+
+// exprString renders simple ident/selector/star/index chains for lock-state
+// keying; unrenderable expressions collapse to "?" (never matching a Lock).
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.StarExpr:
+		return exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[]"
+	}
+	return "?"
+}

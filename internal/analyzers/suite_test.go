@@ -1,0 +1,28 @@
+package analyzers_test
+
+import (
+	"testing"
+
+	"blindfl/internal/analyzers"
+	"blindfl/internal/analyzers/analysistest"
+)
+
+func TestBigval(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Bigval, "bigval")
+}
+
+func TestRngstream(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Rngstream, "rngstream")
+}
+
+func TestTeardown(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Teardown, "teardown")
+}
+
+func TestLockguard(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Lockguard, "lockguard")
+}
+
+func TestFloatpure(t *testing.T) {
+	analysistest.Run(t, "testdata", analyzers.Floatpure, "fixedpoint", "hetensor")
+}

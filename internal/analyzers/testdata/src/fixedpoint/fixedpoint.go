@@ -1,0 +1,32 @@
+// Package fixedpoint exercises the floatpure analyzer: this package name
+// puts every function outside the Encode/Decode codec boundary in the
+// exact-integer zone.
+package fixedpoint
+
+// Encode is a codec boundary: floats legitimately enter here.
+func Encode(x float64, scale int64) int64 {
+	return int64(x * float64(scale))
+}
+
+// Decode is a codec boundary: floats legitimately leave here.
+func Decode(v, scale int64) float64 {
+	return float64(v) / float64(scale)
+}
+
+// meanScaled is inside the zone: its float math is the bug class.
+func meanScaled(vs []int64, scale int64) float64 {
+	s := 0.0
+	for _, v := range vs {
+		s += float64(v) // want `float arithmetic in an exact-integer zone`
+	}
+	return s / float64(scale*int64(len(vs))) // want `float arithmetic in an exact-integer zone`
+}
+
+// sum stays in integers: fine.
+func sum(vs []int64) int64 {
+	var s int64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}

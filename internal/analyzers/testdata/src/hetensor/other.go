@@ -1,0 +1,10 @@
+package hetensor
+
+// Metrics lives outside the serve.go zone: float math is fine here.
+func Metrics(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

@@ -1,0 +1,7 @@
+// Package hetensor exercises floatpure's per-file zone: only serve.go is
+// exact-integer territory.
+package hetensor
+
+func kernelScale(acc int64, f float64) float64 {
+	return float64(acc) * f // want `float arithmetic in an exact-integer zone`
+}

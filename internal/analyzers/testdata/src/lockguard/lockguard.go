@@ -1,0 +1,55 @@
+// Package lockguard exercises the lockguard analyzer on both guard shapes:
+// a var-level "All fields are guarded by mu" doc and per-field comments.
+package lockguard
+
+import "sync"
+
+// stats mirrors hetensor's table-cache shape.
+// All fields are guarded by mu.
+var stats struct {
+	mu   sync.Mutex
+	hits int64
+}
+
+func recordHit() {
+	stats.mu.Lock()
+	stats.hits++
+	stats.mu.Unlock()
+}
+
+func peek() int64 {
+	return stats.hits // want `without stats.mu held`
+}
+
+func deferred() int64 {
+	stats.mu.Lock()
+	defer stats.mu.Unlock()
+	return stats.hits
+}
+
+type box struct {
+	mu sync.Mutex
+	v  int // guarded by mu
+}
+
+func (b *box) get() int {
+	return b.v // want `without b.mu held`
+}
+
+func (b *box) getSafe() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.v
+}
+
+// vLocked follows the *Locked convention: callers hold the lock.
+func (b *box) vLocked() int {
+	return b.v
+}
+
+func (b *box) bump() {
+	b.mu.Lock()
+	b.v++
+	b.mu.Unlock()
+	b.v = 0 // want `without b.mu held`
+}

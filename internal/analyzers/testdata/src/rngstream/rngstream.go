@@ -1,0 +1,43 @@
+// Package rngstream exercises the rngstream analyzer, including a
+// reconstruction of the PR 5 session-seed aliasing bug.
+package rngstream
+
+import "math/rand"
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// maskStreams reconstructs the PR 5 bug shape: session i seeds its peers
+// with seed+i and seed+i+1, so party B of session i and party A of session
+// i+1 share a mask stream.
+func maskStreams(seed int64, sessions int) []*rand.Rand {
+	out := make([]*rand.Rand, 0, 2*sessions)
+	for i := 0; i < sessions; i++ {
+		a := rand.New(rand.NewSource(seed + int64(i)))     // want `derived arithmetically`
+		b := rand.New(rand.NewSource(seed + int64(i) + 1)) // want `derived arithmetically`
+		out = append(out, a, b)
+	}
+	return out
+}
+
+func plainSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func constSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42 + 1))
+}
+
+func derivedSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(mix64(uint64(seed) + 1))))
+}
+
+func legacySeed(seed int64) *rand.Rand {
+	//blindfl:allow rngstream reproduces the pre-fix stream for the migration test
+	return rand.New(rand.NewSource(seed + 1))
+}

@@ -1,0 +1,56 @@
+// Package teardown exercises the teardown analyzer, including a
+// reconstruction of the PR 2 double-close bug.
+package teardown
+
+import "transport"
+
+// adHocClose reconstructs the PR 2 shape: each party closes the shared conn
+// on its own error path, double-closing the pair and stranding the peer.
+func adHocClose(c transport.Conn, err error) {
+	if err != nil {
+		c.Close() // want `outside the lifecycle helpers`
+	}
+}
+
+// RunParties is an approved lifecycle helper: it owns both conns.
+func RunParties(a, b transport.Conn) {
+	a.Close()
+	b.Close()
+}
+
+type session struct {
+	c transport.Conn
+}
+
+// Close is a close-once wrapper: direct closes are its job.
+func (s *session) Close() error {
+	return s.c.Close()
+}
+
+func fireAndForget(c transport.Conn, v interface{}) {
+	go func() {
+		c.Send(v) // want `discards the Send error`
+	}()
+	go func() {
+		var r int
+		_ = c.Recv(&r) // want `discards the Recv error`
+	}()
+}
+
+// supervised surfaces transport errors on a channel: the approved shape.
+func supervised(c transport.Conn, v interface{}) <-chan error {
+	errs := make(chan error, 1)
+	go func() {
+		errs <- c.Send(v)
+	}()
+	return errs
+}
+
+// handled checks the error inline: also fine.
+func handled(c transport.Conn, v interface{}, fail func(error)) {
+	go func() {
+		if err := c.Send(v); err != nil {
+			fail(err)
+		}
+	}()
+}

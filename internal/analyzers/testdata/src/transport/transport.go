@@ -1,0 +1,10 @@
+// Package transport is a fixture stand-in for blindfl/internal/transport:
+// just the Conn interface the teardown analyzer keys on.
+package transport
+
+// Conn mirrors the real duplex connection interface.
+type Conn interface {
+	Send(v interface{}) error
+	Recv(v interface{}) error
+	Close() error
+}

@@ -275,5 +275,6 @@ func tcpPeerSession(seed int64, session int) (*protocol.Peer, *protocol.Peer, fu
 	if err := <-done; err != nil {
 		panic(err)
 	}
+	//blindfl:allow teardown bench harness owns both ends; the returned closer is its RunParties
 	return pa, pb, func() { connA.Close(); connB.Close() }
 }

@@ -7,6 +7,7 @@ import (
 	"blindfl/internal/data"
 	"blindfl/internal/nn"
 	"blindfl/internal/protocol"
+	"blindfl/internal/rng"
 	"blindfl/internal/tensor"
 )
 
@@ -246,17 +247,17 @@ func (m *FedB) finishTop(kind Kind, classes int, h Hyper) {
 // constructor before overwriting the parameters from a checkpoint, so the
 // module shapes always match the training-time head.
 func buildHead(kind Kind, classes int, h Hyper) headB {
-	rng := rand.New(rand.NewSource(h.Seed + 77))
+	top := rng.New(h.Seed, "head-init")
 	out := outDim(classes)
 	switch kind {
 	case LR, MLR:
 		return &biasHead{bias: nn.NewBias(out)}
 	case MLP:
-		return &mlpHead{seq: buildMLPTop(rng, firstHidden(h), restHidden(h), out)}
+		return &mlpHead{seq: buildMLPTop(top, firstHidden(h), restHidden(h), out)}
 	case WDL:
-		return &wdlHead{deep: buildMLPTop(rng, sourceOutEmbed(h), restHidden(h), out)}
+		return &wdlHead{deep: buildMLPTop(top, sourceOutEmbed(h), restHidden(h), out)}
 	case DLRM:
-		return &dlrmHead{relu: &nn.ReLU{}, seq: nn.NewSequential(nn.NewLinear(rng, firstHidden(h), out))}
+		return &dlrmHead{relu: &nn.ReLU{}, seq: nn.NewSequential(nn.NewLinear(top, firstHidden(h), out))}
 	}
 	panic("model: unreachable")
 }

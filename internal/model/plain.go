@@ -1,10 +1,9 @@
 package model
 
 import (
-	"math/rand"
-
 	"blindfl/internal/data"
 	"blindfl/internal/nn"
+	"blindfl/internal/rng"
 	"blindfl/internal/tensor"
 )
 
@@ -40,19 +39,19 @@ type plainInput struct {
 }
 
 func newPlainModel(kind Kind, classes, numIn, catFieldsA, catFieldsB, vocab int, h Hyper) *plainModel {
-	rng := rand.New(rand.NewSource(h.Seed + 33))
+	bottom := rng.New(h.Seed, "bottom-init")
 	m := &plainModel{kind: kind, classes: classes, fldsA: catFieldsA}
 	out := outDim(classes)
 	srcOut := sourceOut(kind, classes, h)
-	m.numW = nn.NewParam(tensor.RandDense(rng, numIn, srcOut, 0.1))
+	m.numW = nn.NewParam(tensor.RandDense(bottom, numIn, srcOut, 0.1))
 
 	if kind.UsesEmbedding() {
-		m.embA = nn.NewEmbedding(rng, vocab, h.EmbDim, 0.1)
-		m.embB = nn.NewEmbedding(rng, vocab, h.EmbDim, 0.1)
-		m.embW = nn.NewParam(tensor.RandDense(rng, (catFieldsA+catFieldsB)*h.EmbDim, sourceOutEmbed(h), 0.1))
+		m.embA = nn.NewEmbedding(bottom, vocab, h.EmbDim, 0.1)
+		m.embB = nn.NewEmbedding(bottom, vocab, h.EmbDim, 0.1)
+		m.embW = nn.NewParam(tensor.RandDense(bottom, (catFieldsA+catFieldsB)*h.EmbDim, sourceOutEmbed(h), 0.1))
 	}
 
-	topRng := rand.New(rand.NewSource(h.Seed + 77))
+	topRng := rng.New(h.Seed, "head-init")
 	switch kind {
 	case LR, MLR:
 		m.head = &biasHead{bias: nn.NewBias(out)}
@@ -172,7 +171,7 @@ func trainPlain(m *plainModel, mkBatch func(idx []int) plainInput, y []int, n in
 	testIn func() []plainInput, testY []int, classes int, h Hyper) *History {
 
 	hist := &History{MetricName: metricName(classes)}
-	order := rand.New(rand.NewSource(h.Seed + 999))
+	order := rng.New(h.Seed, "batch-order")
 	for e := 0; e < h.Epochs; e++ {
 		perm := data.Shuffle(order, n)
 		for _, idx := range batchesOf(perm, h.Batch) {

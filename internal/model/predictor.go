@@ -93,6 +93,7 @@ func NewPredictor(r io.Reader, ps PartySet) (*Predictor, error) {
 			la, err := core.LoadMatMulA(bytes.NewReader(ck.LayerA[i]), ps.As[i])
 			if err != nil {
 				loadErrA[i] = err
+				//blindfl:allow teardown deliberate early close: unblocks the peer so the decode error wins the race
 				ps.As[i].Conn.Close()
 				return
 			}

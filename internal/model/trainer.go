@@ -3,10 +3,10 @@ package model
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"blindfl/internal/data"
 	"blindfl/internal/protocol"
+	"blindfl/internal/rng"
 )
 
 // Trainer is the single federated-training entry point across party counts:
@@ -147,7 +147,7 @@ func (t Trainer) trainMulti(ds *data.Dataset, ps PartySet) (*History, error) {
 
 // trainLoopA runs one feature party's training epochs over its column block.
 func trainLoopA(ma *FedA, trainA data.Part, h Hyper) {
-	order := rand.New(rand.NewSource(h.Seed + 999))
+	order := rng.New(h.Seed, "batch-order")
 	for e := 0; e < h.Epochs; e++ {
 		perm := data.Shuffle(order, trainA.Rows())
 		for _, idx := range batchesOf(perm, h.Batch) {
@@ -158,7 +158,7 @@ func trainLoopA(ma *FedA, trainA data.Part, h Hyper) {
 
 // trainLoopB runs the label party's training epochs, recording losses.
 func trainLoopB(mb *FedB, ds *data.Dataset, h Hyper, hist *History) {
-	order := rand.New(rand.NewSource(h.Seed + 999))
+	order := rng.New(h.Seed, "batch-order")
 	for e := 0; e < h.Epochs; e++ {
 		perm := data.Shuffle(order, ds.TrainB.Rows())
 		for _, idx := range batchesOf(perm, h.Batch) {

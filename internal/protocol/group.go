@@ -6,6 +6,7 @@ import (
 
 	"blindfl/internal/paillier"
 	"blindfl/internal/parallel"
+	"blindfl/internal/rng"
 	"blindfl/internal/transport"
 )
 
@@ -190,20 +191,8 @@ func SessionRNG(seed int64, session int, role Role) *rand.Rand {
 // Hashing (seed, session, role) makes every stream of every session
 // statistically independent while keeping runs reproducible from one seed.
 func sessionRNG(seed int64, session int, role Role) *rand.Rand {
-	h := mix64(uint64(seed) + 0x9e3779b97f4a7c15)
-	h = mix64(h ^ (uint64(session) + 0x9e3779b97f4a7c15))
-	h = mix64(h ^ uint64(role))
+	h := rng.Mix64(uint64(seed) + 0x9e3779b97f4a7c15)
+	h = rng.Mix64(h ^ (uint64(session) + 0x9e3779b97f4a7c15))
+	h = rng.Mix64(h ^ uint64(role))
 	return rand.New(rand.NewSource(int64(h)))
-}
-
-// mix64 is the SplitMix64 finalizer: a bijective avalanche mix, so distinct
-// (seed, session, role) triples cannot collide by construction of the chain
-// above unless the xor-accumulated states collide.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
 }

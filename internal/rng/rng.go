@@ -1,0 +1,45 @@
+// Package rng centralizes deterministic seed derivation. Every RNG stream
+// in the repo is named by a (base seed, label) pair and derived through the
+// SplitMix64 finalizer, so distinct labels can never alias the way raw
+// seed+k arithmetic can (PR 5's mask-stream collision: seed+i and seed+i+1
+// overlap across adjacent sessions). Two call sites that must share a
+// stream — both parties of a federated loop drawing the same batch
+// permutation — share a label; everything else gets its own.
+//
+// The rngstream analyzer (internal/analyzers) enforces this package as the
+// only road from one seed to another.
+package rng
+
+import "math/rand"
+
+// golden is 2^64/phi, SplitMix64's stream increment; adding it before
+// mixing keeps zero and small inputs away from Mix64's fixed point at 0.
+const golden = 0x9e3779b97f4a7c15
+
+// Mix64 is the SplitMix64 finalizer: a bijective avalanche over uint64.
+// protocol.SessionRNG builds on the same function, so the session streams
+// and the label streams live in one derivation family.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Derive returns the seed of the (seed, label) stream, folding each label
+// byte through Mix64 so no arithmetic relation between labels survives
+// into the derived seeds.
+func Derive(seed int64, label string) int64 {
+	h := Mix64(uint64(seed) + golden)
+	for i := 0; i < len(label); i++ {
+		h = Mix64(h ^ (uint64(label[i]) + golden))
+	}
+	return int64(h)
+}
+
+// New returns a math/rand stream for the (seed, label) pair.
+func New(seed int64, label string) *rand.Rand {
+	return rand.New(rand.NewSource(Derive(seed, label)))
+}

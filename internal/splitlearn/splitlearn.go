@@ -21,6 +21,7 @@ import (
 
 	"blindfl/internal/data"
 	"blindfl/internal/nn"
+	"blindfl/internal/rng"
 	"blindfl/internal/tensor"
 )
 
@@ -56,7 +57,7 @@ type LinearResult struct {
 // TrainLinear trains split LR (binary) or MLR (multi-class) and measures
 // the forward-activation label attack after each epoch.
 func TrainLinear(ds *data.Dataset, cfg Config) *LinearResult {
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	ini := rand.New(rand.NewSource(cfg.Seed))
 	classes := ds.Spec.Classes
 	out := 1
 	if classes > 2 {
@@ -67,14 +68,14 @@ func TrainLinear(ds *data.Dataset, cfg Config) *LinearResult {
 	// Party A's bottom weights. Under ModelSS, A holds U_A and B holds a
 	// static V_A; the effective bottom is W_A = U_A + V_A but A updates U_A
 	// with the full plaintext gradient.
-	uA := tensor.RandDense(rng, inA, out, 0.1)
+	uA := tensor.RandDense(ini, inA, out, 0.1)
 	var vA *tensor.Dense
 	if cfg.Variant == ModelSSNoGradSS {
-		vA = tensor.RandDense(rng, inA, out, 0.1*cfg.VAScale)
+		vA = tensor.RandDense(ini, inA, out, 0.1*cfg.VAScale)
 	} else {
 		vA = tensor.NewDense(inA, out)
 	}
-	wB := tensor.RandDense(rng, inB, out, 0.1)
+	wB := tensor.RandDense(ini, inB, out, 0.1)
 	bias := tensor.NewDense(1, out)
 
 	momA := tensor.NewDense(inA, out)
@@ -86,7 +87,7 @@ func TrainLinear(ds *data.Dataset, cfg Config) *LinearResult {
 		res.MetricName = "accuracy"
 	}
 
-	order := rand.New(rand.NewSource(cfg.Seed + 1))
+	order := rng.New(cfg.Seed, "order")
 	for e := 0; e < cfg.Epochs; e++ {
 		perm := data.Shuffle(order, ds.TrainA.Rows())
 		for lo := 0; lo < len(perm); lo += cfg.Batch {
@@ -151,25 +152,25 @@ type WDLResult struct {
 func TrainWDLDerivativeLeak(ds *data.Dataset, cfg Config, embDim, hidden, hiddens int,
 	attack func(gradE *tensor.Dense, y []int) float64) *WDLResult {
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	ini := rand.New(rand.NewSource(cfg.Seed))
 	inA, inB := ds.TrainA.NumCols(), ds.TrainB.NumCols()
 	fldsA, fldsB := ds.TrainA.Cat.Cols, ds.TrainB.Cat.Cols
 	vocab := ds.Spec.CatVocab
 
 	// Wide part (numeric) and deep part (categorical) bottoms.
-	wWideA := nn.NewParam(tensor.RandDense(rng, inA, 1, 0.1))
-	wWideB := nn.NewParam(tensor.RandDense(rng, inB, 1, 0.1))
-	embA := nn.NewEmbedding(rng, vocab, embDim, 0.1)
-	embB := nn.NewEmbedding(rng, vocab, embDim, 0.1)
+	wWideA := nn.NewParam(tensor.RandDense(ini, inA, 1, 0.1))
+	wWideB := nn.NewParam(tensor.RandDense(ini, inB, 1, 0.1))
+	embA := nn.NewEmbedding(ini, vocab, embDim, 0.1)
+	embB := nn.NewEmbedding(ini, vocab, embDim, 0.1)
 
 	// Deep tower at B: hiddens hidden layers then a single logit.
 	var mods []nn.Module
 	prev := (fldsA + fldsB) * embDim
 	for l := 0; l < hiddens; l++ {
-		mods = append(mods, nn.NewLinear(rng, prev, hidden), &nn.ReLU{})
+		mods = append(mods, nn.NewLinear(ini, prev, hidden), &nn.ReLU{})
 		prev = hidden
 	}
-	mods = append(mods, nn.NewLinear(rng, prev, 1))
+	mods = append(mods, nn.NewLinear(ini, prev, 1))
 	deep := nn.NewSequential(mods...)
 
 	params := []*nn.Param{wWideA, wWideB, embA.Q, embB.Q}
@@ -177,7 +178,7 @@ func TrainWDLDerivativeLeak(ds *data.Dataset, cfg Config, embDim, hidden, hidden
 	opt := nn.NewSGD(cfg.LR, cfg.Momentum, params)
 
 	res := &WDLResult{}
-	order := rand.New(rand.NewSource(cfg.Seed + 1))
+	order := rng.New(cfg.Seed, "order")
 	for e := 0; e < cfg.Epochs; e++ {
 		perm := data.Shuffle(order, ds.TrainA.Rows())
 		for lo := 0; lo < len(perm); lo += cfg.Batch {
