@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-cpu test-full bench bench-smoke bench-json serve-smoke examples fmt fmt-check vet lint lint-tools
+.PHONY: build test test-cpu test-full test-chaos bench bench-smoke bench-json serve-smoke examples fmt fmt-check vet lint lint-tools
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,17 @@ test-cpu:
 test-full:
 	$(GO) test -timeout 30m ./...
 
+# Chaos lane: the run-integrity suite (docs/INTEGRITY.md) — every fault
+# class (bit-flip, drop, dup, reorder, delay, mid-run kill) driven through
+# the stream transport, the k-session group runtime and full federated
+# training, asserting bit-exact recovery or a typed loud failure, never
+# silent garbage. Race detector on: fault handling exercises the teardown
+# paths where latent races live.
+test-chaos:
+	$(GO) test -short -race -timeout 10m \
+		-run 'TestChaos|TestFault|TestStream|TestRunGroupFaultConn|TestGroupAllSessionsLost|TestRetry' \
+		./internal/transport/ ./internal/protocol/ ./internal/model/ ./internal/serve/
+
 # Examples lane: compile every example, smoke-run the quickstart and the
 # multi-party group runtime.
 examples:
@@ -42,12 +53,16 @@ bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime 1x -short -timeout 15m ./...
 
 # Benchmarks as data: the exponentiation-engine and amortized-precompute
-# perf suites at a production key size, the multi-party k=3/k=1 fed-step
-# pair, and the serve latency/throughput pair, written to BENCH_PR6.json
-# (format: internal/bench/README.md). Earlier points of the trajectory
-# (BENCH_PR3.json..BENCH_PR5.json) are kept, not rewritten.
+# perf suites at a production key size, the end-to-end fed-step, fed-epoch,
+# multi-party and serve rows, written to BENCH_PR8.json (format:
+# internal/bench/README.md). Since PR 8 every row with a baseline config
+# also carries a ratio column, and the file opens with a fixed-operand
+# calibration op — absolute ns on a shared host swing 2× run to run, so the
+# trajectory is judged on ratios, with the calibration row bounding how much
+# of a cross-file delta is machine. Earlier points of the trajectory
+# (BENCH_PR3.json..BENCH_PR6.json) are kept, not rewritten.
 bench-json:
-	$(GO) run ./cmd/blindfl-bench -perf BENCH_PR6.json -keybits 2048
+	$(GO) run ./cmd/blindfl-bench -perf BENCH_PR8.json -keybits 2048
 
 # Serve smoke lane: train a toy checkpoint, bring up the blindfl-serve
 # request batcher on fresh sessions, and fire the closed-loop load generator

@@ -54,12 +54,15 @@ func main() {
 	}
 
 	if *perf != "" {
+		fmt.Println("running fixed calibration op (2048-bit modexp, constant operands)...")
+		results := []bench.PerfResult{bench.RunPerfCalibration()}
 		fmt.Printf("running exponentiation-engine perf suite (%d-bit kernels)...\n", *keybits)
-		results, err := bench.RunPerfKernels(*keybits)
+		kernels, err := bench.RunPerfKernels(*keybits)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		results = append(results, kernels...)
 		fmt.Printf("running amortized-precompute suite (%d-bit kernels)...\n", *keybits)
 		amort, err := bench.RunPerfAmortized(*keybits)
 		if err != nil {
@@ -87,7 +90,11 @@ func main() {
 			os.Exit(1)
 		}
 		for _, r := range results {
-			fmt.Printf("%-28s %-10s %5d bits  %14.0f ns/op  (n=%d)\n", r.Op, r.Config, r.KeyBits, r.NsPerOp, r.Iters)
+			ratio := ""
+			if r.Ratio > 0 {
+				ratio = fmt.Sprintf("  %6.3fx vs baseline", r.Ratio)
+			}
+			fmt.Printf("%-28s %-14s %5d bits  %14.0f ns/op  (n=%d)%s\n", r.Op, r.Config, r.KeyBits, r.NsPerOp, r.Iters, ratio)
 		}
 		fmt.Printf("wrote %s\n", *perf)
 		return

@@ -45,7 +45,6 @@ func main() {
 	flush := flag.Duration("flush", 2*time.Millisecond, "max wait for a lane group to fill")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 4x max batch)")
 	minPool := flag.Int("minpool", 0, "shed requests while the label party's blinding pool is below this depth (needs -pool)")
-	spot := flag.Bool("spotcheck", false, "re-verify one random request per batch against the plaintext forward path")
 	workers := flag.Int("workers", 0, "closed-loop load-generator clients (0 = 2x max batch)")
 	requests := flag.Int("requests", 256, "total requests the load generator fires")
 	var eng engine.Options
@@ -100,16 +99,21 @@ func main() {
 	ck := loadOrTrain(kind, ds, h, eng, skAs, skB, *ckPath, *seed)
 
 	// Serving runs on fresh sessions: the checkpoint restore plus the
-	// serve-session weight exchange is the whole cold start.
-	as, g, err := protocol.GroupPipe(skAs, skB, *seed+1)
-	if err != nil {
-		fatal(err)
-	}
-	for i := range as {
-		as[i].ChunkRows, g.Peers[i].ChunkRows = eng.ChunkRows, eng.ChunkRows
-	}
+	// serve-session weight exchange is the whole cold start. Transient
+	// session failures during the exchange retry on fresh sessions with
+	// backoff; checkpoint errors fail immediately.
 	t0 := time.Now()
-	p, err := model.NewPredictor(bytes.NewReader(ck), model.PartySet{As: as, B: g})
+	p, err := model.RetryPredictor(3, 50*time.Millisecond, func(attempt int) (*model.Predictor, error) {
+		as, g, err := protocol.GroupPipe(skAs, skB, *seed+1+int64(attempt))
+		if err != nil {
+			return nil, err
+		}
+		for i := range as {
+			as[i].ChunkRows, g.Peers[i].ChunkRows = eng.ChunkRows, eng.ChunkRows
+			g.Peers[i].SpotCheck = eng.SpotCheck // label party re-verifies decrypts
+		}
+		return model.NewPredictor(bytes.NewReader(ck), model.PartySet{As: as, B: g})
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -118,7 +122,7 @@ func main() {
 
 	s := serve.NewServer(p, serve.Config{
 		Lanes: *lanes, MaxBatch: *maxBatch, FlushInterval: *flush,
-		MaxQueue: *queue, MinPool: *minPool, SpotCheck: *spot,
+		MaxQueue: *queue, MinPool: *minPool, SpotCheck: eng.SpotCheck,
 	})
 	defer s.Close()
 
@@ -146,7 +150,7 @@ func main() {
 		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
 	st := s.Stats()
 	fmt.Printf("batches %d (%.2f requests per protocol batch)\n", st.Batches, avg(st.Served, st.Batches))
-	if *spot {
+	if eng.SpotCheck {
 		fmt.Printf("integrity: %d spot-checks, %d mismatches\n", st.SpotChecks, st.Mismatches)
 	}
 	if eng.Pool > 0 {
@@ -192,6 +196,7 @@ func loadOrTrain(kind model.Kind, ds *data.Dataset, h model.Hyper, eng engine.Op
 	}
 	for i := range as {
 		as[i].ChunkRows, g.Peers[i].ChunkRows = eng.ChunkRows, eng.ChunkRows
+		g.Peers[i].SpotCheck = eng.SpotCheck
 	}
 	fmt.Printf("training %s (%d feature parties + label party in-process)...\n", kind, len(skAs))
 	var buf bytes.Buffer

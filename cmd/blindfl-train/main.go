@@ -98,6 +98,7 @@ func main() {
 		}
 		for i := range as {
 			as[i].ChunkRows, g.Peers[i].ChunkRows = eng.ChunkRows, eng.ChunkRows
+			g.Peers[i].SpotCheck = eng.SpotCheck // label party re-verifies decrypts
 		}
 		if fed, err = model.TrainFederatedMulti(kind, ds, h, as, g); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -111,6 +112,7 @@ func main() {
 			os.Exit(1)
 		}
 		pa.ChunkRows, pb.ChunkRows = eng.ChunkRows, eng.ChunkRows
+		pb.SpotCheck = eng.SpotCheck // label party re-verifies decrypts
 		if fed, err = model.TrainFederated(kind, ds, h, pa, pb); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

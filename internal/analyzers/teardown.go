@@ -31,12 +31,16 @@ var Teardown = &analysis.Analyzer{
 }
 
 // teardownOwners are function names allowed to close conns directly: the
-// party-runner helpers plus any method literally named Close (a lifecycle
-// wrapper taking ownership of its conns, e.g. protocol.Group.Close).
+// party-runner helpers, any method literally named Close (a lifecycle
+// wrapper taking ownership of its conns, e.g. protocol.Group.Close), and
+// CloseSession (protocol.Group's sanctioned retire-one-session path, which
+// marks the session lost before closing so the group's bookkeeping and the
+// close cannot diverge).
 var teardownOwners = map[string]bool{
-	"RunParties": true,
-	"RunGroup":   true,
-	"Close":      true,
+	"RunParties":   true,
+	"RunGroup":     true,
+	"Close":        true,
+	"CloseSession": true,
 }
 
 func runTeardown(pass *analysis.Pass) (interface{}, error) {
@@ -82,13 +86,20 @@ func runTeardown(pass *analysis.Pass) (interface{}, error) {
 }
 
 // isTransportConn reports whether e's static type is the transport.Conn
-// interface (possibly behind a pointer).
+// interface or one of the concrete conn wrappers (FaultConn, StreamConn) —
+// possibly behind a pointer. Wrappers delegate Close to the conn they wrap,
+// so closing through one is exactly the ad-hoc close the interface check
+// guards against; without this, holding the concrete type would launder a
+// close past the analyzer.
 func isTransportConn(pass *analysis.Pass, e ast.Expr) bool {
 	t := pass.TypeOf(e)
 	if t == nil {
 		return false
 	}
-	return isNamed(deref(t), "transport", "Conn")
+	t = deref(t)
+	return isNamed(t, "transport", "Conn") ||
+		isNamed(t, "transport", "FaultConn") ||
+		isNamed(t, "transport", "StreamConn")
 }
 
 // checkGoroutineSendRecv flags Send/Recv calls on transport conns inside a

@@ -27,6 +27,26 @@ func (s *session) Close() error {
 	return s.c.Close()
 }
 
+// adHocWrapperClose closes through the concrete fault-injection wrapper:
+// the wrapper delegates Close to the conn it wraps, so this is the same
+// ad-hoc close as adHocClose, laundered through a concrete type.
+func adHocWrapperClose(fc *transport.FaultConn, err error) {
+	if err != nil {
+		fc.Close() // want `outside the lifecycle helpers`
+	}
+}
+
+// adHocStreamClose is the same shape through the stream-recovery wrapper.
+func adHocStreamClose(sc *transport.StreamConn) {
+	sc.Close() // want `outside the lifecycle helpers`
+}
+
+// CloseSession is the group's sanctioned retire-one-session path: it owns
+// the close (and the lost-session bookkeeping that goes with it).
+func CloseSession(c transport.Conn) {
+	c.Close()
+}
+
 func fireAndForget(c transport.Conn, v interface{}) {
 	go func() {
 		c.Send(v) // want `discards the Send error`

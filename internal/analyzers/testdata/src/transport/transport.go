@@ -8,3 +8,18 @@ type Conn interface {
 	Recv(v interface{}) error
 	Close() error
 }
+
+// FaultConn mirrors the fault-injecting conn wrapper: Close delegates to the
+// wrapped conn, so the analyzer treats it as a conn.
+type FaultConn struct{ inner Conn }
+
+func (f *FaultConn) Send(v interface{}) error { return f.inner.Send(v) }
+func (f *FaultConn) Recv(v interface{}) error { return f.inner.Recv(v) }
+func (f *FaultConn) Close() error             { return f.inner.Close() }
+
+// StreamConn mirrors the chunk-recovery conn wrapper.
+type StreamConn struct{ inner Conn }
+
+func (s *StreamConn) Send(v interface{}) error { return s.inner.Send(v) }
+func (s *StreamConn) Recv(v interface{}) error { return s.inner.Recv(v) }
+func (s *StreamConn) Close() error             { return s.inner.Close() }

@@ -33,13 +33,86 @@ type PerfResult struct {
 	KeyBits int     `json:"keybits"` // Paillier modulus size
 	NsPerOp float64 `json:"ns_per_op"`
 	Iters   int     `json:"iterations"` // b.N chosen by the harness
+
+	// Ratio is this row's ns_per_op over its op's baseline row (same op and
+	// keybits, config = perfBaselines[op]); 1.0 on the baseline row itself,
+	// 0 when the op has no baseline in the file. Ratios are the unit the
+	// trajectory is judged in: absolute ns on a noisy shared host swung
+	// identical ops 2× between runs, while the engine-vs-textbook ratio of
+	// the same pair is a property of the code, not the machine.
+	Ratio float64 `json:"ratio,omitempty"`
 }
 
-// PerfFile is the top-level BENCH_PR3.json document.
+// PerfFile is the top-level BENCH json document.
 type PerfFile struct {
-	Generator  string       `json:"generator"` // "blindfl-bench -perf"
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Results    []PerfResult `json:"results"`
+	Generator  string `json:"generator"` // "blindfl-bench -perf"
+	GoMaxProcs int    `json:"gomaxprocs"`
+
+	// CalibrationNs is the fixed calibration op's ns_per_op (the
+	// calibration_modexp row): one 2048-bit modular exponentiation over
+	// constant operands, the same arithmetic on every machine and every
+	// run. Dividing any absolute column by it normalizes host speed out of
+	// cross-PR comparisons; comparing two files' calibration rows bounds
+	// how much of an absolute delta is machine, not code.
+	CalibrationNs float64 `json:"calibration_ns,omitempty"`
+
+	Results []PerfResult `json:"results"`
+}
+
+// perfBaselines names the baseline config of each op — the denominator of
+// the Ratio column. Ops absent here (latency percentiles, the calibration
+// row) publish absolute numbers only.
+var perfBaselines = map[string]string{
+	"mulplain_neg_scalar":       "textbook",
+	"dot16":                     "textbook",
+	"encrypt_blinding":          "fullwidth",
+	"mulplainleft_dense_8x16x2": "textbook",
+	"blinding_refill_shortexp":  "bigint_exp",
+	"mulplain_fullwidth":        "public",
+	"pool_lookup":               "string_key",
+	"fedepoch_forward":          "uncached",
+	"fedstep_packed":            "textbook",
+	"fedstep_multiparty":        "k1",
+	"serve_throughput":          "sequential",
+}
+
+// FillRatios annotates results in place: every row whose op has a baseline
+// config present in the slice (same op, same keybits) gets Ratio =
+// ns_per_op / baseline ns_per_op.
+func FillRatios(results []PerfResult) {
+	base := make(map[string]float64)
+	for _, r := range results {
+		if perfBaselines[r.Op] == r.Config {
+			base[fmt.Sprintf("%s/%d", r.Op, r.KeyBits)] = r.NsPerOp
+		}
+	}
+	for i := range results {
+		if b := base[fmt.Sprintf("%s/%d", results[i].Op, results[i].KeyBits)]; b > 0 {
+			results[i].Ratio = results[i].NsPerOp / b
+		}
+	}
+}
+
+// RunPerfCalibration measures the fixed calibration op: one modular
+// exponentiation with constant 2048-bit operands built from repeating byte
+// patterns — no randomness, no key material, identical work everywhere.
+func RunPerfCalibration() PerfResult {
+	pattern := func(b byte) *big.Int {
+		buf := make([]byte, 256) // 2048 bits
+		for i := range buf {
+			buf[i] = b
+		}
+		return new(big.Int).SetBytes(buf)
+	}
+	base := pattern(0xA5)
+	exp := pattern(0x5A)
+	mod := pattern(0xC3)
+	mod.SetBit(mod, 0, 1) // odd modulus, the Montgomery fast path
+	return perfRun("calibration_modexp", "fixed", 2048, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			new(big.Int).Exp(base, exp, mod)
+		}
+	})
 }
 
 func perfRun(op, config string, keyBits int, fn func(b *testing.B)) PerfResult {
@@ -347,15 +420,18 @@ func RunPerfFedEpoch() []PerfResult {
 
 // RunPerfFedStep benchmarks the packed federated MatMul step (both parties
 // in-process, protocol.TestKeys at 512 bits) with the exponentiation engine
-// on and off: the end-to-end acceptance pair.
+// on and off — the end-to-end acceptance pair — plus a spotcheck config
+// (engine + label-party decrypt spot-checks) whose ratio against the engine
+// row is the run-integrity probe's cost, accepted under 1.05.
 func RunPerfFedStep() []PerfResult {
 	var out []PerfResult
 	spec := data.Spec{Name: "bench-dense", Feats: 32, AvgNNZ: 32, Classes: 2, Train: 256, Test: 64}
 	for _, cfg := range []struct {
-		name     string
-		textbook bool
-	}{{"textbook", true}, {"engine", false}} {
-		step := NewBlindFLStepperOpts(spec, 32, 4, StepperOpts{Options: engine.Options{Packed: true, Textbook: cfg.textbook}})
+		name      string
+		textbook  bool
+		spotcheck bool
+	}{{"textbook", true, false}, {"engine", false, false}, {"spotcheck", false, true}} {
+		step := NewBlindFLStepperOpts(spec, 32, 4, StepperOpts{Options: engine.Options{Packed: true, Textbook: cfg.textbook, SpotCheck: cfg.spotcheck}})
 		step() // warm-up outside the measurement
 		out = append(out, perfRun("fedstep_packed", cfg.name, 512, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -387,9 +463,17 @@ func RunPerfFedStepMulti() []PerfResult {
 	return out
 }
 
-// WritePerfJSON writes results as an indented PerfFile document.
+// WritePerfJSON writes results as an indented PerfFile document, filling the
+// Ratio column and hoisting the calibration row's ns_per_op into the header.
 func WritePerfJSON(path string, results []PerfResult) error {
+	FillRatios(results)
 	doc := PerfFile{Generator: "blindfl-bench -perf", GoMaxProcs: runtime.GOMAXPROCS(0), Results: results}
+	for _, r := range results {
+		if r.Op == "calibration_modexp" {
+			doc.CalibrationNs = r.NsPerOp
+			break
+		}
+	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

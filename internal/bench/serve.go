@@ -39,6 +39,12 @@ type ServePerf struct {
 	Batched    serve.LoadResult
 	CacheHits  int64 // dot-table cache hits during the batched (steady-state) run
 	Misses     int64 // dot-table cache misses during the batched run
+
+	// Integrity counters from the batched run: serve-level request
+	// spot-checks (serve.Stats) and protocol-level decrypt spot-checks
+	// (protocol.StreamStats), both zero unless eng.SpotCheck is on.
+	SpotChecks     int64
+	SpotMismatches int64
 }
 
 // Speedup is batched over sequential throughput.
@@ -93,6 +99,7 @@ func RunServePerf(eng engine.Options, keyBits, requests int) (ServePerf, error) 
 	if err != nil {
 		return ServePerf{}, err
 	}
+	pb2.SpotCheck = eng.SpotCheck // label party re-verifies serve decrypts
 	p, err := model.NewPredictor(bytes.NewReader(ck.Bytes()), model.Pair(pa2, pb2))
 	if err != nil {
 		return ServePerf{}, err
@@ -111,7 +118,7 @@ func RunServePerf(eng engine.Options, keyBits, requests int) (ServePerf, error) 
 	res := ServePerf{KeyBits: keyBits, Lanes: lanes}
 
 	// Sequential baseline: one client, one request per protocol batch.
-	seq := serve.NewServer(p, serve.Config{MaxBatch: 1})
+	seq := serve.NewServer(p, serve.Config{MaxBatch: 1, SpotCheck: eng.SpotCheck})
 	seqReqs := requests / 4
 	if seqReqs < 8 {
 		seqReqs = 8
@@ -126,14 +133,17 @@ func RunServePerf(eng engine.Options, keyBits, requests int) (ServePerf, error) 
 	// cost for half the requests. The warm-up also brackets the steady-state
 	// dot-table counters: the weight pieces' Straus tables were built during
 	// warm-up, so the measured run should be nearly all hits.
-	bat := serve.NewServer(p, serve.Config{FlushInterval: 25 * time.Millisecond})
+	bat := serve.NewServer(p, serve.Config{FlushInterval: 25 * time.Millisecond, SpotCheck: eng.SpotCheck})
 	serve.RunLoad(bat, newReq, 2*lanes, 2*lanes)
 	cs0 := hetensor.TableCacheStatsNow()
 	res.Batched = serve.RunLoad(bat, newReq, 2*lanes, requests)
 	cs1 := hetensor.TableCacheStatsNow()
+	st := bat.Stats()
 	bat.Close()
 	res.CacheHits = cs1.Hits - cs0.Hits
 	res.Misses = cs1.Misses - cs0.Misses
+	res.SpotChecks = st.SpotChecks + pb2.Stream.SpotChecks
+	res.SpotMismatches = st.Mismatches + pb2.Stream.SpotMismatches
 	return res, nil
 }
 
@@ -170,10 +180,11 @@ func (s ServePerf) String() string {
 			"batched 2K:  %3d ok in %v — %7.1f req/s\n"+
 			"latency (batched) p50 %v | p95 %v | p99 %v\n"+
 			"cross-request batching speedup: %.2fx\n"+
-			"steady-state dot-table cache: %d hits / %d misses",
+			"steady-state dot-table cache: %d hits / %d misses\n"+
+			"integrity: %d spot-checks / %d mismatches",
 		s.KeyBits, s.Lanes,
 		s.Sequential.OK, s.Sequential.Duration.Round(time.Millisecond), s.Sequential.Throughput,
 		s.Batched.OK, s.Batched.Duration.Round(time.Millisecond), s.Batched.Throughput,
 		s.Batched.P50.Round(time.Microsecond), s.Batched.P95.Round(time.Microsecond), s.Batched.P99.Round(time.Microsecond),
-		s.Speedup(), s.CacheHits, s.Misses)
+		s.Speedup(), s.CacheHits, s.Misses, s.SpotChecks, s.SpotMismatches)
 }

@@ -58,6 +58,7 @@ func NewBlindFLStepperOpts(spec data.Spec, batch, out int, opts StepperOpts) fun
 	}
 	opts.SetupKeys(skA, skB)
 	pa.ChunkRows, pb.ChunkRows = opts.ChunkRows, opts.ChunkRows
+	pb.SpotCheck = opts.SpotCheck // label party re-verifies decrypts
 	rng := rand.New(rand.NewSource(11))
 	half := spec.Feats / 2
 	cfg := core.Config{Out: out, LR: 0.05, Options: opts.Options}

@@ -94,6 +94,41 @@ func Traffic() *Table {
 		cleanup()
 	}
 
+	// The streamed layer with the label party's decrypt spot-check on: the
+	// wire columns are unchanged (the probe is local re-decryption, not a
+	// protocol message) and the integrity counters surface in the note.
+	{
+		pa, pb, cleanup := tcpPeerPair(76)
+		var la *core.MatMulA
+		var lb *core.MatMulB
+		cfg := core.Config{Out: out, LR: 0.1, Options: engine.Options{Stream: true}}
+		if err := protocol.RunParties(pa, pb,
+			func() { la = core.NewMatMulA(pa, cfg, 32, 32) },
+			func() { lb = core.NewMatMulB(pb, cfg, 32, 32) },
+		); err != nil {
+			panic(err)
+		}
+		pb.SpotCheck = true
+		pa.Stream, pb.Stream = protocol.StreamStats{}, protocol.StreamStats{}
+		m0, b0 := pa.Conn.Stats()
+		rng := rand.New(rand.NewSource(1))
+		xA := tensor.RandDense(rng, batch, 32, 1)
+		xB := tensor.RandDense(rng, batch, 32, 1)
+		g := tensor.RandDense(rng, batch, out, 0.1)
+		if err := protocol.RunParties(pa, pb,
+			func() { la.Forward(core.DenseFeatures{M: xA}); la.Backward() },
+			func() { lb.Forward(core.DenseFeatures{M: xB}); lb.Backward(g) },
+		); err != nil {
+			panic(err)
+		}
+		m1, b1 := pa.Conn.Stats()
+		s := pb.Stream
+		t.Add("MatMul dense (streamed+spotcheck)", "64", fmt.Sprintf("%d", m1-m0),
+			fmt.Sprintf("%.2f", float64(b1-b0)/(1<<20)), fmt.Sprintf("%d", s.ChunksRecv), "—", "—")
+		t.Note("label-party decrypt spot-checks: %d rows re-verified, %d mismatches — a non-zero mismatch count on a healthy link means corrupted or mis-assembled ciphertext arithmetic", s.SpotChecks, s.SpotMismatches)
+		cleanup()
+	}
+
 	// The same dense layer with short-exponent blinding pools registered:
 	// the pool effectiveness counters — including permanently lost slots,
 	// the degraded-pool signal — surface alongside the wire columns.

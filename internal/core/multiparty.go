@@ -47,7 +47,10 @@ func NewMultiMatMulB(g *protocol.Group, cfg Config, inAs []int, inB int) *MultiM
 }
 
 // Forward runs the k sub-protocol forwards concurrently and aggregates
-// Z = Σᵢ X_A(i)·W_A(i) + X_B·W_B, summing in session order.
+// Z = Σᵢ X_A(i)·W_A(i) + X_B·W_B, summing in session order. Sessions the
+// group has marked lost (ContinueOnLoss) are skipped: their partial
+// activations drop out of the sum, exactly the aggregation a deployment
+// that lost a feature party can still compute.
 func (m *MultiMatMulB) Forward(x Numeric) *tensor.Dense {
 	zs := make([]*tensor.Dense, len(m.subs))
 	m.g.ForEach(func(i int, _ *protocol.Peer) { zs[i] = m.subs[i].Forward(x) })
@@ -60,7 +63,7 @@ func (m *MultiMatMulB) Forward(x Numeric) *tensor.Dense {
 // to exactly one SGD step — the linearity that makes the k-party layer
 // lossless against the two-party one.
 func (m *MultiMatMulB) Backward(gradZ *tensor.Dense) {
-	scaled := gradZ.Scale(1 / float64(len(m.subs)))
+	scaled := gradZ.Scale(1 / float64(liveCount(m.g)))
 	m.g.ForEach(func(i int, _ *protocol.Peer) { m.subs[i].backwardMulti(gradZ, scaled) })
 }
 
@@ -99,7 +102,7 @@ func (m *MultiSparseMatMulB) Forward(x *tensor.CSR) *tensor.Dense {
 // Backward fans ∇Z out to every session concurrently, with the same 1/k
 // local scaling as the dense multi layer.
 func (m *MultiSparseMatMulB) Backward(gradZ *tensor.Dense) {
-	scaled := gradZ.Scale(1 / float64(len(m.subs)))
+	scaled := gradZ.Scale(1 / float64(liveCount(m.g)))
 	m.g.ForEach(func(i int, _ *protocol.Peer) { m.subs[i].backwardMulti(gradZ, scaled) })
 }
 
@@ -122,12 +125,28 @@ func NewMultiMatMulBFrom(g *protocol.Group, subs []*MatMulB) *MultiMatMulB {
 
 // sumInOrder folds partial activations in session order, so the float
 // summation is deterministic no matter how ForEach scheduled the sessions.
+// Nil partials (sessions the group skipped as lost) drop out of the sum;
+// ForEach guarantees at least one live session.
 func sumInOrder(zs []*tensor.Dense) *tensor.Dense {
-	z := zs[0]
-	for _, zi := range zs[1:] {
-		z.AddInPlace(zi)
+	var z *tensor.Dense
+	for _, zi := range zs {
+		if zi == nil {
+			continue
+		}
+		if z == nil {
+			z = zi
+		} else {
+			z.AddInPlace(zi)
+		}
 	}
 	return z
+}
+
+// liveCount returns the number of sessions still participating: gradient
+// fan-out scales by it so the surviving U_B pieces still sum to exactly one
+// SGD step after a session loss.
+func liveCount(g *protocol.Group) int {
+	return g.K() - g.LostCount()
 }
 
 // DebugMultiWeightsB reconstructs W_B = Σᵢ (U_B(i) + V_B(i)) given every

@@ -90,9 +90,16 @@ func (m *MultiMatMulB) ServeStart() {
 func (m *MultiMatMulB) ServeForward(x *tensor.Dense) *tensor.Dense {
 	shares := make([]*hetensor.BigMatrix, len(m.subs))
 	m.g.ForEach(func(i int, _ *protocol.Peer) { shares[i] = m.subs[i].ServeShare(x) })
-	z := shares[0]
-	for _, s := range shares[1:] {
-		z.AddInPlace(s)
+	var z *hetensor.BigMatrix
+	for _, s := range shares {
+		if s == nil {
+			continue // session lost mid-run (ContinueOnLoss)
+		}
+		if z == nil {
+			z = s
+		} else {
+			z.AddInPlace(s)
+		}
 	}
 	return z.DecodeTranspose()
 }

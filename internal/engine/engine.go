@@ -74,6 +74,18 @@ type Options struct {
 	// two-party deployment cannot do — use it to measure the label-party
 	// ceiling, not a deployment. Stays registered for the process.
 	SecretOps bool
+
+	// SpotCheck enables the label party's probabilistic decrypt spot-check:
+	// for one sampled HE2SS conversion in four, one random row is
+	// re-verified against the exact integer plaintext path, and mismatches
+	// are counted in the protocol's StreamStats (and the serve runtime's
+	// Stats). A run-integrity probe, not a throughput knob: it detects
+	// corrupted or mis-assembled ciphertext arithmetic that in-range
+	// bit-flips would otherwise turn into silent garbage. Label-party-local
+	// — no protocol change, the feature party cannot tell it is on. Costs
+	// one extra decrypt per sampled conversion (<5% on the packed fed
+	// step).
+	SpotCheck bool
 }
 
 // RegisterFlags registers one CLI flag per engine knob on fs, with o's
@@ -90,6 +102,7 @@ func (o *Options) RegisterFlags(fs *flag.FlagSet) {
 	fs.IntVar(&o.ShortExp, "shortexp", o.ShortExp, "short-exponent blinding bits on the pools (0 = full-width; needs -pool)")
 	fs.Var(negatedBool{&o.NoFixedBase}, "fixedbase", "Lim–Lee fixed-base combs for short-exp pool refills (false = big.Int.Exp ablation)")
 	fs.BoolVar(&o.SecretOps, "secretops", o.SecretOps, "CRT secret-key fast paths for homomorphic ops (in-process measurement aid)")
+	fs.BoolVar(&o.SpotCheck, "spotcheck", o.SpotCheck, "probabilistic decrypt spot-checks on the label party (run-integrity probe)")
 }
 
 // negatedBool adapts the positive-sense -fixedbase flag onto the

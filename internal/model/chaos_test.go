@@ -1,0 +1,372 @@
+package model
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"blindfl/internal/data"
+	"blindfl/internal/paillier"
+	"blindfl/internal/protocol"
+	"blindfl/internal/transport"
+)
+
+// Chaos suite: every fault class the deterministic injector produces —
+// bit-flip, drop, duplicate, reorder, delay, mid-run kill — driven through
+// end-to-end federated training. The run-integrity contract under test is
+// binary: a run either recovers bit-exactly (the fault was absorbed by the
+// chunk NACK/resend protocol or was a pure timing fault) or fails loudly
+// with a typed error (transport.ErrCorrupt, transport.ErrClosed,
+// protocol.ErrSessionLost). A silently wrong result is the one outcome that
+// must never happen.
+
+// chaosHyper is a tiny streamed LR configuration: streaming on with small
+// chunks so every batch crosses the wire as multiple checksummed chunks the
+// injector can target.
+func chaosHyper() Hyper {
+	h := tinyHyper()
+	h.Epochs = 1
+	h.Stream = true
+	return h
+}
+
+// fedPipeFault builds a two-party pipe whose Party-A endpoint sends through
+// a FaultConn running plan, so every A→B chunk is exposed to the schedule.
+func fedPipeFault(t *testing.T, seed int64, label string, plan transport.FaultPlan) (*protocol.Peer, *protocol.Peer, *transport.FaultConn) {
+	t.Helper()
+	skA, skB := protocol.TestKeys()
+	ca, cb := transport.Pair(4096)
+	fc := transport.NewFaultConn(ca, seed, label, plan)
+	pa, pb, err := protocol.PipeOn(fc, cb, skA, skB, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pa, pb, fc
+}
+
+// faultGroupPipe is GroupPipe with session faultSession's Party-A endpoint
+// wrapped in a FaultConn running plan.
+func faultGroupPipe(t *testing.T, k int, seed int64, faultSession int, plan transport.FaultPlan) ([]*protocol.Peer, *protocol.Group, *transport.FaultConn) {
+	t.Helper()
+	skA, skB := protocol.TestKeys()
+	as := make([]*protocol.Peer, k)
+	bs := make([]*protocol.Peer, k)
+	var fc *transport.FaultConn
+	errs := make(chan error, 2*k)
+	for i := 0; i < k; i++ {
+		ca, cb := transport.Pair(4096)
+		var connA transport.Conn = ca
+		if i == faultSession {
+			fc = transport.NewFaultConn(ca, seed, "chaos-group", plan)
+			connA = fc
+		}
+		a := protocol.NewPeer(protocol.PartyA, connA, skA, protocol.SessionRNG(seed, i, protocol.PartyA))
+		b := protocol.NewPeer(protocol.PartyB, cb, skB, protocol.SessionRNG(seed, i, protocol.PartyB))
+		as[i], bs[i] = a, b
+		go func() { errs <- a.Handshake() }()
+		go func() { errs <- b.Handshake() }()
+	}
+	for i := 0; i < 2*k; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	return as, protocol.NewGroup(bs), fc
+}
+
+func totalFaults(s transport.FaultStats) int64 {
+	return s.Flips + s.Drops + s.Dups + s.Reorders
+}
+
+// TestChaosChunkFaultsRecoverBitExact trains the same streamed LR once
+// fault-free and once per fault class. Chunk faults within the injector's
+// budget are absorbed by the checksum/NACK/resend protocol, and delays only
+// stretch time, so every faulted trajectory must be bit-identical to the
+// clean one — recovery that "mostly" works would show up here as a loss
+// divergence.
+func TestChaosChunkFaultsRecoverBitExact(t *testing.T) {
+	ds := data.Generate(tinySpec("t-chaos-rec", 12, 12, 2, false), 3)
+	h := chaosHyper()
+
+	pa, pb := fedPipe(t, 600)
+	pa.ChunkRows, pb.ChunkRows = 3, 3
+	clean, err := TrainFederated(LR, ds, h, pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	classes := []struct {
+		name string
+		plan transport.FaultPlan
+		// hit reports whether the schedule actually fired.
+		hit func(transport.FaultStats) bool
+	}{
+		{"bitflip", transport.FaultPlan{FlipProb: 0.3, MaxFaults: 2}, func(s transport.FaultStats) bool { return s.Flips > 0 }},
+		{"drop", transport.FaultPlan{DropProb: 0.3, MaxFaults: 2}, func(s transport.FaultStats) bool { return s.Drops > 0 }},
+		{"dup", transport.FaultPlan{DupProb: 0.3, MaxFaults: 2}, func(s transport.FaultStats) bool { return s.Dups > 0 }},
+		{"reorder", transport.FaultPlan{ReorderProb: 0.3, MaxFaults: 2}, func(s transport.FaultStats) bool { return s.Reorders > 0 }},
+		{"delay", transport.FaultPlan{DelayProb: 0.2, Delay: time.Millisecond}, func(s transport.FaultStats) bool { return s.Delays > 0 }},
+		{"mixed", transport.FaultPlan{FlipProb: 0.2, DropProb: 0.2, DupProb: 0.2, ReorderProb: 0.2, MaxFaults: 3}, func(s transport.FaultStats) bool { return totalFaults(s) > 0 }},
+	}
+	for _, tc := range classes {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			pa, pb, fc := fedPipeFault(t, 600, "chaos-"+tc.name, tc.plan)
+			pa.ChunkRows, pb.ChunkRows = 3, 3
+			hist, err := TrainFederated(LR, ds, h, pa, pb)
+			if err != nil {
+				t.Fatalf("training under %s faults failed: %v", tc.name, err)
+			}
+			if !tc.hit(fc.Injected()) {
+				t.Fatalf("fault schedule never fired: %+v", fc.Injected())
+			}
+			if len(hist.Losses) != len(clean.Losses) {
+				t.Fatalf("iteration counts differ: %d vs %d", len(hist.Losses), len(clean.Losses))
+			}
+			for i := range hist.Losses {
+				if hist.Losses[i] != clean.Losses[i] {
+					t.Fatalf("loss %d diverges after recovery: %v vs clean %v", i, hist.Losses[i], clean.Losses[i])
+				}
+			}
+			if hist.TestMetric != clean.TestMetric {
+				t.Fatalf("test metric diverges after recovery: %v vs clean %v", hist.TestMetric, clean.TestMetric)
+			}
+		})
+	}
+}
+
+// TestChaosPersistentCorruptionFailsTyped removes the fault budget so the
+// retransmission round is corrupted too: the run must abort with the typed
+// integrity error, never return a model trained on flipped ciphertexts.
+func TestChaosPersistentCorruptionFailsTyped(t *testing.T) {
+	ds := data.Generate(tinySpec("t-chaos-corrupt", 12, 12, 2, false), 3)
+	pa, pb, _ := fedPipeFault(t, 601, "chaos-persistent", transport.FaultPlan{FlipProb: 1})
+	pa.ChunkRows, pb.ChunkRows = 3, 3
+	_, err := TrainFederated(LR, ds, chaosHyper(), pa, pb)
+	if err == nil {
+		t.Fatal("training returned a model over persistently corrupted chunks")
+	}
+	if !errors.Is(err, transport.ErrCorrupt) {
+		t.Fatalf("err = %v, want transport.ErrCorrupt", err)
+	}
+}
+
+// TestChaosMidRunKillFailsTyped kills the two-party connection mid-run: with
+// a single session there is nothing to continue on, so the run must surface
+// the connection loss as a typed failure on both parties instead of hanging.
+func TestChaosMidRunKillFailsTyped(t *testing.T) {
+	ds := data.Generate(tinySpec("t-chaos-kill2p", 12, 12, 2, false), 3)
+	pa, pb, _ := fedPipeFault(t, 602, "chaos-kill", transport.FaultPlan{KillAtMsg: 20})
+	done := make(chan error, 1)
+	go func() {
+		_, err := TrainFederated(LR, ds, chaosHyper(), pa, pb)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("training completed over a killed connection")
+		}
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("err = %v, want transport.ErrClosed", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("two-party training hung after a mid-run kill")
+	}
+}
+
+// TestChaosGroupKillAbortsByDefault kills one session of a 3-party group
+// mid-epoch without loss tolerance: the default contract is whole-group
+// abort, with RunGroup's teardown unblocking the survivors.
+func TestChaosGroupKillAbortsByDefault(t *testing.T) {
+	ds := data.Generate(tinySpec("t-chaos-killg", 12, 12, 2, false), 3)
+	as, g, _ := faultGroupPipe(t, 3, 603, 1, transport.FaultPlan{KillAtMsg: 20})
+	done := make(chan error, 1)
+	go func() {
+		_, err := Trainer{Kind: LR, Hyper: chaosHyper()}.Train(ds, PartySet{As: as, B: g})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("group training completed after a session kill without ContinueOnLoss")
+		}
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("err = %v, want transport.ErrClosed", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("group training hung after a mid-epoch session kill")
+	}
+}
+
+// TestChaosGroupKillContinueOnLoss is the recovery half of satellite 4: with
+// ContinueOnLoss the two surviving sessions finish the epoch, the label
+// party's history reports exactly which session died, and the metrics stay
+// finite — a degraded-but-honest run, not an abort and not silent garbage.
+func TestChaosGroupKillContinueOnLoss(t *testing.T) {
+	ds := data.Generate(tinySpec("t-chaos-lossy", 12, 12, 2, false), 3)
+	as, g, fc := faultGroupPipe(t, 3, 604, 1, transport.FaultPlan{KillAtMsg: 20})
+	type result struct {
+		hist *History
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		hist, err := Trainer{Kind: LR, Hyper: chaosHyper(), ContinueOnLoss: true}.Train(ds, PartySet{As: as, B: g})
+		done <- result{hist, err}
+	}()
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("lossy run failed instead of continuing: %v", r.err)
+		}
+		if !fc.Injected().Killed {
+			t.Fatal("kill schedule never fired")
+		}
+		if r.hist.LostSessions == nil || !r.hist.LostSessions[1] {
+			t.Fatalf("LostSessions = %v, want session 1 lost", r.hist.LostSessions)
+		}
+		if r.hist.LostSessions[0] || r.hist.LostSessions[2] {
+			t.Fatalf("LostSessions = %v, surviving sessions marked lost", r.hist.LostSessions)
+		}
+		if math.IsNaN(r.hist.TestMetric) || math.IsInf(r.hist.TestMetric, 0) {
+			t.Fatalf("lossy run produced non-finite metric %v", r.hist.TestMetric)
+		}
+		for i, l := range r.hist.Losses {
+			if math.IsNaN(l) || math.IsInf(l, 0) {
+				t.Fatalf("lossy run produced non-finite loss %v at iteration %d", l, i)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("ContinueOnLoss training hung after a mid-epoch session kill")
+	}
+}
+
+// TestChaosLossyRunRefusesCheckpoint pins the partial-checkpoint guard: a
+// run that lost a session never captured that session's layer half, so
+// asking for a serve checkpoint must fail typed rather than write a model
+// with a hole in it.
+func TestChaosLossyRunRefusesCheckpoint(t *testing.T) {
+	ds := data.Generate(tinySpec("t-chaos-lossyck", 12, 12, 2, false), 3)
+	as, g, _ := faultGroupPipe(t, 3, 605, 1, transport.FaultPlan{KillAtMsg: 20})
+	var sink discardWriter
+	_, err := Trainer{Kind: LR, Hyper: chaosHyper(), ContinueOnLoss: true, Checkpoint: &sink}.
+		Train(ds, PartySet{As: as, B: g})
+	if err == nil {
+		t.Fatal("lossy run wrote a checkpoint missing a session's layer half")
+	}
+	if !errors.Is(err, protocol.ErrSessionLost) {
+		t.Fatalf("err = %v, want protocol.ErrSessionLost", err)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestChaosSpotCheckCleanRun runs the decrypt spot-check over a clean
+// streamed and a clean monolithic run: checks must fire, mismatches must be
+// zero, and the probe must not perturb the training trajectory (its
+// randomness comes from a dedicated derivation, not the mask streams).
+func TestChaosSpotCheckCleanRun(t *testing.T) {
+	ds := data.Generate(tinySpec("t-chaos-spot", 12, 12, 2, false), 3)
+	for _, stream := range []bool{false, true} {
+		name := "monolithic"
+		if stream {
+			name = "streamed"
+		}
+		t.Run(name, func(t *testing.T) {
+			h := chaosHyper()
+			h.Stream = stream
+
+			run := func(spot bool) (*History, *protocol.Peer) {
+				pa, pb := fedPipe(t, 610)
+				pa.ChunkRows, pb.ChunkRows = 3, 3
+				pb.SpotCheck = spot
+				hist, err := TrainFederated(LR, ds, h, pa, pb)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return hist, pb
+			}
+			clean, _ := run(false)
+			checked, pb := run(true)
+
+			if pb.Stream.SpotChecks == 0 {
+				t.Fatal("spot-check enabled but no rows were checked")
+			}
+			if pb.Stream.SpotMismatches != 0 {
+				t.Fatalf("clean run reported %d spot-check mismatches", pb.Stream.SpotMismatches)
+			}
+			for i := range checked.Losses {
+				if checked.Losses[i] != clean.Losses[i] {
+					t.Fatalf("loss %d diverges with spot-checks on: %v vs %v", i, checked.Losses[i], clean.Losses[i])
+				}
+			}
+			if checked.TestMetric != clean.TestMetric {
+				t.Fatalf("test metric diverges with spot-checks on: %v vs %v", checked.TestMetric, clean.TestMetric)
+			}
+		})
+	}
+}
+
+// TestChaosRetryPredictorRecovers exercises the bounded-retry serve-session
+// setup: the first attempt dies on a killed connection, the second one — on
+// fresh sessions — succeeds. A permanent error (garbage checkpoint) must
+// not be retried.
+func TestChaosRetryPredictorRecovers(t *testing.T) {
+	ds := data.Generate(tinySpec("t-chaos-retry", 12, 12, 2, false), 3)
+	h := chaosHyper()
+	h.Stream = false
+	skA, skB := protocol.TestKeys()
+	pa, pb := fedPipe(t, 619)
+	var buf bytes.Buffer
+	if _, err := (Trainer{Kind: LR, Hyper: h, Checkpoint: &buf}).Train(ds, Pair(pa, pb)); err != nil {
+		t.Fatal(err)
+	}
+	ck := buf.Bytes()
+
+	attempts := 0
+	p, err := RetryPredictor(3, time.Millisecond, func(attempt int) (*Predictor, error) {
+		attempts++
+		skAs := []*paillier.PrivateKey{skA}
+		if attempt == 0 {
+			// First attempt: the weight exchange dies on a killed connection.
+			as, g, _ := faultGroupPipe(t, 1, 620, 0, transport.FaultPlan{KillAtMsg: 2})
+			return NewPredictor(bytes.NewReader(ck), PartySet{As: as, B: g})
+		}
+		as, g, err := protocol.GroupPipe(skAs, skB, 621)
+		if err != nil {
+			return nil, err
+		}
+		return NewPredictor(bytes.NewReader(ck), PartySet{As: as, B: g})
+	})
+	if err != nil {
+		t.Fatalf("RetryPredictor failed despite a healthy second attempt: %v", err)
+	}
+	if attempts != 2 {
+		t.Fatalf("RetryPredictor used %d attempts, want 2", attempts)
+	}
+	if p == nil || p.K() != 1 {
+		t.Fatalf("RetryPredictor returned a malformed predictor")
+	}
+
+	attempts = 0
+	_, err = RetryPredictor(3, time.Millisecond, func(int) (*Predictor, error) {
+		attempts++
+		as, g, gerr := protocol.GroupPipe([]*paillier.PrivateKey{skA}, skB, 622)
+		if gerr != nil {
+			return nil, gerr
+		}
+		defer g.Close()
+		return NewPredictor(bytes.NewReader([]byte("not a checkpoint")), PartySet{As: as, B: g})
+	})
+	if err == nil {
+		t.Fatal("RetryPredictor accepted a garbage checkpoint")
+	}
+	if attempts != 1 {
+		t.Fatalf("RetryPredictor retried a permanent checkpoint error %d times", attempts)
+	}
+}

@@ -71,6 +71,13 @@ type History struct {
 	TestMetric float64
 	MetricName string // "auc" or "accuracy"
 	TestLogits *tensor.Dense
+
+	// LostSessions[i] reports that session i's connection died mid-run and
+	// the run finished on the survivors (Trainer.ContinueOnLoss). Nil when
+	// every session survived. A run that lost sessions is still a valid
+	// training run over the surviving parties' features, but its metrics are
+	// not comparable to a full-group run — callers must surface the loss.
+	LostSessions []bool
 }
 
 // outDim returns the logit width for a class count.

@@ -3,15 +3,18 @@ package model
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"blindfl/internal/core"
 	"blindfl/internal/hetensor"
 	"blindfl/internal/paillier"
 	"blindfl/internal/protocol"
 	"blindfl/internal/tensor"
+	"blindfl/internal/transport"
 )
 
 // Predictor is the forward-only model blindfl-serve runs: the dense source
@@ -130,6 +133,35 @@ func NewPredictor(r io.Reader, ps PartySet) (*Predictor, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// RetryPredictor opens a Predictor with bounded retry-with-backoff — the
+// recovery path for transient serve-session setup failures (a feature party
+// restarting, a connection dropped or corrupted during the weight exchange).
+// open(attempt) must build fresh sessions each call: a failed weight
+// exchange closes the whole group, so the old connections are unusable.
+// Only transport failures (ErrClosed, ErrCorrupt) are retried — a malformed
+// checkpoint or shape mismatch is permanent and fails immediately. The wait
+// before retry n is backoff·2ⁿ⁻¹; sleep is the only side effect between
+// attempts. Returns the last error after attempts failures.
+func RetryPredictor(attempts int, backoff time.Duration, open func(attempt int) (*Predictor, error)) (*Predictor, error) {
+	if attempts < 1 {
+		return nil, fmt.Errorf("model: RetryPredictor needs at least one attempt")
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff << (i - 1))
+		}
+		var p *Predictor
+		if p, err = open(i); err == nil {
+			return p, nil
+		}
+		if !errors.Is(err, transport.ErrClosed) && !errors.Is(err, transport.ErrCorrupt) {
+			return nil, err // permanent: retrying cannot change the outcome
+		}
+	}
+	return nil, fmt.Errorf("model: serve-session setup failed after %d attempts: %w", attempts, err)
 }
 
 // K returns the number of feature parties the model spans.

@@ -26,6 +26,14 @@ type Trainer struct {
 	// stream matches the single-binary simulation runtime, and still
 	// contains no more than the parties' processes jointly held.
 	Checkpoint io.Writer
+
+	// ContinueOnLoss opts a k>1 run into session-loss tolerance
+	// (protocol.Group.ContinueOnLoss): when a feature party's connection
+	// dies mid-run, the surviving k−1 sessions finish the epoch and the
+	// loss is surfaced through History.LostSessions instead of aborting.
+	// Integrity failures (transport.ErrCorrupt) still abort regardless.
+	// Ignored for two-party runs, where the peer is the whole protocol.
+	ContinueOnLoss bool
 }
 
 // PartySet bundles the live protocol sessions a training run (or a serve
@@ -122,6 +130,7 @@ func (t Trainer) trainMulti(ds *data.Dataset, ps PartySet) (*History, error) {
 
 	hist := &History{MetricName: metricName(ds.Spec.Classes)}
 	cc := newCkCapture(t, ds, inAs)
+	ps.B.ContinueOnLoss = t.ContinueOnLoss
 	err := protocol.RunGroup(ps.As, ps.B,
 		func(i int) {
 			ma := NewFedAMulti(ps.As[i], kind, ds, h, inAs[i], k)
@@ -137,6 +146,15 @@ func (t Trainer) trainMulti(ds *data.Dataset, ps PartySet) (*History, error) {
 		})
 	if err != nil {
 		return nil, err
+	}
+	if ps.B.LostCount() > 0 {
+		hist.LostSessions = ps.B.Lost()
+		// A lost session's layer half was never captured; a checkpoint with a
+		// hole would load as garbage, so a lossy run refuses to write one.
+		if t.Checkpoint != nil {
+			return nil, fmt.Errorf("model: %w: %d of %d sessions lost mid-run, refusing to write a partial checkpoint",
+				protocol.ErrSessionLost, ps.B.LostCount(), k)
+		}
 	}
 	if err := cc.write(t.Checkpoint); err != nil {
 		return nil, err

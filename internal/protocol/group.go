@@ -1,6 +1,7 @@
 package protocol
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -9,6 +10,11 @@ import (
 	"blindfl/internal/rng"
 	"blindfl/internal/transport"
 )
+
+// ErrSessionLost is the typed error for a session whose connection died
+// mid-protocol while the group ran in ContinueOnLoss mode. Group helpers
+// wrap it with the session index; callers match it with errors.Is.
+var ErrSessionLost = errors.New("protocol: session lost")
 
 // Multi-party session runtime (paper Appendix C, Algorithm 3): one label
 // party B holds k independent two-party sessions, one per feature party
@@ -30,6 +36,20 @@ import (
 // (partial-activation sums, gradient fan-out) follows it.
 type Group struct {
 	Peers []*Peer
+
+	// ContinueOnLoss makes the group survive individual session deaths: when
+	// a session's connection fails mid-protocol (its peer process died, its
+	// transport closed), the session is marked lost and skipped by every
+	// later ForEach, the epoch finishes on the surviving sessions, and the
+	// loss is surfaced through Lost()/ErrSessionLost rather than aborting
+	// the whole run. Off by default: any session failure aborts the group.
+	//
+	// Only connection loss (transport.ErrClosed) is survivable — integrity
+	// failures (transport.ErrCorrupt) and protocol type errors still abort,
+	// corrupt arithmetic must never be silently averaged away.
+	ContinueOnLoss bool
+
+	lost []bool // lost[i]: session i's connection died mid-run
 }
 
 // NewGroup bundles B-side peers into a group. The peers must already be
@@ -44,6 +64,43 @@ func NewGroup(peers []*Peer) *Group {
 // K returns the number of sessions (feature parties).
 func (g *Group) K() int { return len(g.Peers) }
 
+// Lost reports which sessions have been lost (ContinueOnLoss mode). The
+// returned slice is a copy; index i corresponds to session i.
+func (g *Group) Lost() []bool {
+	out := make([]bool, len(g.Peers))
+	copy(out, g.lost)
+	return out
+}
+
+// LostCount returns how many sessions have been lost so far.
+func (g *Group) LostCount() int {
+	n := 0
+	for _, l := range g.lost {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// Live reports whether session i is still healthy.
+func (g *Group) Live(i int) bool { return g.lost == nil || !g.lost[i] }
+
+func (g *Group) markLost(i int) {
+	if g.lost == nil {
+		g.lost = make([]bool, len(g.Peers))
+	}
+	g.lost[i] = true
+}
+
+// CloseSession closes session i's connection and marks the session lost —
+// the sanctioned way for a driver to retire one session of a running group
+// (ContinueOnLoss deployments draining a dead feature party).
+func (g *Group) CloseSession(i int) {
+	g.markLost(i)
+	g.Peers[i].Conn.Close()
+}
+
 // ForEach runs f(i, session i's peer) for every session concurrently via
 // internal/parallel and waits for all of them. Per-session protocol failures
 // (the panics the Peer helpers raise) are captured per session and re-raised
@@ -56,9 +113,17 @@ func (g *Group) K() int { return len(g.Peers) }
 //
 // f must confine itself to session i's peer; the scheduler may run any
 // subset of sessions in parallel (bounded by GOMAXPROCS) and in any order.
+//
+// In ContinueOnLoss mode, sessions already lost are skipped, and a session
+// failing with a connection loss during this call is marked lost instead of
+// failing the group — unless it was the last live session, in which case the
+// group fails with ErrSessionLost. All other failures abort as usual.
 func (g *Group) ForEach(f func(i int, p *Peer)) {
 	errs := make([]error, len(g.Peers))
 	parallel.For(len(g.Peers), func(i int) {
+		if !g.Live(i) {
+			return
+		}
 		defer func() {
 			if r := recover(); r != nil {
 				if pe, ok := r.(protoErr); ok {
@@ -73,10 +138,18 @@ func (g *Group) ForEach(f func(i int, p *Peer)) {
 		}()
 		f(i, g.Peers[i])
 	})
-	for _, err := range errs {
-		if err != nil {
-			panic(protoErr{err})
+	for i, err := range errs {
+		if err == nil {
+			continue
 		}
+		if g.ContinueOnLoss && errors.Is(err, transport.ErrClosed) {
+			g.markLost(i)
+			continue
+		}
+		panic(protoErr{err})
+	}
+	if g.LostCount() == len(g.Peers) {
+		panic(protoErr{fmt.Errorf("%w: all %d sessions lost", ErrSessionLost, len(g.Peers))})
 	}
 }
 
@@ -123,7 +196,16 @@ func RunGroup(as []*Peer, g *Group, fa func(i int), fb func()) error {
 	errs := make(chan error, g.K()+1)
 	for i := range as {
 		i := i
-		go func() { errs <- as[i].Run(func() { fa(i) }) }()
+		go func() {
+			err := as[i].Run(func() { fa(i) })
+			if err != nil && g.ContinueOnLoss && errors.Is(err, transport.ErrClosed) {
+				// The feature party lost its connection mid-run; the label
+				// party marks the session lost and finishes on the survivors,
+				// so the loss is not a whole-group failure.
+				err = nil
+			}
+			errs <- err
+		}()
 	}
 	go func() { errs <- g.Run(fb) }()
 	var first error

@@ -197,3 +197,112 @@ func TestGroupForEachRunsEverySession(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// faultedGroup assembles a k-session group whose faultSession's Party-A
+// endpoint sends through a FaultConn running plan — the harness for the
+// mid-epoch session-kill teardown tests.
+func faultedGroup(t *testing.T, k int, seed int64, faultSession int, plan transport.FaultPlan) ([]*Peer, *Group) {
+	t.Helper()
+	skA, skB := TestKeys()
+	as := make([]*Peer, k)
+	bs := make([]*Peer, k)
+	errs := make(chan error, 2*k)
+	for i := 0; i < k; i++ {
+		ca, cb := transport.Pair(4096)
+		var connA transport.Conn = ca
+		if i == faultSession {
+			connA = transport.NewFaultConn(ca, seed, "group-kill", plan)
+		}
+		a := NewPeer(PartyA, connA, skA, sessionRNG(seed, i, PartyA))
+		b := NewPeer(PartyB, cb, skB, sessionRNG(seed, i, PartyB))
+		as[i], bs[i] = a, b
+		go func() { errs <- a.Handshake() }()
+		go func() { errs <- b.Handshake() }()
+	}
+	for i := 0; i < 2*k; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	return as, NewGroup(bs)
+}
+
+// runKilledGroup drives four echo rounds over a 3-session group whose
+// session 1 dies at its third send (mid-round 2) and returns RunGroup's
+// error, guarded by the hang watchdog.
+func runKilledGroup(t *testing.T, seed int64, continueOnLoss bool) (*Group, error) {
+	t.Helper()
+	as, g := faultedGroup(t, 3, seed, 1, transport.FaultPlan{KillAtMsg: 3})
+	g.ContinueOnLoss = continueOnLoss
+	done := make(chan error, 1)
+	go func() {
+		done <- RunGroup(as, g,
+			func(i int) {
+				for r := 0; r < 4; r++ {
+					as[i].Send(as[i].Mask(2, 2))
+					as[i].RecvDense()
+				}
+			},
+			func() {
+				for r := 0; r < 4; r++ {
+					g.ForEach(func(i int, p *Peer) { p.Send(p.RecvDense()) })
+				}
+			})
+	}()
+	select {
+	case err := <-done:
+		return g, err
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunGroup hung after a FaultConn session kill")
+		return nil, nil
+	}
+}
+
+// TestRunGroupFaultConnKillAborts pins the default contract when an injected
+// fault kills one session's connection mid-epoch: the whole group aborts
+// with the typed connection-loss error and every survivor unblocks.
+func TestRunGroupFaultConnKillAborts(t *testing.T) {
+	_, err := runKilledGroup(t, 45, false)
+	if err == nil {
+		t.Fatal("RunGroup completed over a killed session without ContinueOnLoss")
+	}
+	if !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("err = %v, want transport.ErrClosed", err)
+	}
+}
+
+// TestRunGroupFaultConnKillContinueOnLoss is the recovery mode: the two
+// surviving sessions finish all four rounds and the loss is surfaced
+// through Lost() instead of an error.
+func TestRunGroupFaultConnKillContinueOnLoss(t *testing.T) {
+	g, err := runKilledGroup(t, 46, true)
+	if err != nil {
+		t.Fatalf("ContinueOnLoss group failed instead of continuing: %v", err)
+	}
+	if lost := g.Lost(); !lost[1] || lost[0] || lost[2] {
+		t.Fatalf("Lost() = %v, want exactly session 1 lost", lost)
+	}
+	if g.LostCount() != 1 {
+		t.Fatalf("LostCount() = %d, want 1", g.LostCount())
+	}
+}
+
+// TestGroupAllSessionsLostFailsTyped: losing the last live session must be a
+// typed whole-group failure even in ContinueOnLoss mode — there is nothing
+// left to continue on.
+func TestGroupAllSessionsLostFailsTyped(t *testing.T) {
+	as, g := newGroupPipe(t, 2, 47)
+	g.ContinueOnLoss = true
+	for _, a := range as {
+		a.Conn.Close()
+	}
+	err := g.Run(func() {
+		g.ForEach(func(i int, p *Peer) { p.RecvDense() })
+	})
+	if err == nil {
+		t.Fatal("group survived losing every session")
+	}
+	if !errors.Is(err, ErrSessionLost) {
+		t.Fatalf("err = %v, want ErrSessionLost", err)
+	}
+}

@@ -62,13 +62,25 @@ type Peer struct {
 	// rounds.
 	Stream StreamStats
 
+	// SpotCheck enables the probabilistic decrypt spot-check (spotcheck.go):
+	// after a sampled HE2SS decryption (one conversion in four, starting
+	// with the first), one derived row is re-verified through the
+	// exact-integer path; outcomes accumulate in Stream.
+	SpotCheck bool
+
 	sendSeq, recvSeq uint64 // per-direction stream sequence numbers
+	spotSeq          uint64 // spot-check ordinal (row derivation)
 }
 
 // NewPeer assembles a Peer. Call Handshake before running any protocol to
 // exchange public keys (unless PeerPK is set by other means).
+//
+// The connection is wrapped in a transport.StreamConn (idempotently), so
+// every protocol session gets the stream NACK/resend recovery: a corrupt,
+// dropped, duplicated or reordered chunk is re-requested once from the
+// sender's retained copy before the session aborts with a typed error.
 func NewPeer(role Role, conn transport.Conn, sk *paillier.PrivateKey, rng *rand.Rand) *Peer {
-	return &Peer{Role: role, Conn: conn, SK: sk, Rng: rng, MaskMag: DefaultMaskMag}
+	return &Peer{Role: role, Conn: transport.NewStreamConn(conn), SK: sk, Rng: rng, MaskMag: DefaultMaskMag}
 }
 
 // Handshake exchanges public keys with the peer. Party A sends first.
@@ -125,14 +137,14 @@ func (p *Peer) fail(format string, args ...any) {
 // Send transmits a message, panicking (inside Run) on failure.
 func (p *Peer) Send(v any) {
 	if err := p.Conn.Send(v); err != nil {
-		p.fail("send: %v", err)
+		p.fail("send: %w", err)
 	}
 }
 
 func (p *Peer) recv() any {
 	v, err := p.Conn.Recv()
 	if err != nil {
-		p.fail("recv: %v", err)
+		p.fail("recv: %w", err)
 	}
 	return v
 }
@@ -246,7 +258,9 @@ func (p *Peer) HE2SSRecv() *tensor.Dense {
 	if c.PK.N.Cmp(p.SK.N) != 0 {
 		p.fail("HE2SSRecv: ciphertext is not under this party's key")
 	}
-	return hetensor.Decrypt(p.SK, c)
+	d := hetensor.Decrypt(p.SK, c)
+	p.spotCheckCipher(c, d)
+	return d
 }
 
 // HE2SSSendPacked is HE2SSSend for a packed ciphertext matrix: the fresh
@@ -265,7 +279,9 @@ func (p *Peer) HE2SSRecvPacked() *tensor.Dense {
 	if c.PK.N.Cmp(p.SK.N) != 0 {
 		p.fail("HE2SSRecvPacked: ciphertext is not under this party's key")
 	}
-	return hetensor.DecryptPacked(p.SK, c)
+	d := hetensor.DecryptPacked(p.SK, c)
+	p.spotCheckPacked(c, d)
+	return d
 }
 
 // SS2HE is Algorithm 2: both parties hold one additive piece of v; each

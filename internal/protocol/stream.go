@@ -41,6 +41,11 @@ type StreamStats struct {
 	StreamsRecv int64
 	ChunksRecv  int64
 	RecvWait    time.Duration // cumulative time blocked waiting for chunks
+
+	// Decrypt spot-check outcomes (spotcheck.go): rows re-verified through
+	// the exact-integer path and how many of them disagreed.
+	SpotChecks     int64
+	SpotMismatches int64
 }
 
 // chunkSpan returns the agreed chunk row bound.
@@ -71,20 +76,27 @@ func chunkCount(rows, span int) int {
 // sendStream ships one logical rows×cols matrix as lazily produced
 // row-chunks, recording per-chunk accounting. produce(lo, hi) is called only
 // after the previous chunk was handed to the transport.
+//
+// BytesSent counts the full wire footprint of the stream — header, chunk
+// envelopes (sequence numbers and checksums included) and end marker, not
+// just the chunk payloads — so the bench traffic tables report what actually
+// crosses the link.
 func (p *Peer) sendStream(rows, cols int, produce func(lo, hi int) any) {
 	span := p.chunkSpan()
 	chunks := chunkCount(rows, span)
 	seq := p.sendSeq
 	p.sendSeq++
+	p.Stream.BytesSent += int64(transport.WireSize(&transport.StreamHeader{}))
 	err := transport.SendStream(p.Conn, seq, rows, cols, chunks, func(i int) (any, error) {
 		lo, hi := chunkBounds(rows, span, i)
 		v := produce(lo, hi)
-		p.Stream.BytesSent += int64(transport.WireSize(v))
+		p.Stream.BytesSent += int64(transport.WireSize(&transport.StreamChunk{V: v}))
 		return v, nil
 	})
 	if err != nil {
-		p.fail("stream send: %v", err)
+		p.fail("stream send: %w", err)
 	}
+	p.Stream.BytesSent += int64(transport.WireSize(&transport.StreamEnd{}))
 	p.Stream.StreamsSent++
 	p.Stream.ChunksSent += int64(chunks)
 }
@@ -113,7 +125,7 @@ func (p *Peer) recvStream(consume func(h *transport.StreamHeader, lo int, v any)
 		return nil
 	})
 	if err != nil {
-		p.fail("stream recv: %v", err)
+		p.fail("stream recv: %w", err)
 	}
 	if off != h.Rows {
 		p.fail("stream recv: stream delivered %d of %d announced rows", off, h.Rows)
@@ -121,29 +133,43 @@ func (p *Peer) recvStream(consume func(h *transport.StreamHeader, lo int, v any)
 	p.Stream.StreamsRecv++
 	p.Stream.ChunksRecv += int64(h.Chunks)
 	p.Stream.RecvWait += wait
+	// The receive side of every stream sends one ack back (transport layer);
+	// count it so both directions' BytesSent stay envelope-honest.
+	p.Stream.BytesSent += int64(transport.WireSize(&transport.StreamAck{}))
 	return h
 }
 
 // trustCipher reattaches the locally trusted public key, as RecvCipher
-// does for monolithic transfers. Table-cache identities are minted by the
+// does for monolithic transfers, and vets every ciphertext against it
+// (spotcheck.go): out-of-range or non-invertible cells fail here, at the
+// trust boundary, with a typed transport.ErrCorrupt instead of panicking
+// deep inside a homomorphic kernel. Table-cache identities are minted by the
 // whole-matrix receive paths (RecvCipher, RecvCipherStream), NOT here:
 // stream chunks pass through this helper too, and a chunk is a single-use
 // view that never recurs — minting per chunk would fill the persistent
 // cache with unreachable entries and evict the genuinely reusable ones.
 func (p *Peer) trustCipher(c *hetensor.CipherMatrix) {
+	if c.PK == nil || c.PK.N == nil {
+		p.fail("recv cipher: %w: matrix carries no public key", transport.ErrCorrupt)
+	}
 	if c.PK.N.Cmp(p.SK.N) == 0 {
 		c.PK = &p.SK.PublicKey
 	} else {
 		c.PK = p.PeerPK
 	}
+	p.vetCells(c.C, c.PK, "recv cipher")
 }
 
 func (p *Peer) trustPacked(c *hetensor.PackedMatrix) {
+	if c.PK == nil || c.PK.N == nil {
+		p.fail("recv packed: %w: matrix carries no public key", transport.ErrCorrupt)
+	}
 	if c.PK.N.Cmp(p.SK.N) == 0 {
 		c.PK = &p.SK.PublicKey
 	} else {
 		c.PK = p.PeerPK
 	}
+	p.vetCells(c.C, c.PK, "recv packed")
 }
 
 // cipherChunk asserts a stream payload is a cipher matrix chunk and
@@ -268,9 +294,13 @@ func (p *Peer) HE2SSSendStream(c *hetensor.CipherMatrix) *tensor.Dense {
 }
 
 // HE2SSRecvStream is the streamed decrypting half of Algorithm 1: decrypt
-// each arriving chunk of ⟦v−φ⟧ while the peer blinds the next one.
+// each arriving chunk of ⟦v−φ⟧ while the peer blinds the next one. One
+// derived row per stream is spot-checked (when enabled) inside the chunk
+// that carries it — chunk payloads are transient, so the check must run
+// before the ciphertexts go out of scope.
 func (p *Peer) HE2SSRecvStream() *tensor.Dense {
 	var out *tensor.Dense
+	spot := -1
 	p.recvStream(func(h *transport.StreamHeader, lo int, v any) int {
 		c := p.cipherChunk(v)
 		if c.PK.N.Cmp(p.SK.N) != 0 {
@@ -278,8 +308,14 @@ func (p *Peer) HE2SSRecvStream() *tensor.Dense {
 		}
 		if out == nil {
 			out = tensor.NewDense(h.Rows, h.Cols)
+			if p.SpotCheck && h.Rows > 0 && p.spotSample() {
+				spot = p.spotRow(h.Rows)
+			}
 		}
 		copy(out.RowSlice(lo, lo+c.Rows).Data, hetensor.Decrypt(p.SK, c).Data)
+		if spot >= lo && spot < lo+c.Rows {
+			p.recordSpot(p.spotRowCipher(c.RowSlice(spot-lo, spot-lo+1), out.Row(spot)))
+		}
 		return c.Rows
 	})
 	return out
@@ -294,9 +330,11 @@ func (p *Peer) HE2SSSendPackedStream(c *hetensor.PackedMatrix) *tensor.Dense {
 	return phi
 }
 
-// HE2SSRecvPackedStream is HE2SSRecvStream over packed ciphertexts.
+// HE2SSRecvPackedStream is HE2SSRecvStream over packed ciphertexts, with the
+// same per-stream decrypt spot-check on one derived row.
 func (p *Peer) HE2SSRecvPackedStream() *tensor.Dense {
 	var out *tensor.Dense
+	spot := -1
 	p.recvStream(func(h *transport.StreamHeader, lo int, v any) int {
 		c := p.packedChunk(v)
 		if c.PK.N.Cmp(p.SK.N) != 0 {
@@ -304,8 +342,14 @@ func (p *Peer) HE2SSRecvPackedStream() *tensor.Dense {
 		}
 		if out == nil {
 			out = tensor.NewDense(h.Rows, h.Cols)
+			if p.SpotCheck && h.Rows > 0 && p.spotSample() {
+				spot = p.spotRow(h.Rows)
+			}
 		}
 		copy(out.RowSlice(lo, lo+c.Rows).Data, hetensor.DecryptPacked(p.SK, c).Data)
+		if spot >= lo && spot < lo+c.Rows {
+			p.recordSpot(p.spotRowPacked(c.RowSlice(spot-lo, spot-lo+1), out.Row(spot)))
+		}
 		return c.Rows
 	})
 	return out

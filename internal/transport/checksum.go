@@ -1,0 +1,155 @@
+// Checksums for stream envelopes: a structural FNV-1a over the payload,
+// mirroring the type switch of WireSize. Hashing the structural bytes
+// directly (float bits, big.Int limbs, index slices) keeps the in-process
+// transports zero-copy — running a real encoder per chunk would cost more
+// than the chunk's homomorphic work it is guarding.
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/big"
+
+	"blindfl/internal/hetensor"
+	"blindfl/internal/paillier"
+	"blindfl/internal/tensor"
+)
+
+// Checksum returns the FNV-1a digest of v's structural payload: every byte a
+// bit-flip could corrupt contributes, with lengths and nil markers folded in
+// so distinct shapes can never collide by concatenation. Unknown payload
+// types contribute their type tag only (they carry no matrix data worth
+// guarding); the stream layer only ships the structural types below.
+func Checksum(v any) uint64 {
+	f := newFNV()
+	f.writeValue(v)
+	return f.sum()
+}
+
+// fnvWriter wraps hash/fnv with the fixed-width field helpers the structural
+// hash needs.
+type fnvWriter struct {
+	h   interface{ Sum64() uint64 }
+	w   interface{ Write([]byte) (int, error) }
+	buf [8]byte
+}
+
+func newFNV() *fnvWriter {
+	h := fnv.New64a()
+	return &fnvWriter{h: h, w: h}
+}
+
+func (f *fnvWriter) sum() uint64 { return f.h.Sum64() }
+
+func (f *fnvWriter) writeUint64(x uint64) {
+	binary.LittleEndian.PutUint64(f.buf[:], x)
+	f.w.Write(f.buf[:])
+}
+
+func (f *fnvWriter) writeFloats(xs []float64) {
+	f.writeUint64(uint64(len(xs)))
+	for _, x := range xs {
+		f.writeUint64(math.Float64bits(x))
+	}
+}
+
+func (f *fnvWriter) writeInts(xs []int) {
+	f.writeUint64(uint64(len(xs)))
+	for _, x := range xs {
+		f.writeUint64(uint64(int64(x)))
+	}
+}
+
+func (f *fnvWriter) writeBig(x *big.Int) {
+	if x == nil {
+		f.writeUint64(^uint64(0))
+		return
+	}
+	b := x.Bytes()
+	neg := uint64(0)
+	if x.Sign() < 0 {
+		neg = 1
+	}
+	f.writeUint64(uint64(len(b))<<1 | neg)
+	f.w.Write(b)
+}
+
+func (f *fnvWriter) writeCipher(c *paillier.Ciphertext) {
+	if c == nil {
+		f.writeUint64(^uint64(0) - 1)
+		return
+	}
+	f.writeBig(c.C)
+}
+
+func (f *fnvWriter) writeValue(v any) {
+	switch m := v.(type) {
+	case nil:
+		f.writeUint64(0)
+	case *tensor.Dense:
+		f.writeUint64(1)
+		f.writeUint64(uint64(int64(m.Rows)))
+		f.writeUint64(uint64(int64(m.Cols)))
+		f.writeFloats(m.Data)
+	case *tensor.CSR:
+		f.writeUint64(2)
+		f.writeInts(m.RowPtr)
+		f.writeInts(m.ColIdx)
+		f.writeFloats(m.Val)
+	case *tensor.IntMatrix:
+		f.writeUint64(3)
+		f.writeUint64(uint64(int64(m.Rows)))
+		f.writeUint64(uint64(int64(m.Cols)))
+		f.writeInts(m.Data)
+	case []int:
+		f.writeUint64(4)
+		f.writeInts(m)
+	case []uint64:
+		f.writeUint64(5)
+		f.writeUint64(uint64(len(m)))
+		for _, x := range m {
+			f.writeUint64(x)
+		}
+	case *paillier.PublicKey:
+		f.writeUint64(6)
+		f.writeBig(m.N)
+	case *paillier.Ciphertext:
+		f.writeUint64(7)
+		f.writeCipher(m)
+	case *hetensor.CipherMatrix:
+		f.writeUint64(8)
+		f.writeUint64(uint64(int64(m.Rows)))
+		f.writeUint64(uint64(int64(m.Cols)))
+		f.writeUint64(uint64(m.Scale))
+		for _, c := range m.C {
+			f.writeCipher(c)
+		}
+	case *hetensor.BigMatrix:
+		f.writeUint64(11)
+		f.writeUint64(uint64(int64(m.Rows)))
+		f.writeUint64(uint64(int64(m.Cols)))
+		f.writeUint64(uint64(m.Scale))
+		f.writeUint64(uint64(len(m.V)))
+		for _, x := range m.V {
+			f.writeBig(x)
+		}
+	case *hetensor.PackedMatrix:
+		f.writeUint64(9)
+		f.writeUint64(uint64(int64(m.Rows)))
+		f.writeUint64(uint64(int64(m.Cols)))
+		f.writeUint64(uint64(int64(m.Block)))
+		f.writeUint64(uint64(m.Scale))
+		f.writeUint64(uint64(m.W))
+		f.writeUint64(uint64(int64(m.K)))
+		for _, c := range m.C {
+			f.writeCipher(c)
+		}
+	default:
+		// Non-structural payloads: a stable type tag. The stream layer only
+		// ships the matrix types above; anything else is control traffic.
+		f.writeUint64(10)
+		f.w.Write([]byte(fmt.Sprintf("%T", v)))
+	}
+}

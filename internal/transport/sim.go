@@ -147,9 +147,13 @@ func WireSize(v any) int {
 		}
 		return n
 	case *StreamHeader:
-		return frame + 32
+		return frame + 40
 	case *StreamChunk:
-		return frame + 16 + WireSize(m.V)
+		return frame + 24 + WireSize(m.V)
+	case *StreamEnd:
+		return frame + 8
+	case *StreamAck:
+		return frame + 8 + 8*len(m.Bad)
 	default:
 		return frame + 64 // unknown scalar-ish message
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -43,7 +44,7 @@ func TestSendRecvStreamRoundTripOverPair(t *testing.T) {
 
 func TestRecvStreamRejectsWrongSequence(t *testing.T) {
 	a, b := Pair(4)
-	if err := a.Send(&StreamHeader{Seq: 7, Rows: 1, Cols: 1, Chunks: 1}); err != nil {
+	if err := a.Send((&StreamHeader{Seq: 7, Rows: 1, Cols: 1, Chunks: 1}).seal()); err != nil {
 		t.Fatal(err)
 	}
 	_, err := RecvStream(b, 0, func(*StreamHeader, int, any) error { return nil })
@@ -52,13 +53,30 @@ func TestRecvStreamRejectsWrongSequence(t *testing.T) {
 	}
 }
 
+func TestRecvStreamRejectsCorruptHeader(t *testing.T) {
+	a, b := Pair(4)
+	// A header whose announced shape was corrupted after sealing.
+	h := (&StreamHeader{Seq: 0, Rows: 1, Cols: 1, Chunks: 1}).seal()
+	h.Rows = 4096
+	if err := a.Send(h); err != nil {
+		t.Fatal(err)
+	}
+	_, err := RecvStream(b, 0, func(*StreamHeader, int, any) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRecvStreamRejectsReorderedChunks pins the plain-Conn contract: without
+// the StreamConn recovery layer, chunks must arrive strictly in order.
 func TestRecvStreamRejectsReorderedChunks(t *testing.T) {
 	a, b := Pair(8)
-	if err := a.Send(&StreamHeader{Seq: 0, Rows: 4, Cols: 1, Chunks: 2}); err != nil {
+	if err := a.Send((&StreamHeader{Seq: 0, Rows: 4, Cols: 1, Chunks: 2}).seal()); err != nil {
 		t.Fatal(err)
 	}
 	// Deliver chunk 1 before chunk 0: the receiver must refuse to assemble.
-	if err := a.Send(&StreamChunk{Seq: 0, Index: 1, V: tensor.NewDense(2, 1)}); err != nil {
+	v := tensor.NewDense(2, 1)
+	if err := a.Send(&StreamChunk{Seq: 0, Index: 1, V: v, Sum: Checksum(v)}); err != nil {
 		t.Fatal(err)
 	}
 	_, err := RecvStream(b, 0, func(*StreamHeader, int, any) error { return nil })
@@ -67,13 +85,37 @@ func TestRecvStreamRejectsReorderedChunks(t *testing.T) {
 	}
 }
 
+// TestRecvStreamRejectsCorruptChunk: a plain Conn has no resend path, so a
+// checksum mismatch is immediately fatal and typed.
+func TestRecvStreamRejectsCorruptChunk(t *testing.T) {
+	a, b := Pair(8)
+	if err := a.Send((&StreamHeader{Seq: 0, Rows: 2, Cols: 1, Chunks: 1}).seal()); err != nil {
+		t.Fatal(err)
+	}
+	v := tensor.FromSlice(2, 1, []float64{1, 2})
+	sum := Checksum(v)
+	v.Data[1] = 2.0000000001 // the flip happens after the checksum was taken
+	if err := a.Send(&StreamChunk{Seq: 0, Index: 0, V: v, Sum: sum}); err != nil {
+		t.Fatal(err)
+	}
+	consumed := 0
+	_, err := RecvStream(b, 0, func(*StreamHeader, int, any) error { consumed++; return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+	if consumed != 0 {
+		t.Fatalf("consumed %d corrupt chunks", consumed)
+	}
+}
+
 func TestRecvStreamRejectsCrossedStreamChunk(t *testing.T) {
 	a, b := Pair(8)
-	if err := a.Send(&StreamHeader{Seq: 0, Rows: 2, Cols: 1, Chunks: 1}); err != nil {
+	if err := a.Send((&StreamHeader{Seq: 0, Rows: 2, Cols: 1, Chunks: 1}).seal()); err != nil {
 		t.Fatal(err)
 	}
 	// A chunk from a different stream sequence sneaks in.
-	if err := a.Send(&StreamChunk{Seq: 3, Index: 0, V: tensor.NewDense(2, 1)}); err != nil {
+	v := tensor.NewDense(2, 1)
+	if err := a.Send(&StreamChunk{Seq: 3, Index: 0, V: v, Sum: Checksum(v)}); err != nil {
 		t.Fatal(err)
 	}
 	_, err := RecvStream(b, 0, func(*StreamHeader, int, any) error { return nil })
@@ -90,10 +132,11 @@ func TestRecvStreamShortReadOverTCP(t *testing.T) {
 	s, c := tcpPair(t)
 	defer s.Close()
 
-	if err := c.Send(&StreamHeader{Seq: 0, Rows: 6, Cols: 1, Chunks: 3}); err != nil {
+	if err := c.Send((&StreamHeader{Seq: 0, Rows: 6, Cols: 1, Chunks: 3}).seal()); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Send(&StreamChunk{Seq: 0, Index: 0, V: tensor.NewDense(2, 1)}); err != nil {
+	v := tensor.NewDense(2, 1)
+	if err := c.Send(&StreamChunk{Seq: 0, Index: 0, V: v, Sum: Checksum(v)}); err != nil {
 		t.Fatal(err)
 	}
 	c.Close() // flushes the two queued messages, then tears the socket down
@@ -111,5 +154,180 @@ func TestRecvStreamShortReadOverTCP(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "chunk 1/3") {
 		t.Fatalf("err = %v", err)
+	}
+}
+
+// streamPair wires two StreamConn endpoints over a buffered Pair, with fc
+// optionally wrapped around the sender's endpoint for fault injection.
+func streamPair(buffer int, wrap func(Conn) Conn) (*StreamConn, *StreamConn) {
+	a, b := Pair(buffer)
+	if wrap != nil {
+		a = wrap(a)
+	}
+	return NewStreamConn(a), NewStreamConn(b)
+}
+
+// runStream sends src in 2-row chunks from a and assembles it at b,
+// returning the receive error and the assembled matrix. After the stream the
+// sender pumps one receive — that is where acks are serviced and NACKed
+// chunks retransmitted, exactly as during a protocol's next receive — until
+// the receiver's "done" sentinel (or a sticky corruption verdict) arrives.
+func runStream(t *testing.T, a, b *StreamConn, src *tensor.Dense) (*tensor.Dense, error) {
+	t.Helper()
+	done := make(chan error, 1)
+	chunks := (src.Rows + 1) / 2
+	go func() {
+		err := SendStream(a, 0, src.Rows, src.Cols, chunks, func(i int) (any, error) {
+			lo := i * 2
+			hi := lo + 2
+			if hi > src.Rows {
+				hi = src.Rows
+			}
+			return src.RowSlice(lo, hi), nil
+		})
+		if err == nil {
+			if _, rerr := a.Recv(); rerr != nil && !errors.Is(rerr, ErrClosed) {
+				err = rerr
+			}
+		}
+		done <- err
+	}()
+	got := tensor.NewDense(src.Rows, src.Cols)
+	_, err := RecvStream(b, 0, func(h *StreamHeader, i int, v any) error {
+		copy(got.Data[i*2*src.Cols:], v.(*tensor.Dense).Data)
+		return nil
+	})
+	b.Send("done") // unblock the sender's ack pump
+	if serr := <-done; serr != nil && err == nil {
+		err = serr
+	}
+	return got, err
+}
+
+// TestStreamConnRecoversEveryChunkFaultClass drives bit-flips, drops, dups
+// and reorders through the NACK/resend layer: every class must reconstruct
+// the matrix bit-exactly.
+func TestStreamConnRecoversEveryChunkFaultClass(t *testing.T) {
+	src := tensor.FromSlice(8, 2, []float64{
+		1, -2, 3, -4, 5, -6, 7, -8, 9, -10, 11, -12, 13, -14, 15, -16})
+	plans := map[string]FaultPlan{
+		"bitflip": {FlipProb: 0.5, MaxFaults: 2},
+		"drop":    {DropProb: 0.5, MaxFaults: 2},
+		"dup":     {DupProb: 0.5, MaxFaults: 2},
+		"reorder": {ReorderProb: 0.5, MaxFaults: 2},
+		"mixed":   {FlipProb: 0.3, DropProb: 0.2, DupProb: 0.3, ReorderProb: 0.3, MaxFaults: 3},
+	}
+	for name, plan := range plans {
+		t.Run(name, func(t *testing.T) {
+			var fc *FaultConn
+			a, b := streamPair(64, func(c Conn) Conn {
+				fc = NewFaultConn(c, 11, name, plan)
+				return fc
+			})
+			got, err := runStream(t, a, b, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(src, 0) {
+				t.Fatalf("recovered stream differs: %v want %v", got.Data, src.Data)
+			}
+			st := fc.Injected()
+			if st.Flips+st.Drops+st.Dups+st.Reorders == 0 {
+				t.Fatal("fault plan injected nothing; the test exercised no recovery")
+			}
+		})
+	}
+}
+
+// TestStreamConnPersistentCorruptionFailsTyped: when the retransmitted chunk
+// is corrupted again, the stream must abort with ErrCorrupt — one retry, then
+// a loud typed failure, never silent garbage.
+func TestStreamConnPersistentCorruptionFailsTyped(t *testing.T) {
+	src := tensor.FromSlice(6, 1, []float64{1, 2, 3, 4, 5, 6})
+	a, b := streamPair(64, func(c Conn) Conn {
+		return NewFaultConn(c, 3, "persistent", FaultPlan{FlipProb: 1})
+	})
+	_, err := runStream(t, a, b, src)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestStreamConnSenderPoisonedAfterFailedResend pins the sender's view of a
+// doubly-corrupted stream: once the final NACK arrives, every later op on
+// the conn fails with the sticky ErrCorrupt.
+func TestStreamConnSenderPoisonedAfterFailedResend(t *testing.T) {
+	src := tensor.FromSlice(4, 1, []float64{1, 2, 3, 4})
+	a, b := streamPair(64, func(c Conn) Conn {
+		return NewFaultConn(c, 3, "poison", FaultPlan{FlipProb: 1})
+	})
+	_, err := runStream(t, a, b, src)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("recv err = %v, want ErrCorrupt", err)
+	}
+	// The final NACK is queued toward the sender; its next receive must
+	// surface the sticky corruption error (and so must every op after).
+	if _, err := a.Recv(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sender Recv after failed resend = %v, want ErrCorrupt", err)
+	}
+	if err := a.Send(1); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("sender Send after failed resend = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestFaultConnDeterministicSchedule: the same (seed, label) plan injects
+// exactly the same faults — the Calvin-style replayability the chaos suite
+// builds on.
+func TestFaultConnDeterministicSchedule(t *testing.T) {
+	run := func() FaultStats {
+		src := tensor.FromSlice(8, 1, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+		var fc *FaultConn
+		a, b := streamPair(64, func(c Conn) Conn {
+			fc = NewFaultConn(c, 99, "replay", FaultPlan{FlipProb: 0.4, DropProb: 0.2, DupProb: 0.4, MaxFaults: 3})
+			return fc
+		})
+		if _, err := runStream(t, a, b, src); err != nil {
+			t.Fatal(err)
+		}
+		return fc.Injected()
+	}
+	first := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d injected %+v, first run %+v", i, got, first)
+		}
+	}
+}
+
+// TestFaultConnKillClosesBothEnds: the kill fault must surface as the typed
+// ErrClosed on both endpoints, exactly like a real mid-protocol disconnect.
+func TestFaultConnKillClosesBothEnds(t *testing.T) {
+	a, b := Pair(8)
+	fc := NewFaultConn(a, 7, "kill", FaultPlan{KillAtMsg: 2})
+	if err := fc.Send(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Send(2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("kill send = %v, want ErrClosed", err)
+	}
+	if !fc.Injected().Killed {
+		t.Fatal("kill not recorded")
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err) // message 1 was delivered before the kill
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer Recv after kill = %v, want ErrClosed", err)
+	}
+}
+
+func TestChecksumDistinguishesPayloads(t *testing.T) {
+	a := tensor.FromSlice(2, 2, []float64{1, 2, 3, 4})
+	b := tensor.FromSlice(2, 2, []float64{1, 2, 3, 5})
+	if Checksum(a) == Checksum(b) {
+		t.Fatal("checksum collision on differing payloads")
+	}
+	if Checksum(a) != Checksum(a.RowSlice(0, 2)) {
+		t.Fatal("checksum differs on identical payloads")
 	}
 }

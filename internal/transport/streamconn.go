@@ -1,0 +1,139 @@
+// StreamConn: the session layer the protocol peers wrap around their
+// connection. It is a transparent Conn for ordinary traffic, plus the state
+// the stream NACK/resend recovery needs on both sides of a transfer:
+//
+//   - Sender side: SendStream registers each outgoing stream's produced chunk
+//     payloads; when the receiver's StreamAck arrives (consumed transparently
+//     by any later receive on this conn), NACKed chunks are retransmitted
+//     once from the retained pristine copies. Payload references are dropped
+//     as soon as the clean ack arrives.
+//
+//   - Receiver side: while RecvStream waits for a retransmission, unrelated
+//     messages that raced ahead of it are buffered here (pushback) and
+//     delivered to later receives in arrival order.
+//
+// Acks are fire-and-forget in the good path — no extra round trip — and both
+// parties of a protocol session must wrap (protocol.NewPeer does), since a
+// bare receiver would surface the peer's acks as unexpected messages.
+//
+// A failed retransmission poisons the conn: every later Send/Recv returns the
+// sticky ErrCorrupt, so a corrupted session cannot limp onward and emit
+// garbage.
+package transport
+
+import "fmt"
+
+// StreamConn wraps a Conn with the stream-recovery session state. All methods
+// must be called from the single goroutine that owns the protocol session
+// (the same discipline Conn itself has for ordered use); Close and Stats
+// remain safe to call concurrently, as on the underlying Conn.
+type StreamConn struct {
+	inner Conn
+	inbox []any                 // buffered messages that raced past a recovery wait
+	out   map[uint64]*outStream // outgoing streams awaiting their ack
+	err   error                 // sticky integrity failure
+}
+
+// outStream retains one outgoing stream's chunk payloads until it is acked.
+type outStream struct {
+	chunks []any
+	resent bool
+}
+
+// NewStreamConn wraps c (idempotently) with stream-recovery state.
+func NewStreamConn(c Conn) *StreamConn {
+	if sc, ok := c.(*StreamConn); ok {
+		return sc
+	}
+	return &StreamConn{inner: c, out: make(map[uint64]*outStream)}
+}
+
+// Inner returns the wrapped connection (e.g. for fault-injection inspection).
+func (s *StreamConn) Inner() Conn { return s.inner }
+
+func (s *StreamConn) Send(v any) error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.inner.Send(v)
+}
+
+// Recv returns the next application message: buffered pushbacks first, then
+// wire traffic with stream acks consumed (and acted on) transparently.
+func (s *StreamConn) Recv() (any, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if len(s.inbox) > 0 {
+		v := s.inbox[0]
+		s.inbox = s.inbox[1:]
+		return v, nil
+	}
+	return s.recvWire()
+}
+
+// recvWire reads from the wire, bypassing the inbox (the recovery wait in
+// RecvStream uses it so pushed-back messages are not re-consumed), handling
+// stream acks in-line.
+func (s *StreamConn) recvWire() (any, error) {
+	for {
+		v, err := s.inner.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if ack, ok := v.(*StreamAck); ok {
+			if err := s.handleAck(ack); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return v, nil
+	}
+}
+
+// pushback buffers a message that arrived during a recovery wait for a later
+// Recv. Arrival order is preserved.
+func (s *StreamConn) pushback(v any) {
+	s.inbox = append(s.inbox, v)
+}
+
+// trackOutgoing retains an outgoing stream's chunk payloads until its ack.
+func (s *StreamConn) trackOutgoing(seq uint64, chunks []any) {
+	s.out[seq] = &outStream{chunks: chunks}
+}
+
+// handleAck processes a receiver's stream ack: clean acks release the
+// retained payloads; NACKs trigger exactly one retransmission of the named
+// chunks; a NACK after the retransmission poisons the conn with ErrCorrupt.
+func (s *StreamConn) handleAck(ack *StreamAck) error {
+	o := s.out[ack.Seq]
+	if o == nil {
+		return nil // already released (or a stream this side never tracked)
+	}
+	if len(ack.Bad) == 0 {
+		delete(s.out, ack.Seq)
+		return nil
+	}
+	if o.resent {
+		delete(s.out, ack.Seq)
+		s.err = fmt.Errorf("%w: stream %d chunks %v rejected after retransmission", ErrCorrupt, ack.Seq, ack.Bad)
+		return s.err
+	}
+	o.resent = true
+	for _, idx := range ack.Bad {
+		if idx < 0 || idx >= len(o.chunks) {
+			delete(s.out, ack.Seq)
+			s.err = fmt.Errorf("%w: stream %d ack names chunk %d of %d", ErrCorrupt, ack.Seq, idx, len(o.chunks))
+			return s.err
+		}
+		v := o.chunks[idx]
+		if err := s.inner.Send(&StreamChunk{Seq: ack.Seq, Index: idx, V: v, Sum: Checksum(v)}); err != nil {
+			return err
+		}
+	}
+	return s.inner.Send(&StreamEnd{Seq: ack.Seq})
+}
+
+func (s *StreamConn) Stats() (int64, int64) { return s.inner.Stats() }
+
+func (s *StreamConn) Close() error { return s.inner.Close() }
