@@ -32,7 +32,7 @@ test-full:
 # paths where latent races live.
 test-chaos:
 	$(GO) test -short -race -timeout 10m \
-		-run 'TestChaos|TestFault|TestStream|TestRunGroupFaultConn|TestGroupAllSessionsLost|TestRetry' \
+		-run 'TestChaos|TestFault|TestStream|TestDeadline|TestRunGroupFaultConn|TestGroupAllSessionsLost|TestRetry' \
 		./internal/transport/ ./internal/protocol/ ./internal/model/ ./internal/serve/
 
 # Examples lane: compile every example, smoke-run the quickstart and the

@@ -47,6 +47,7 @@ func main() {
 	minPool := flag.Int("minpool", 0, "shed requests while the label party's blinding pool is below this depth (needs -pool)")
 	workers := flag.Int("workers", 0, "closed-loop load-generator clients (0 = 2x max batch)")
 	requests := flag.Int("requests", 256, "total requests the load generator fires")
+	setupTimeout := flag.Duration("setup-timeout", 0, "bound on each serve-session setup attempt (0 = none); a hung peer fails the attempt with a typed timeout and the next attempt retries on fresh sessions")
 	var eng engine.Options
 	eng.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -99,10 +100,15 @@ func main() {
 	ck := loadOrTrain(kind, ds, h, eng, skAs, skB, *ckPath, *seed)
 
 	// Serving runs on fresh sessions: the checkpoint restore plus the
-	// serve-session weight exchange is the whole cold start. Transient
-	// session failures during the exchange retry on fresh sessions with
-	// backoff; checkpoint errors fail immediately.
+	// serve-session weight exchange is the whole cold start, and each
+	// attempt runs under the -setup-timeout deadline — a hung peer turns
+	// into a typed transport.ErrTimeout instead of a stuck service.
+	// Transient session failures during the exchange (closed, corrupted,
+	// timed out) retry on fresh sessions with backoff; checkpoint errors
+	// fail immediately.
 	t0 := time.Now()
+	var liveAs []*protocol.Peer
+	var liveG *protocol.Group
 	p, err := model.RetryPredictor(3, 50*time.Millisecond, func(attempt int) (*model.Predictor, error) {
 		as, g, err := protocol.GroupPipe(skAs, skB, *seed+1+int64(attempt))
 		if err != nil {
@@ -111,8 +117,25 @@ func main() {
 		for i := range as {
 			as[i].ChunkRows, g.Peers[i].ChunkRows = eng.ChunkRows, eng.ChunkRows
 			g.Peers[i].SpotCheck = eng.SpotCheck // label party re-verifies decrypts
+			as[i].ANCheck, g.Peers[i].ANCheck = eng.ANCheck, eng.ANCheck
 		}
-		return model.NewPredictor(bytes.NewReader(ck), model.PartySet{As: as, B: g})
+		var pred *model.Predictor
+		err = protocol.Within(*setupTimeout, func() {
+			for i := range as {
+				//blindfl:allow teardown deadline expiry: closing the sessions unblocks the hung setup
+				as[i].Conn.Close()
+			}
+			g.Close()
+		}, func() error {
+			var err error
+			pred, err = model.NewPredictor(bytes.NewReader(ck), model.PartySet{As: as, B: g})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		liveAs, liveG = as, g
+		return pred, nil
 	})
 	if err != nil {
 		fatal(err)
@@ -152,6 +175,18 @@ func main() {
 	fmt.Printf("batches %d (%.2f requests per protocol batch)\n", st.Batches, avg(st.Served, st.Batches))
 	if eng.SpotCheck {
 		fmt.Printf("integrity: %d spot-checks, %d mismatches\n", st.SpotChecks, st.Mismatches)
+	}
+	if eng.ANCheck {
+		var anChecks, anBad int64
+		for _, peer := range liveAs {
+			anChecks += peer.Stream.ANChecks
+			anBad += peer.Stream.ANMismatches
+		}
+		for _, peer := range liveG.Peers {
+			anChecks += peer.Stream.ANChecks
+			anBad += peer.Stream.ANMismatches
+		}
+		fmt.Printf("integrity: %d AN-coded residue checks, %d mismatches\n", anChecks, anBad)
 	}
 	if eng.Pool > 0 {
 		ps := paillier.PoolFor(&skB.PublicKey).Stats()

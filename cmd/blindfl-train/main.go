@@ -7,6 +7,8 @@
 //	blindfl-train -dataset w8a -model lr -epochs 3
 //	blindfl-train -dataset w8a -model lr -parties 3
 //	blindfl-train -dataset avazu-app -model wdl -train 600 -quick
+//	blindfl-train -dataset higgs -model lr -checkpoint-dir /tmp/ck
+//	blindfl-train -dataset higgs -model lr -checkpoint-dir /tmp/ck -resume
 package main
 
 import (
@@ -33,6 +35,9 @@ func main() {
 	test := flag.Int("test", 0, "override test instances")
 	seed := flag.Int64("seed", 1, "data/model seed")
 	parties := flag.Int("parties", 1, "feature parties; >1 trains the numeric families over a k-session protocol.Group (Algorithm 3)")
+	ckDir := flag.String("checkpoint-dir", "", "directory for durable mid-run training checkpoints (crash recovery; serveable families only)")
+	ckEvery := flag.Int("checkpoint-every", 1, "epochs between mid-run checkpoints (needs -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "resume the newest usable checkpoint in -checkpoint-dir instead of starting fresh")
 	var eng engine.Options
 	eng.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -77,6 +82,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-parties must be at least 1")
 		os.Exit(2)
 	}
+	if *resume && *ckDir == "" {
+		fmt.Fprintln(os.Stderr, "-resume needs -checkpoint-dir")
+		os.Exit(2)
+	}
 	// One key pair per session: the label party reuses its key across
 	// sessions, while every feature party is its own trust domain. The k
 	// in-process feature parties share the cached test key (keygen is a
@@ -84,6 +93,7 @@ func main() {
 	skA, skB := protocol.TestKeys()
 	eng.SetupKeys(skA, skB)
 
+	tr := model.Trainer{Kind: kind, Hyper: h, CheckpointDir: *ckDir, CheckpointEvery: *ckEvery}
 	var fed *model.History
 	if *parties > 1 {
 		fmt.Printf("training federated BlindFL model (%d feature parties + label party in-process)...\n", *parties)
@@ -99,8 +109,10 @@ func main() {
 		for i := range as {
 			as[i].ChunkRows, g.Peers[i].ChunkRows = eng.ChunkRows, eng.ChunkRows
 			g.Peers[i].SpotCheck = eng.SpotCheck // label party re-verifies decrypts
+			as[i].ANCheck, g.Peers[i].ANCheck = eng.ANCheck, eng.ANCheck
 		}
-		if fed, err = model.TrainFederatedMulti(kind, ds, h, as, g); err != nil {
+		fed, err = trainOrResume(tr, *resume, ds, model.PartySet{As: as, B: g})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -113,7 +125,9 @@ func main() {
 		}
 		pa.ChunkRows, pb.ChunkRows = eng.ChunkRows, eng.ChunkRows
 		pb.SpotCheck = eng.SpotCheck // label party re-verifies decrypts
-		if fed, err = model.TrainFederated(kind, ds, h, pa, pb); err != nil {
+		pa.ANCheck, pb.ANCheck = eng.ANCheck, eng.ANCheck
+		fed, err = trainOrResume(tr, *resume, ds, model.Pair(pa, pb))
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -141,4 +155,14 @@ func main() {
 	t.Note("test %s: BlindFL %.4f | NonFed-collocated %.4f | NonFed-PartyB %.4f",
 		fed.MetricName, fed.TestMetric, co.TestMetric, onlyB.TestMetric)
 	t.Print(os.Stdout)
+}
+
+// trainOrResume starts a fresh run, or — with -resume — restores the newest
+// usable mid-run checkpoint and trains the remaining epochs bit-exactly.
+func trainOrResume(tr model.Trainer, resume bool, ds *data.Dataset, ps model.PartySet) (*model.History, error) {
+	if resume {
+		fmt.Printf("resuming from %s...\n", tr.CheckpointDir)
+		return tr.Resume(ds, ps)
+	}
+	return tr.Train(ds, ps)
 }

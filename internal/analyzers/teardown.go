@@ -86,7 +86,8 @@ func runTeardown(pass *analysis.Pass) (interface{}, error) {
 }
 
 // isTransportConn reports whether e's static type is the transport.Conn
-// interface or one of the concrete conn wrappers (FaultConn, StreamConn) —
+// interface or one of the concrete conn wrappers (FaultConn, StreamConn,
+// DeadlineConn) —
 // possibly behind a pointer. Wrappers delegate Close to the conn they wrap,
 // so closing through one is exactly the ad-hoc close the interface check
 // guards against; without this, holding the concrete type would launder a
@@ -99,7 +100,8 @@ func isTransportConn(pass *analysis.Pass, e ast.Expr) bool {
 	t = deref(t)
 	return isNamed(t, "transport", "Conn") ||
 		isNamed(t, "transport", "FaultConn") ||
-		isNamed(t, "transport", "StreamConn")
+		isNamed(t, "transport", "StreamConn") ||
+		isNamed(t, "transport", "DeadlineConn")
 }
 
 // checkGoroutineSendRecv flags Send/Recv calls on transport conns inside a

@@ -129,6 +129,42 @@ func Traffic() *Table {
 		cleanup()
 	}
 
+	// The serve-path forward with the AN-coded residue check on: each party
+	// re-derives every exact-integer share cell mod a small prime before the
+	// share joins the decrypted homomorphic half. Like the spot-check the
+	// probe is party-local — the wire columns are unchanged — and the
+	// counters surface in the note.
+	{
+		pa, pb, cleanup := tcpPeerPair(77)
+		var la *core.MatMulA
+		var lb *core.MatMulB
+		cfg := core.Config{Out: out, LR: 0.1}
+		if err := protocol.RunParties(pa, pb,
+			func() { la = core.NewMatMulA(pa, cfg, 32, 32) },
+			func() { lb = core.NewMatMulB(pb, cfg, 32, 32) },
+		); err != nil {
+			panic(err)
+		}
+		pa.ANCheck, pb.ANCheck = true, true
+		pa.Stream, pb.Stream = protocol.StreamStats{}, protocol.StreamStats{}
+		m0, b0 := pa.Conn.Stats()
+		rng := rand.New(rand.NewSource(1))
+		xA := tensor.RandDense(rng, batch, 32, 1)
+		xB := tensor.RandDense(rng, batch, 32, 1)
+		if err := protocol.RunParties(pa, pb,
+			func() { la.ServeStart(); la.ServeForward(xA) },
+			func() { lb.ServeStart(); lb.ServeForward(xB) },
+		); err != nil {
+			panic(err)
+		}
+		m1, b1 := pa.Conn.Stats()
+		checks := pa.Stream.ANChecks + pb.Stream.ANChecks
+		bad := pa.Stream.ANMismatches + pb.Stream.ANMismatches
+		t.Add("MatMul dense (serve+ancheck)", "64", fmt.Sprintf("%d", m1-m0), fmt.Sprintf("%.2f", float64(b1-b0)/(1<<20)), "—", "—", "—")
+		t.Note("AN-coded residue checks (both parties, serve path): %d share cells re-verified, %d mismatches — a non-zero mismatch count means corrupt plaintext share arithmetic (the side the decrypt spot-check cannot see)", checks, bad)
+		cleanup()
+	}
+
 	// The same dense layer with short-exponent blinding pools registered:
 	// the pool effectiveness counters — including permanently lost slots,
 	// the degraded-pool signal — surface alongside the wire columns.

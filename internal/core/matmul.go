@@ -94,6 +94,44 @@ func NewMatMulB(p *protocol.Peer, cfg Config, inA, inB int) *MatMulB {
 	return l
 }
 
+// ResumeExchange re-runs the initialization exchange of encrypted weight
+// pieces from the restored plaintext V pieces after a checkpoint restore:
+// A ships a fresh ⟦V_B⟧ under its own key and receives ⟦V_A⟧ under B's key,
+// overwriting whatever stale ciphertexts the checkpoint carried (Paillier
+// keys are per-process, so checkpointed ciphertexts cannot decrypt across a
+// restart). Fresh encryption randomness does not change the decrypted
+// values, so a resumed trajectory stays bit-identical. Must run concurrently
+// with ResumeExchange on the other side.
+func (l *MatMulA) ResumeExchange() {
+	l.cfg.applyExpEngine()
+	p := l.peer
+	if l.cfg.Packed {
+		encryptAndSendPacked(p, l.cfg.Stream, l.VB, 1)
+		l.packVA = recvPacked(p, l.cfg.Stream)
+		l.encVA = nil
+	} else {
+		encryptAndSend(p, l.cfg.Stream, l.VB, 1)
+		l.encVA = recvCipher(p, l.cfg.Stream)
+		l.packVA = nil
+	}
+}
+
+// ResumeExchange is Party B's half of the post-restore weight re-exchange,
+// mirroring NewMatMulB's recv-then-send order.
+func (l *MatMulB) ResumeExchange() {
+	l.cfg.applyExpEngine()
+	p := l.peer
+	if l.cfg.Packed {
+		l.packVB = recvPacked(p, l.cfg.Stream)
+		encryptAndSendPacked(p, l.cfg.Stream, l.VA, 1)
+		l.encVB = nil
+	} else {
+		l.encVB = recvCipher(p, l.cfg.Stream)
+		encryptAndSend(p, l.cfg.Stream, l.VA, 1)
+		l.packVB = nil
+	}
+}
+
 // forwardHalf runs lines 5–7 of Fig. 6 for one party: given the local
 // features x, the local weight piece u and the encrypted peer-held piece
 // ⟦v⟧, it returns this party's share Z' = x·u + ε + (peer's masked piece).

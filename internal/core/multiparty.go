@@ -123,6 +123,13 @@ func NewMultiMatMulBFrom(g *protocol.Group, subs []*MatMulB) *MultiMatMulB {
 	return &MultiMatMulB{g: g, subs: subs}
 }
 
+// ResumeExchange re-runs the initialization exchange of encrypted weight
+// pieces on every session after a checkpoint restore. Must run concurrently
+// with ResumeExchange on every A(i).
+func (m *MultiMatMulB) ResumeExchange() {
+	m.g.ForEach(func(i int, _ *protocol.Peer) { m.subs[i].ResumeExchange() })
+}
+
 // sumInOrder folds partial activations in session order, so the float
 // summation is deterministic no matter how ForEach scheduled the sessions.
 // Nil partials (sessions the group skipped as lost) drop out of the sum;

@@ -4,6 +4,7 @@ import (
 	"blindfl/internal/hetensor"
 	"blindfl/internal/protocol"
 	"blindfl/internal/tensor"
+	"blindfl/internal/transport"
 )
 
 // Serving protocol: the forward-only path blindfl-serve runs over a trained
@@ -41,6 +42,12 @@ func (l *MatMulB) ServeStart() {
 // packed product against the peer-held weight piece, integer HE2SS masking,
 // and the exact plaintext share (x·U)ᵀ. Returns this party's integer share
 // of Zᵀ at scale 2.
+//
+// With the peer's ANCheck option on, the plaintext share is computed through
+// the AN-coded kernel: every cell's big-integer accumulation is re-derived
+// mod a small prime and verified before the share joins the decrypted
+// homomorphic half — the HE2SS boundary is exactly where a silently corrupt
+// share would poison the reconstruction.
 func serveHalf(p *protocol.Peer, x, u *tensor.Dense, encV *hetensor.CipherMatrix) *hetensor.BigMatrix {
 	if encV == nil {
 		panic("core: serve forward before ServeStart (no unpacked encrypted weight piece)")
@@ -49,7 +56,18 @@ func serveHalf(p *protocol.Peer, x, u *tensor.Dense, encV *hetensor.CipherMatrix
 	eps, masked := hetensor.ServeMask(p.Rng, prod) // keep integer S, send ⟦(x·V)ᵀ − S⟧
 	p.Send(masked)
 	other := hetensor.DecryptPackedInts(p.SK, p.RecvPacked()) // peer's (x̄·V̄)ᵀ − S̄
-	share := hetensor.IntMatMulT(x, u)
+	var share *hetensor.BigMatrix
+	if p.ANCheck {
+		var bad int
+		share, bad = hetensor.IntMatMulTAN(x, u)
+		p.Stream.ANChecks += int64(share.Rows * share.Cols)
+		p.Stream.ANMismatches += int64(bad)
+		if bad > 0 {
+			p.Fail("serve share: %w: %d AN-coded residue mismatches (corrupt plaintext arithmetic)", transport.ErrCorrupt, bad)
+		}
+	} else {
+		share = hetensor.IntMatMulT(x, u)
+	}
 	share.AddInPlace(eps)
 	share.AddInPlace(other)
 	return share

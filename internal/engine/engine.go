@@ -11,6 +11,7 @@ package engine
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"strconv"
 
 	"blindfl/internal/hetensor"
@@ -86,6 +87,18 @@ type Options struct {
 	// one extra decrypt per sampled conversion (<5% on the packed fed
 	// step).
 	SpotCheck bool
+
+	// ANCheck enables the AHEAD-style AN-coded residue check on the serve
+	// path's plaintext share arithmetic: every exact-integer share cell is
+	// recomputed mod a small prime alongside its big-integer accumulation
+	// and verified before the share joins the decrypted homomorphic half.
+	// The complement of SpotCheck — that probe re-verifies the *ciphertext*
+	// side of a conversion, this one guards the *plaintext* side, which
+	// otherwise trusts RAM. Outcomes are counted in StreamStats
+	// (ANChecks/ANMismatches); a mismatch is typed transport.ErrCorrupt.
+	// Party-local, no protocol change; cost is a cheap modular pass over
+	// the share matrix.
+	ANCheck bool
 }
 
 // RegisterFlags registers one CLI flag per engine knob on fs, with o's
@@ -103,6 +116,7 @@ func (o *Options) RegisterFlags(fs *flag.FlagSet) {
 	fs.Var(negatedBool{&o.NoFixedBase}, "fixedbase", "Lim–Lee fixed-base combs for short-exp pool refills (false = big.Int.Exp ablation)")
 	fs.BoolVar(&o.SecretOps, "secretops", o.SecretOps, "CRT secret-key fast paths for homomorphic ops (in-process measurement aid)")
 	fs.BoolVar(&o.SpotCheck, "spotcheck", o.SpotCheck, "probabilistic decrypt spot-checks on the label party (run-integrity probe)")
+	fs.BoolVar(&o.ANCheck, "ancheck", o.ANCheck, "AN-coded residue checks on the serve path's plaintext share arithmetic (run-integrity probe)")
 }
 
 // negatedBool adapts the positive-sense -fixedbase flag onto the
@@ -122,6 +136,17 @@ func (n negatedBool) Set(s string) error {
 	v, err := strconv.ParseBool(s)
 	*n.no = !v
 	return err
+}
+
+// Fingerprint hashes the full option set (FNV-1a over the canonical %+v
+// rendering) into one word. Run checkpoints embed it so a resume under a
+// different engine configuration is refused up front: most knobs cannot
+// change a trajectory, but Packed does, and a fingerprint check is cheaper
+// and stricter than reasoning about which knobs are trajectory-neutral.
+func (o Options) Fingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", o)
+	return h.Sum64()
 }
 
 // Validate checks cross-knob consistency.

@@ -197,6 +197,58 @@ func DecryptPackedInts(sk *paillier.PrivateKey, m *PackedMatrix) *BigMatrix {
 	return out
 }
 
+// ANPrime is the modulus of the AN-coded residue check (AHEAD-style): a
+// Mersenne prime small enough that residue arithmetic stays in uint64 and
+// large enough that a random corruption of a share cell survives the check
+// with probability only ~2⁻³¹.
+const ANPrime = 1<<31 - 1
+
+// IntMatMulTAN is IntMatMulT with an AN-coded self-check: every output cell
+// is recomputed mod ANPrime from the reduced operands — an independent,
+// cheap arithmetic path — and compared against the big-integer accumulation.
+// It returns the product and the number of cells whose residues disagreed.
+// A non-zero count means the share arithmetic itself corrupted (bad RAM, a
+// miscompiled kernel): the failure class that never touches the wire, so no
+// checksum or decrypt probe can see it.
+func IntMatMulTAN(x, u *tensor.Dense) (*BigMatrix, int) {
+	out := IntMatMulT(x, u)
+	p := big.NewInt(ANPrime)
+	// Reduce both operand matrices once; the per-cell check is then a pure
+	// uint64 dot product mod ANPrime.
+	xr := make([]uint64, x.Rows*x.Cols)
+	parallel.For(x.Rows, func(i int) {
+		m := new(big.Int)
+		for k := 0; k < x.Cols; k++ {
+			xr[i*x.Cols+k] = m.Mod(Codec.Encode(x.At(i, k), 1), p).Uint64()
+		}
+	})
+	ur := make([]uint64, u.Rows*u.Cols)
+	parallel.For(u.Rows, func(k int) {
+		m := new(big.Int)
+		for j := 0; j < u.Cols; j++ {
+			ur[k*u.Cols+j] = m.Mod(Codec.Encode(u.At(k, j), 1), p).Uint64()
+		}
+	})
+	mismatches := make([]int, u.Cols)
+	parallel.For(u.Cols, func(j int) {
+		m := new(big.Int)
+		for i := 0; i < x.Rows; i++ {
+			var acc uint64
+			for k := 0; k < x.Cols; k++ {
+				acc = (acc + xr[i*x.Cols+k]*ur[k*u.Cols+j]) % ANPrime
+			}
+			if m.Mod(out.V[j*x.Rows+i], p).Uint64() != acc {
+				mismatches[j]++
+			}
+		}
+	})
+	total := 0
+	for _, n := range mismatches {
+		total += n
+	}
+	return out, total
+}
+
 // IntMatMulT computes the exact integer product (X·U)ᵀ with both factors
 // encoded at scale 1: out[j][i] = Σ_k ⟨x[i][k]⟩·⟨u[k][j]⟩, a u.Cols×x.Rows
 // matrix at scale 2 — the plaintext share of the serve forward, in the same

@@ -15,7 +15,10 @@ import (
 // from it onto fresh protocol sessions. The format bundles every party's
 // dense source-layer half (the core-layer gob, including the encrypted
 // copies of the peer's weight pieces) with the label party's plaintext head
-// parameters — exactly the joint state the single-binary runtime held.
+// parameters — exactly the joint state the single-binary runtime held. The
+// gob payload is sealed in the versioned checksum envelope (envelope.go), so
+// a truncated or bit-flipped checkpoint file fails with the typed
+// ErrBadCheckpoint instead of decoding into garbage.
 
 // fedCheckpoint is the gob root of a serve checkpoint.
 type fedCheckpoint struct {
@@ -87,10 +90,11 @@ func (c *ckCapture) write(w io.Writer) error {
 	if c.errB != nil {
 		return c.errB
 	}
-	if err := gob.NewEncoder(w).Encode(c.ck); err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c.ck); err != nil {
 		return fmt.Errorf("model: write checkpoint: %w", err)
 	}
-	return nil
+	return sealEnvelope(w, buf.Bytes())
 }
 
 // saveLayerA serializes a feature party's dense source-layer half.

@@ -1,0 +1,83 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+)
+
+// Checkpoint envelope: every checkpoint blindfl writes — serve checkpoints
+// and mid-run training checkpoints alike — is sealed in a small versioned
+// header (magic, format version, payload length, FNV-1a sum over the
+// payload) so a truncated file, a bit-flipped blob, or a stream from a
+// different format version is rejected up front with the typed
+// ErrBadCheckpoint instead of surfacing as a confusing gob decode error —
+// or worse, decoding into plausible garbage. The seal is an integrity
+// check against accidental corruption, not an authenticity mechanism:
+// checkpoint files must be protected like process memory regardless.
+
+// ErrBadCheckpoint is the typed error for a checkpoint stream that fails
+// the envelope check: wrong magic, unknown version, truncation, or a
+// checksum mismatch. It is permanent — retrying the same bytes cannot
+// succeed — so recovery paths (RetryPredictor) never retry it.
+var ErrBadCheckpoint = errors.New("model: bad checkpoint")
+
+// ckMagic identifies a sealed blindfl checkpoint stream.
+var ckMagic = [4]byte{'B', 'F', 'C', 'K'}
+
+// ckVersion is the current envelope format version.
+const ckVersion = 1
+
+// maxCkPayload bounds the declared payload length so a corrupted header
+// cannot drive a multi-gigabyte allocation before the checksum check.
+const maxCkPayload = 1 << 31
+
+// sealEnvelope writes payload to w under the versioned checksum header.
+func sealEnvelope(w io.Writer, payload []byte) error {
+	sum := fnv.New64a()
+	sum.Write(payload)
+	var hdr [24]byte
+	copy(hdr[:4], ckMagic[:])
+	binary.BigEndian.PutUint32(hdr[4:8], ckVersion)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	binary.BigEndian.PutUint64(hdr[16:24], sum.Sum64())
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("model: write checkpoint envelope: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("model: write checkpoint payload: %w", err)
+	}
+	return nil
+}
+
+// openEnvelope reads and verifies a sealed payload from r. Every failure
+// mode is typed ErrBadCheckpoint.
+func openEnvelope(r io.Reader) ([]byte, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated envelope header: %v", ErrBadCheckpoint, err)
+	}
+	if !bytes.Equal(hdr[:4], ckMagic[:]) {
+		return nil, fmt.Errorf("%w: bad magic (not a sealed blindfl checkpoint)", ErrBadCheckpoint)
+	}
+	if v := binary.BigEndian.Uint32(hdr[4:8]); v != ckVersion {
+		return nil, fmt.Errorf("%w: envelope version %d, this build reads %d", ErrBadCheckpoint, v, ckVersion)
+	}
+	n := binary.BigEndian.Uint64(hdr[8:16])
+	if n > maxCkPayload {
+		return nil, fmt.Errorf("%w: implausible payload length %d", ErrBadCheckpoint, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", ErrBadCheckpoint, err)
+	}
+	sum := fnv.New64a()
+	sum.Write(payload)
+	if sum.Sum64() != binary.BigEndian.Uint64(hdr[16:24]) {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrBadCheckpoint)
+	}
+	return payload, nil
+}

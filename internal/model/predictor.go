@@ -49,11 +49,17 @@ type Predictor struct {
 
 // NewPredictor restores a Predictor from a serve checkpoint onto the party
 // set's live sessions and runs the serve-session weight exchange. The party
-// set must span exactly the checkpoint's feature-party count.
+// set must span exactly the checkpoint's feature-party count. The stream
+// must carry a sealed checkpoint envelope; a truncated, corrupted or
+// foreign stream fails with the typed (and permanent) ErrBadCheckpoint.
 func NewPredictor(r io.Reader, ps PartySet) (*Predictor, error) {
+	payload, err := openEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
 	var ck fedCheckpoint
-	if err := gob.NewDecoder(r).Decode(&ck); err != nil {
-		return nil, fmt.Errorf("model: read checkpoint: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("%w: decode serve checkpoint: %v", ErrBadCheckpoint, err)
 	}
 	k := len(ck.InAs)
 	if k == 0 || len(ck.LayerA) != k || len(ck.LayerB) != k {
@@ -91,7 +97,7 @@ func NewPredictor(r io.Reader, ps PartySet) (*Predictor, error) {
 	loadErrA := make([]error, k)
 	loadErrB := make([]error, k)
 	subs := make([]*core.MatMulB, k)
-	err := protocol.RunGroup(ps.As, ps.B,
+	err = protocol.RunGroup(ps.As, ps.B,
 		func(i int) {
 			la, err := core.LoadMatMulA(bytes.NewReader(ck.LayerA[i]), ps.As[i])
 			if err != nil {
@@ -140,10 +146,11 @@ func NewPredictor(r io.Reader, ps PartySet) (*Predictor, error) {
 // restarting, a connection dropped or corrupted during the weight exchange).
 // open(attempt) must build fresh sessions each call: a failed weight
 // exchange closes the whole group, so the old connections are unusable.
-// Only transport failures (ErrClosed, ErrCorrupt) are retried — a malformed
-// checkpoint or shape mismatch is permanent and fails immediately. The wait
-// before retry n is backoff·2ⁿ⁻¹; sleep is the only side effect between
-// attempts. Returns the last error after attempts failures.
+// Only transport failures (ErrClosed, ErrCorrupt, ErrTimeout) are retried —
+// a malformed checkpoint (ErrBadCheckpoint) or shape mismatch is permanent
+// and fails immediately. The wait before retry n is backoff·2ⁿ⁻¹; sleep is
+// the only side effect between attempts. Returns the last error after
+// attempts failures.
 func RetryPredictor(attempts int, backoff time.Duration, open func(attempt int) (*Predictor, error)) (*Predictor, error) {
 	if attempts < 1 {
 		return nil, fmt.Errorf("model: RetryPredictor needs at least one attempt")
@@ -157,7 +164,8 @@ func RetryPredictor(attempts int, backoff time.Duration, open func(attempt int) 
 		if p, err = open(i); err == nil {
 			return p, nil
 		}
-		if !errors.Is(err, transport.ErrClosed) && !errors.Is(err, transport.ErrCorrupt) {
+		if !errors.Is(err, transport.ErrClosed) && !errors.Is(err, transport.ErrCorrupt) &&
+			!errors.Is(err, transport.ErrTimeout) {
 			return nil, err // permanent: retrying cannot change the outcome
 		}
 	}

@@ -1,0 +1,309 @@
+package model
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"blindfl/internal/data"
+	"blindfl/internal/protocol"
+	"blindfl/internal/transport"
+)
+
+// Crash-recovery suite: a training run killed mid-flight must leave a durable
+// checkpoint behind, and resuming it on fresh sessions must reproduce the
+// uninterrupted run bit for bit — losses, test metric and test logits. A
+// corrupted checkpoint file must either be skipped for an older usable one
+// (still bit-exact) or fail with the typed ErrBadCheckpoint, never restore
+// into garbage.
+
+// ckptFiles lists the published run-checkpoint files in dir, oldest first.
+func ckptFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "ckpt-") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// corruptFile flips one payload byte of a sealed checkpoint file in place.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertBitExact compares a resumed history against the clean reference.
+func assertBitExact(t *testing.T, hist, clean *History) {
+	t.Helper()
+	if len(hist.Losses) != len(clean.Losses) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(hist.Losses), len(clean.Losses))
+	}
+	for i := range hist.Losses {
+		if hist.Losses[i] != clean.Losses[i] {
+			t.Fatalf("loss %d diverges after resume: %v vs clean %v", i, hist.Losses[i], clean.Losses[i])
+		}
+	}
+	if hist.TestMetric != clean.TestMetric {
+		t.Fatalf("test metric diverges after resume: %v vs clean %v", hist.TestMetric, clean.TestMetric)
+	}
+	if hist.TestLogits == nil || clean.TestLogits == nil {
+		t.Fatal("missing test logits")
+	}
+	if len(hist.TestLogits.Data) != len(clean.TestLogits.Data) {
+		t.Fatalf("test logit counts differ: %d vs %d", len(hist.TestLogits.Data), len(clean.TestLogits.Data))
+	}
+	for i := range hist.TestLogits.Data {
+		if hist.TestLogits.Data[i] != clean.TestLogits.Data[i] {
+			t.Fatalf("test logit %d diverges after resume: %v vs clean %v",
+				i, hist.TestLogits.Data[i], clean.TestLogits.Data[i])
+		}
+	}
+}
+
+// TestChaosKillAtEpochResumeBitExact is the crash-recovery contract end to
+// end: train clean with mid-run checkpointing, kill an identical run
+// two-thirds of the way through its transport traffic, then resume the
+// newest durable checkpoint on fresh sessions — the resumed trajectory must
+// be bit-identical to the uninterrupted one. The tail of the test corrupts
+// checkpoint files to pin the fallback ladder: a rotted newest file falls
+// back to the next-oldest (still bit-exact), and a directory with no usable
+// file fails with the typed ErrBadCheckpoint.
+func TestChaosKillAtEpochResumeBitExact(t *testing.T) {
+	const seed = 640
+	ds := data.Generate(tinySpec("t-chaos-resume", 12, 12, 2, false), 3)
+	h := chaosHyper()
+	h.Epochs = 3 // checkpoints land after epochs 1 and 2
+
+	// Clean uninterrupted reference run, checkpointing on, over a pipe whose
+	// Party-A message count calibrates where the crashed run's kill lands.
+	skA, skB := protocol.TestKeys()
+	ca, cb := transport.Pair(4096)
+	pa, pb, err := protocol.PipeOn(ca, cb, skA, skB, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanDir := t.TempDir()
+	clean, err := Trainer{Kind: LR, Hyper: h, CheckpointDir: cleanDir}.Train(ds, Pair(pa, pb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files := ckptFiles(t, cleanDir); len(files) != 2 {
+		t.Fatalf("clean 3-epoch run left %d checkpoints, want 2 (after epochs 1 and 2)", len(files))
+	}
+	msgs, _ := ca.Stats()
+
+	// The crashed run: same seed, same traffic schedule, killed two-thirds of
+	// the way through Party A's sends — past the first checkpoint, before the
+	// finish line.
+	crashDir := t.TempDir()
+	pa, pb, fc := fedPipeFault(t, seed, "chaos-resume-kill", transport.FaultPlan{KillAtMsg: msgs * 2 / 3})
+	done := make(chan error, 1)
+	go func() {
+		_, err := Trainer{Kind: LR, Hyper: h, CheckpointDir: crashDir}.Train(ds, Pair(pa, pb))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("training completed over a killed connection")
+		}
+		if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("err = %v, want transport.ErrClosed", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("training hung after a mid-run kill")
+	}
+	if !fc.Injected().Killed {
+		t.Fatal("kill schedule never fired")
+	}
+	files := ckptFiles(t, crashDir)
+	if len(files) == 0 {
+		t.Fatal("crashed run left no durable checkpoint behind")
+	}
+
+	// Resume on fresh sessions: every random stream is re-derived, so the
+	// remaining epochs replay the uninterrupted trajectory exactly.
+	resume := func() (*History, error) {
+		pa, pb := fedPipe(t, seed)
+		return Trainer{Kind: LR, Hyper: h, CheckpointDir: crashDir}.Resume(ds, Pair(pa, pb))
+	}
+	hist, err := resume()
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	assertBitExact(t, hist, clean)
+
+	// Rot the newest checkpoint: with an older usable file present the scan
+	// must fall back to it and still resume bit-exactly.
+	corruptFile(t, files[len(files)-1])
+	if len(files) > 1 {
+		hist, err := resume()
+		if err != nil {
+			t.Fatalf("resume failed to fall back past a corrupted newest checkpoint: %v", err)
+		}
+		assertBitExact(t, hist, clean)
+	}
+	// Rot everything — re-listing first, since the resumed runs deposited
+	// fresh checkpoints of their own. The refusal must be typed, not a
+	// restore into garbage.
+	for _, f := range ckptFiles(t, crashDir) {
+		corruptFile(t, f)
+	}
+	pa, pb = fedPipe(t, seed)
+	_, err = Trainer{Kind: LR, Hyper: h, CheckpointDir: crashDir}.Resume(ds, Pair(pa, pb))
+	if !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("resume over all-corrupt checkpoints = %v, want ErrBadCheckpoint", err)
+	}
+	pa.Conn.Close()
+	pb.Conn.Close()
+}
+
+// TestChaosResumeRefusesChangedConfig: a resume whose trainer disagrees with
+// the checkpointed run — different engine options (fingerprint), different
+// hyper-parameters, or no epochs left to train — must be refused up front:
+// it could not be bit-exact, so it must not start.
+func TestChaosResumeRefusesChangedConfig(t *testing.T) {
+	const seed = 641
+	ds := data.Generate(tinySpec("t-chaos-refuse", 12, 12, 2, false), 3)
+	h := chaosHyper()
+	h.Epochs = 2
+
+	dir := t.TempDir()
+	pa, pb := fedPipe(t, seed)
+	if _, err := (Trainer{Kind: LR, Hyper: h, CheckpointDir: dir}).Train(ds, Pair(pa, pb)); err != nil {
+		t.Fatal(err)
+	}
+	if files := ckptFiles(t, dir); len(files) != 1 {
+		t.Fatalf("2-epoch run left %d checkpoints, want 1", len(files))
+	}
+
+	try := func(tr Trainer) error {
+		pa, pb := fedPipe(t, seed)
+		_, err := tr.Resume(ds, Pair(pa, pb))
+		pa.Conn.Close()
+		pb.Conn.Close()
+		return err
+	}
+
+	hEng := h
+	hEng.Options.Packed = !hEng.Options.Packed
+	if err := try(Trainer{Kind: LR, Hyper: hEng, CheckpointDir: dir}); err == nil ||
+		!strings.Contains(err.Error(), "engine options") {
+		t.Fatalf("resume under changed engine options = %v, want a fingerprint refusal", err)
+	}
+
+	hLR := h
+	hLR.LR *= 2
+	if err := try(Trainer{Kind: LR, Hyper: hLR, CheckpointDir: dir}); err == nil ||
+		!strings.Contains(err.Error(), "hyper-parameters") {
+		t.Fatalf("resume under a changed learning rate = %v, want a hyper refusal", err)
+	}
+
+	hDone := h
+	hDone.Epochs = 1 // the checkpoint already covers epoch 1
+	if err := try(Trainer{Kind: LR, Hyper: hDone, CheckpointDir: dir}); err == nil ||
+		!strings.Contains(err.Error(), "nothing to resume") {
+		t.Fatalf("resume past the final epoch = %v, want a nothing-to-resume refusal", err)
+	}
+
+	// Raising the epoch count is the one legal change: train further.
+	hMore := h
+	hMore.Epochs = 3
+	pa, pb = fedPipe(t, seed)
+	hist, err := Trainer{Kind: LR, Hyper: hMore, CheckpointDir: dir}.Resume(ds, Pair(pa, pb))
+	if err != nil {
+		t.Fatalf("resume with a raised epoch count failed: %v", err)
+	}
+	if want := 3 * (ds.TrainA.Rows() / h.Batch); len(hist.Losses) != want {
+		t.Fatalf("extended resume ran %d iterations, want %d", len(hist.Losses), want)
+	}
+}
+
+// TestChaosCtrlCorruptTrainingFailsTyped drives a control-plane bit-flip
+// through end-to-end training: whichever control envelope the schedule hits
+// (stream header, end marker or ack), the run must abort with the typed
+// integrity error — never hang, never return a model trained over a corrupt
+// frame. The seed is chosen so the flip lands mid-run, past the handshake.
+func TestChaosCtrlCorruptTrainingFailsTyped(t *testing.T) {
+	ds := data.Generate(tinySpec("t-chaos-ctrl", 12, 12, 2, false), 3)
+	pa, pb, fc := fedPipeFault(t, 653, "chaos-ctrl-flip", transport.FaultPlan{CtrlFlipProb: 0.3, MaxFaults: 1})
+	done := make(chan error, 1)
+	go func() {
+		_, err := TrainFederated(LR, ds, chaosHyper(), pa, pb)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("training completed over a corrupted control message")
+		}
+		if !errors.Is(err, transport.ErrCorrupt) {
+			t.Fatalf("err = %v, want transport.ErrCorrupt", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("training hung on a corrupted control message")
+	}
+	if fc.Injected().CtrlFlips != 1 {
+		t.Fatalf("injected = %+v, want exactly one control flip", fc.Injected())
+	}
+}
+
+// TestChaosBadServeCheckpointFailsTyped is the envelope regression test: a
+// serve checkpoint that was bit-flipped, truncated or replaced with garbage
+// must fail Predictor restore with the typed (and permanent)
+// ErrBadCheckpoint — the error RetryPredictor refuses to retry — instead of
+// gob-decoding noise into a servable model.
+func TestChaosBadServeCheckpointFailsTyped(t *testing.T) {
+	ds := data.Generate(tinySpec("t-chaos-badck", 12, 12, 2, false), 3)
+	h := chaosHyper()
+	h.Stream = false
+	pa, pb := fedPipe(t, 660)
+	var buf bytes.Buffer
+	if _, err := (Trainer{Kind: LR, Hyper: h, Checkpoint: &buf}).Train(ds, Pair(pa, pb)); err != nil {
+		t.Fatal(err)
+	}
+	ck := buf.Bytes()
+	if _, err := openEnvelope(bytes.NewReader(ck)); err != nil {
+		t.Fatalf("pristine checkpoint failed its own envelope: %v", err)
+	}
+
+	flipped := append([]byte(nil), ck...)
+	flipped[len(flipped)-5] ^= 0x01
+	cases := map[string][]byte{
+		"bitflip":   flipped,
+		"truncated": ck[:len(ck)-7],
+		"header":    ck[:16],
+		"garbage":   []byte("not a checkpoint"),
+		"empty":     nil,
+	}
+	for name, blob := range cases {
+		t.Run(name, func(t *testing.T) {
+			// The envelope is rejected before any session is touched, so no
+			// live party set is needed.
+			_, err := NewPredictor(bytes.NewReader(blob), PartySet{})
+			if !errors.Is(err, ErrBadCheckpoint) {
+				t.Fatalf("err = %v, want ErrBadCheckpoint", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,472 @@
+package model
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+
+	"blindfl/internal/core"
+	"blindfl/internal/data"
+	"blindfl/internal/nn"
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+)
+
+// Run checkpoints: durable mid-training snapshots a crashed run resumes
+// from, bit-exactly. A run checkpoint extends the serve-checkpoint bundle
+// with the training-only state — the completed-epoch counter, the loss
+// history prefix, the head optimizer's momentum buffers, and the engine
+// options fingerprint (a resume under a different engine configuration is
+// refused up front). The encrypted weight-piece copies inside the layer
+// gobs are stale after a restart — Paillier keys are per-process — so
+// Resume re-runs the initialization exchange from the restored plaintext
+// pieces (core ResumeExchange); fresh encryption randomness does not change
+// the decrypted values, and the mask streams are re-derived per epoch
+// (protocol.Peer.SeedEpoch), so the resumed trajectory is the uninterrupted
+// run's, bit for bit.
+
+// runCheckpoint is the gob root of a run checkpoint file.
+type runCheckpoint struct {
+	Kind        Kind
+	Classes     int
+	Hyper       Hyper
+	InAs        []int
+	InB         int
+	Epoch       int       // completed epochs at capture time
+	Losses      []float64 // per-iteration loss prefix through Epoch
+	LayerA      [][]byte  // feature party i's MatMulA half (core gob)
+	LayerB      [][]byte  // label party's session-i MatMulB half (core gob)
+	Head        []*tensor.Dense
+	HeadMom     []*tensor.Dense // head optimizer momentum, params() order
+	Fingerprint uint64          // engine.Options.Fingerprint() of the run
+}
+
+// runCkpt collects the per-party deposits for each checkpointed epoch and
+// writes the assembled file once all k+1 arrive. The training closures run
+// concurrently (one goroutine per party), so the collector locks; a nil
+// collector (CheckpointDir unset) is a no-op throughout. Write errors are
+// recorded and surfaced once by finish — a failing checkpoint disk should
+// not tear down an otherwise healthy training run mid-epoch.
+type runCkpt struct {
+	t    Trainer
+	ds   *data.Dataset
+	inAs []int
+
+	mu   sync.Mutex
+	pend map[int]*runCheckpoint
+	n    map[int]int
+	err  error
+}
+
+func newRunCkpt(t Trainer, ds *data.Dataset, inAs []int) *runCkpt {
+	if t.CheckpointDir == "" {
+		return nil
+	}
+	return &runCkpt{t: t, ds: ds, inAs: inAs,
+		pend: make(map[int]*runCheckpoint), n: make(map[int]int)}
+}
+
+// due reports whether the epoch-e boundary deposits a checkpoint: every
+// CheckpointEvery epochs, excluding the final epoch (the run's end state is
+// the serve checkpoint's job; a run checkpoint there could never be
+// resumed, Epochs being already reached).
+func (c *runCkpt) due(e int) bool {
+	if c == nil {
+		return false
+	}
+	every := c.t.CheckpointEvery
+	if every < 1 {
+		every = 1
+	}
+	return (e+1)%every == 0 && e+1 < c.t.Hyper.Epochs
+}
+
+// depositA adds feature party i's layer half for epoch e.
+func (c *runCkpt) depositA(e, i int, ma *FedA) {
+	if !c.due(e) {
+		return
+	}
+	blob, err := saveLayerA(ma)
+	c.add(e, err, func(ck *runCheckpoint) { ck.LayerA[i] = blob })
+}
+
+// depositB adds the label party's halves, head, momentum and loss prefix
+// for epoch e. losses is read under the collector lock inside add — the
+// label party goroutine owns it, and it appends only between deposits.
+func (c *runCkpt) depositB(e int, mb *FedB, losses []float64) {
+	if !c.due(e) {
+		return
+	}
+	blobs, err := saveLayerB(mb)
+	c.add(e, err, func(ck *runCheckpoint) {
+		copy(ck.LayerB, blobs)
+		ck.Head = headParams(mb.head)
+		ck.HeadMom = mb.opt.MomentumState()
+		ck.Losses = append([]float64(nil), losses...)
+	})
+}
+
+func (c *runCkpt) add(e int, err error, fill func(*runCheckpoint)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		if c.err == nil {
+			c.err = err
+		}
+		return
+	}
+	ck := c.pend[e]
+	if ck == nil {
+		ck = &runCheckpoint{
+			Kind: c.t.Kind, Classes: c.ds.Spec.Classes, Hyper: c.t.Hyper,
+			InAs: c.inAs, InB: c.ds.TrainB.NumCols(), Epoch: e + 1,
+			LayerA: make([][]byte, len(c.inAs)), LayerB: make([][]byte, len(c.inAs)),
+			Fingerprint: c.t.Hyper.Options.Fingerprint(),
+		}
+		c.pend[e] = ck
+	}
+	fill(ck)
+	c.n[e]++
+	if c.n[e] == len(c.inAs)+1 {
+		delete(c.pend, e)
+		delete(c.n, e)
+		if err := c.writeFile(ck); err != nil && c.err == nil {
+			c.err = err
+		}
+	}
+}
+
+// writeFile seals the checkpoint into CheckpointDir/ckpt-<epoch> through a
+// temp file and an atomic rename: a crash mid-write leaves at worst a
+// dot-prefixed temp file that the resume scan ignores, never a truncated
+// ckpt- file (and even one of those would fail the envelope check).
+func (c *runCkpt) writeFile(ck *runCheckpoint) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
+		return fmt.Errorf("model: encode run checkpoint: %w", err)
+	}
+	f, err := os.CreateTemp(c.t.CheckpointDir, ".ckpt-*.tmp")
+	if err != nil {
+		return fmt.Errorf("model: write run checkpoint: %w", err)
+	}
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := sealEnvelope(f, buf.Bytes()); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("model: sync run checkpoint: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("model: close run checkpoint: %w", err)
+	}
+	final := filepath.Join(c.t.CheckpointDir, fmt.Sprintf("ckpt-%05d", ck.Epoch))
+	if err := os.Rename(f.Name(), final); err != nil {
+		os.Remove(f.Name())
+		return fmt.Errorf("model: publish run checkpoint: %w", err)
+	}
+	return nil
+}
+
+// finish surfaces the first recorded deposit/write error after the run.
+func (c *runCkpt) finish() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// latestRunCheckpoint scans dir for the newest usable run checkpoint.
+// Files failing the envelope or shape checks (a crash can leave the newest
+// file unreadable only if the filesystem lied about the rename, but a disk
+// can rot any of them) are skipped in favor of the next-oldest; only when
+// no file is usable does the scan fail, with the last typed error.
+func latestRunCheckpoint(dir string) (*runCheckpoint, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("model: scan checkpoint dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), "ckpt-") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	var lastErr error
+	for _, name := range names {
+		ck, err := readRunCheckpoint(filepath.Join(dir, name))
+		if err != nil {
+			if errors.Is(err, ErrBadCheckpoint) {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		return ck, nil
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("model: no usable run checkpoint in %s (last: %w)", dir, lastErr)
+	}
+	return nil, fmt.Errorf("model: no run checkpoint in %s", dir)
+}
+
+func readRunCheckpoint(path string) (*runCheckpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("model: open run checkpoint: %w", err)
+	}
+	defer f.Close()
+	payload, err := openEnvelope(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	var ck runCheckpoint
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("%s: %w: decode: %v", path, ErrBadCheckpoint, err)
+	}
+	k := len(ck.InAs)
+	if k == 0 || len(ck.LayerA) != k || len(ck.LayerB) != k || ck.Epoch < 1 {
+		return nil, fmt.Errorf("%s: %w: malformed (%d parties, %d A layers, %d B layers, epoch %d)",
+			path, ErrBadCheckpoint, k, len(ck.LayerA), len(ck.LayerB), ck.Epoch)
+	}
+	return &ck, nil
+}
+
+// Resume restores the newest usable run checkpoint from CheckpointDir onto
+// the party set's fresh sessions and trains the remaining epochs. The
+// resumed run is bit-identical to the uninterrupted one: losses, the test
+// metric and the test logits all match, because every random stream the
+// remaining epochs touch is re-derived, not continued — batch order from
+// the hyper seed (replayed through the completed epochs), mask streams from
+// the per-epoch RNG discipline, and the serve-path evaluation is
+// mask-independent to begin with. Sessions must carry a stream identity
+// (protocol pipes set one; hand-assembled peers must call
+// SetStreamIdentity), and the Trainer's hyper-parameters and engine options
+// must match the checkpointed run's (epoch count excepted — raising it
+// trains further).
+func (t Trainer) Resume(ds *data.Dataset, ps PartySet) (*History, error) {
+	if t.CheckpointDir == "" {
+		return nil, fmt.Errorf("model: Resume needs CheckpointDir")
+	}
+	ck, err := latestRunCheckpoint(t.CheckpointDir)
+	if err != nil {
+		return nil, err
+	}
+	k := ps.K()
+	if ps.B == nil || k == 0 || k != ps.B.K() {
+		return nil, fmt.Errorf("model: Resume needs a party set matching the checkpoint")
+	}
+	if len(ck.InAs) != k {
+		return nil, fmt.Errorf("model: checkpoint spans %d feature parties, party set has %d", len(ck.InAs), k)
+	}
+	if ck.Kind != t.Kind {
+		return nil, fmt.Errorf("model: checkpoint is a %s run, trainer wants %s", ck.Kind, t.Kind)
+	}
+	if ck.Fingerprint != t.Hyper.Options.Fingerprint() {
+		return nil, fmt.Errorf("model: engine options changed since the checkpoint (fingerprint %016x, trainer %016x) — a resume under a different engine configuration would not be bit-exact",
+			ck.Fingerprint, t.Hyper.Options.Fingerprint())
+	}
+	ckH, h := ck.Hyper, t.Hyper
+	ckH.Epochs, h.Epochs = 0, 0
+	if !reflect.DeepEqual(ckH, h) {
+		return nil, fmt.Errorf("model: hyper-parameters differ from the checkpointed run (only the epoch count may change on resume)")
+	}
+	if ck.Epoch >= t.Hyper.Epochs {
+		return nil, fmt.Errorf("model: checkpoint already covers %d of %d epochs — nothing to resume", ck.Epoch, t.Hyper.Epochs)
+	}
+	for _, p := range append(append([]*protocol.Peer{}, ps.As...), ps.B.Peers...) {
+		if !p.HasStreamIdentity() {
+			return nil, fmt.Errorf("model: Resume needs sessions with a stream identity (protocol pipes record one; set SetStreamIdentity on hand-assembled peers)")
+		}
+	}
+	if k == 1 {
+		return t.resumePair(ck, ds, ps.As[0], ps.B.Peers[0])
+	}
+	return t.resumeMulti(ck, ds, ps)
+}
+
+// resumePair continues a two-party run from ck.
+func (t Trainer) resumePair(ck *runCheckpoint, ds *data.Dataset, pa, pb *protocol.Peer) (*History, error) {
+	kind, h := t.Kind, t.Hyper
+	hist := &History{MetricName: metricName(ds.Spec.Classes),
+		Losses: append([]float64(nil), ck.Losses...)}
+	cc := newCkCapture(t, ds, ck.InAs)
+	rc := newRunCkpt(t, ds, ck.InAs)
+	var restoreErrA, restoreErrB error
+	err := protocol.RunParties(pa, pb,
+		func() {
+			la, err := core.LoadMatMulA(bytes.NewReader(ck.LayerA[0]), pa)
+			if err != nil {
+				restoreErrA = err
+				//blindfl:allow teardown deliberate early close: unblocks the peer so the restore error wins the race
+				pa.Conn.Close()
+				return
+			}
+			la.ResumeExchange()
+			ma := &FedA{num: &numericSrcA{dense: la}}
+			trainLoopA(pa, ma, ds.TrainA, h, ck.Epoch, func(e int) { rc.depositA(e, 0, ma) })
+			evalA(ma, kind, ds, ds.TestA, h.Batch)
+			cc.captureA(0, ma)
+		},
+		func() {
+			lb, err := core.LoadMatMulB(bytes.NewReader(ck.LayerB[0]), pb)
+			if err != nil {
+				restoreErrB = err
+				//blindfl:allow teardown deliberate early close: unblocks the peer so the restore error wins the race
+				pb.Conn.Close()
+				return
+			}
+			lb.ResumeExchange()
+			mb, err := restoredFedB(ck, &numericSrcB{dense: lb})
+			if err != nil {
+				restoreErrB = err
+				//blindfl:allow teardown deliberate early close: unblocks the peer so the restore error wins the race
+				pb.Conn.Close()
+				return
+			}
+			trainLoopB(pb, mb, ds, h, hist, ck.Epoch, func(e int) { rc.depositB(e, mb, hist.Losses) })
+			hist.TestLogits = evalB(mb, ds, h)
+			cc.captureB(mb)
+		})
+	if restoreErrA != nil {
+		return nil, restoreErrA
+	}
+	if restoreErrB != nil {
+		return nil, restoreErrB
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := rc.finish(); err != nil {
+		return nil, err
+	}
+	if err := cc.write(t.Checkpoint); err != nil {
+		return nil, err
+	}
+	finishHistory(hist, ds)
+	return hist, nil
+}
+
+// resumeMulti continues a k-party run from ck.
+func (t Trainer) resumeMulti(ck *runCheckpoint, ds *data.Dataset, ps PartySet) (*History, error) {
+	kind, h, k := t.Kind, t.Hyper, ps.K()
+	trainAs := data.SplitCols(ds.TrainA, k)
+	testAs := data.SplitCols(ds.TestA, k)
+	for i, p := range trainAs {
+		if p.NumCols() != ck.InAs[i] {
+			return nil, fmt.Errorf("model: feature party %d has %d columns, checkpoint wants %d", i, p.NumCols(), ck.InAs[i])
+		}
+	}
+	hist := &History{MetricName: metricName(ds.Spec.Classes),
+		Losses: append([]float64(nil), ck.Losses...)}
+	cc := newCkCapture(t, ds, ck.InAs)
+	rc := newRunCkpt(t, ds, ck.InAs)
+	ps.B.ContinueOnLoss = t.ContinueOnLoss
+	restoreErrA := make([]error, k)
+	var restoreErrB error
+	err := protocol.RunGroup(ps.As, ps.B,
+		func(i int) {
+			la, err := core.LoadMatMulA(bytes.NewReader(ck.LayerA[i]), ps.As[i])
+			if err != nil {
+				restoreErrA[i] = err
+				//blindfl:allow teardown deliberate early close: unblocks the peer so the restore error wins the race
+				ps.As[i].Conn.Close()
+				return
+			}
+			la.ResumeExchange()
+			ma := &FedA{num: &numericSrcA{dense: la}}
+			trainLoopA(ps.As[i], ma, trainAs[i], h, ck.Epoch, func(e int) { rc.depositA(e, i, ma) })
+			evalA(ma, kind, ds, testAs[i], h.Batch)
+			cc.captureA(i, ma)
+		},
+		func() {
+			subs := make([]*core.MatMulB, k)
+			ps.B.ForEach(func(i int, peer *protocol.Peer) {
+				sub, err := core.LoadMatMulB(bytes.NewReader(ck.LayerB[i]), peer)
+				if err != nil {
+					restoreErrB = err
+					return
+				}
+				subs[i] = sub
+			})
+			if restoreErrB != nil {
+				ps.B.Close()
+				return
+			}
+			lb := core.NewMultiMatMulBFrom(ps.B, subs)
+			lb.ResumeExchange()
+			mb, err := restoredFedB(ck, &multiNumericSrcB{dense: lb})
+			if err != nil {
+				restoreErrB = err
+				ps.B.Close()
+				return
+			}
+			trainLoopB(ps.B, mb, ds, h, hist, ck.Epoch, func(e int) { rc.depositB(e, mb, hist.Losses) })
+			hist.TestLogits = evalB(mb, ds, h)
+			cc.captureB(mb)
+		})
+	for i := 0; i < k; i++ {
+		if restoreErrA[i] != nil {
+			return nil, restoreErrA[i]
+		}
+	}
+	if restoreErrB != nil {
+		return nil, restoreErrB
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ps.B.LostCount() > 0 {
+		hist.LostSessions = ps.B.Lost()
+		if t.Checkpoint != nil {
+			return nil, fmt.Errorf("model: %w: %d of %d sessions lost mid-run, refusing to write a partial checkpoint",
+				protocol.ErrSessionLost, ps.B.LostCount(), k)
+		}
+	}
+	if err := rc.finish(); err != nil {
+		return nil, err
+	}
+	if err := cc.write(t.Checkpoint); err != nil {
+		return nil, err
+	}
+	finishHistory(hist, ds)
+	return hist, nil
+}
+
+// restoredFedB rebuilds the label party's model half around a restored
+// source-layer facade: the head is constructed through the same family
+// constructor as training (so module shapes match), its parameters
+// overwritten from the checkpoint, and the optimizer's momentum buffers
+// restored so the velocity trajectory continues rather than restarting.
+func restoredFedB(ck *runCheckpoint, num numSrcB) (*FedB, error) {
+	head := buildHead(ck.Kind, ck.Classes, ck.Hyper)
+	params := head.params()
+	if len(params) != len(ck.Head) {
+		return nil, fmt.Errorf("model: checkpoint head has %d parameters, %s wants %d", len(ck.Head), ck.Kind, len(params))
+	}
+	for i, par := range params {
+		saved := ck.Head[i]
+		if saved == nil || !par.W.SameShape(saved) {
+			return nil, fmt.Errorf("model: checkpoint head parameter %d shape mismatch", i)
+		}
+		copy(par.W.Data, saved.Data)
+	}
+	m := &FedB{kind: ck.Kind, classes: ck.Classes, num: num, head: head}
+	m.opt = nn.NewSGD(ck.Hyper.LR, ck.Hyper.Momentum, head.params())
+	m.opt.SetMomentumState(ck.HeadMom)
+	return m, nil
+}

@@ -27,6 +27,21 @@ type Trainer struct {
 	// contains no more than the parties' processes jointly held.
 	Checkpoint io.Writer
 
+	// CheckpointDir, when set, makes the run crash-recoverable: every
+	// CheckpointEvery completed epochs the parties deposit their layer
+	// halves, the label party adds its head, optimizer momentum and the
+	// loss history, and the assembled run checkpoint is written to
+	// CheckpointDir/ckpt-<epoch> — sealed in the checksum envelope, via a
+	// temp file and an atomic rename, so a crash mid-write never leaves a
+	// half-written file a later Resume could trip over. Resume restores the
+	// newest usable checkpoint onto fresh sessions and continues the run
+	// bit-exactly. Serveable families only, like Checkpoint.
+	CheckpointDir string
+
+	// CheckpointEvery is the epoch stride between run checkpoints; values
+	// below 1 mean every epoch. Ignored without CheckpointDir.
+	CheckpointEvery int
+
 	// ContinueOnLoss opts a k>1 run into session-loss tolerance
 	// (protocol.Group.ContinueOnLoss): when a feature party's connection
 	// dies mid-run, the surviving k−1 sessions finish the epoch and the
@@ -71,8 +86,8 @@ func (t Trainer) Train(ds *data.Dataset, ps PartySet) (*History, error) {
 	if k != ps.B.K() {
 		return nil, fmt.Errorf("model: party set has %d feature parties for %d sessions", k, ps.B.K())
 	}
-	if t.Checkpoint != nil && !Serveable(t.Kind, ds) {
-		return nil, fmt.Errorf("model: serve checkpoints cover the dense numeric families (lr|mlr|mlp on dense data); %s is not serveable here", t.Kind)
+	if (t.Checkpoint != nil || t.CheckpointDir != "") && !Serveable(t.Kind, ds) {
+		return nil, fmt.Errorf("model: checkpoints cover the dense numeric families (lr|mlr|mlp on dense data); %s is not serveable here", t.Kind)
 	}
 	if k == 1 {
 		return t.trainPair(ds, ps.As[0], ps.B.Peers[0])
@@ -86,20 +101,24 @@ func (t Trainer) trainPair(ds *data.Dataset, pa, pb *protocol.Peer) (*History, e
 	kind, h := t.Kind, t.Hyper
 	hist := &History{MetricName: metricName(ds.Spec.Classes)}
 	cc := newCkCapture(t, ds, []int{ds.TrainA.NumCols()})
+	rc := newRunCkpt(t, ds, []int{ds.TrainA.NumCols()})
 	err := protocol.RunParties(pa, pb,
 		func() {
 			ma := NewFedA(pa, kind, ds, h)
-			trainLoopA(ma, ds.TrainA, h)
+			trainLoopA(pa, ma, ds.TrainA, h, 0, func(e int) { rc.depositA(e, 0, ma) })
 			evalA(ma, kind, ds, ds.TestA, h.Batch)
 			cc.captureA(0, ma)
 		},
 		func() {
 			mb := NewFedB(pb, kind, ds, h)
-			trainLoopB(mb, ds, h, hist)
+			trainLoopB(pb, mb, ds, h, hist, 0, func(e int) { rc.depositB(e, mb, hist.Losses) })
 			hist.TestLogits = evalB(mb, ds, h)
 			cc.captureB(mb)
 		})
 	if err != nil {
+		return nil, err
+	}
+	if err := rc.finish(); err != nil {
 		return nil, err
 	}
 	if err := cc.write(t.Checkpoint); err != nil {
@@ -130,21 +149,25 @@ func (t Trainer) trainMulti(ds *data.Dataset, ps PartySet) (*History, error) {
 
 	hist := &History{MetricName: metricName(ds.Spec.Classes)}
 	cc := newCkCapture(t, ds, inAs)
+	rc := newRunCkpt(t, ds, inAs)
 	ps.B.ContinueOnLoss = t.ContinueOnLoss
 	err := protocol.RunGroup(ps.As, ps.B,
 		func(i int) {
 			ma := NewFedAMulti(ps.As[i], kind, ds, h, inAs[i], k)
-			trainLoopA(ma, trainAs[i], h)
+			trainLoopA(ps.As[i], ma, trainAs[i], h, 0, func(e int) { rc.depositA(e, i, ma) })
 			evalA(ma, kind, ds, testAs[i], h.Batch)
 			cc.captureA(i, ma)
 		},
 		func() {
 			mb := NewFedBMulti(ps.B, kind, ds, h, inAs)
-			trainLoopB(mb, ds, h, hist)
+			trainLoopB(ps.B, mb, ds, h, hist, 0, func(e int) { rc.depositB(e, mb, hist.Losses) })
 			hist.TestLogits = evalB(mb, ds, h)
 			cc.captureB(mb)
 		})
 	if err != nil {
+		return nil, err
+	}
+	if err := rc.finish(); err != nil {
 		return nil, err
 	}
 	if ps.B.LostCount() > 0 {
@@ -163,25 +186,49 @@ func (t Trainer) trainMulti(ds *data.Dataset, ps PartySet) (*History, error) {
 	return hist, nil
 }
 
-// trainLoopA runs one feature party's training epochs over its column block.
-func trainLoopA(ma *FedA, trainA data.Part, h Hyper) {
+// epochSeeder re-derives a party's protocol RNG streams at an epoch
+// boundary; *protocol.Peer and *protocol.Group both implement it.
+type epochSeeder interface{ SeedEpoch(epoch int) }
+
+// trainLoopA runs one feature party's training epochs over its column block,
+// starting at epoch start (nonzero on resume: the batch-order stream is
+// advanced through the completed epochs so the remaining epochs see exactly
+// the permutations the uninterrupted run would have). The peer's mask
+// stream is re-seeded at every epoch boundary, and atEpochEnd (if set) fires
+// after each completed epoch — the run-checkpoint deposit hook.
+func trainLoopA(sd epochSeeder, ma *FedA, trainA data.Part, h Hyper, start int, atEpochEnd func(e int)) {
 	order := rng.New(h.Seed, "batch-order")
-	for e := 0; e < h.Epochs; e++ {
+	for e := 0; e < start; e++ {
+		data.Shuffle(order, trainA.Rows())
+	}
+	for e := start; e < h.Epochs; e++ {
+		sd.SeedEpoch(e)
 		perm := data.Shuffle(order, trainA.Rows())
 		for _, idx := range batchesOf(perm, h.Batch) {
 			ma.StepA(trainA.Batch(idx))
 		}
+		if atEpochEnd != nil {
+			atEpochEnd(e)
+		}
 	}
 }
 
-// trainLoopB runs the label party's training epochs, recording losses.
-func trainLoopB(mb *FedB, ds *data.Dataset, h Hyper, hist *History) {
+// trainLoopB runs the label party's training epochs, recording losses, with
+// the same start/seeding/hook contract as trainLoopA.
+func trainLoopB(sd epochSeeder, mb *FedB, ds *data.Dataset, h Hyper, hist *History, start int, atEpochEnd func(e int)) {
 	order := rng.New(h.Seed, "batch-order")
-	for e := 0; e < h.Epochs; e++ {
+	for e := 0; e < start; e++ {
+		data.Shuffle(order, ds.TrainB.Rows())
+	}
+	for e := start; e < h.Epochs; e++ {
+		sd.SeedEpoch(e)
 		perm := data.Shuffle(order, ds.TrainB.Rows())
 		for _, idx := range batchesOf(perm, h.Batch) {
 			loss := mb.StepB(ds.TrainB.Batch(idx), gather(ds.TrainY, idx))
 			hist.Losses = append(hist.Losses, loss)
+		}
+		if atEpochEnd != nil {
+			atEpochEnd(e)
 		}
 	}
 }

@@ -274,6 +274,37 @@ func (o *SGD) Step() {
 	}
 }
 
+// MomentumState clones the optimizer's velocity buffers, in parameter order.
+// Run checkpoints persist them so a resumed momentum trajectory continues
+// bit-exactly instead of restarting from zero velocity.
+func (o *SGD) MomentumState() []*tensor.Dense {
+	out := make([]*tensor.Dense, len(o.bufs))
+	for i, b := range o.bufs {
+		out[i] = b.Clone()
+	}
+	return out
+}
+
+// SetMomentumState restores velocity buffers captured by MomentumState onto
+// a freshly built optimizer over the same parameter set. A nil state is a
+// no-op (checkpoints from momentum-free runs); a shape mismatch panics —
+// it means the checkpoint belongs to a different architecture.
+func (o *SGD) SetMomentumState(bufs []*tensor.Dense) {
+	if bufs == nil {
+		return
+	}
+	if len(bufs) != len(o.bufs) {
+		panic(fmt.Sprintf("nn: momentum state has %d buffers, optimizer has %d", len(bufs), len(o.bufs)))
+	}
+	for i, b := range bufs {
+		if b.Rows != o.bufs[i].Rows || b.Cols != o.bufs[i].Cols {
+			panic(fmt.Sprintf("nn: momentum buffer %d is %dx%d, want %dx%d",
+				i, b.Rows, b.Cols, o.bufs[i].Rows, o.bufs[i].Cols))
+		}
+		o.bufs[i] = b.Clone()
+	}
+}
+
 // shapeMsg is a helper for loss shape panics.
 func shapeMsg(what string, rows, want int) string {
 	return fmt.Sprintf("nn: %s has %d rows, labels have %d", what, rows, want)

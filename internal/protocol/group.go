@@ -93,6 +93,18 @@ func (g *Group) markLost(i int) {
 	g.lost[i] = true
 }
 
+// SeedEpoch re-derives every live session's mask RNG stream for the given
+// epoch — the group-side counterpart of Peer.SeedEpoch, called by the trainer
+// at every epoch boundary so a resumed group run rejoins the clean
+// trajectory bit-exactly.
+func (g *Group) SeedEpoch(epoch int) {
+	for i, p := range g.Peers {
+		if g.Live(i) {
+			p.SeedEpoch(epoch)
+		}
+	}
+}
+
 // CloseSession closes session i's connection and marks the session lost —
 // the sanctioned way for a driver to retire one session of a running group
 // (ContinueOnLoss deployments draining a dead feature party).
@@ -240,6 +252,8 @@ func GroupPipe(skAs []*paillier.PrivateKey, skB *paillier.PrivateKey, seed int64
 		ca, cb := transport.Pair(4096)
 		a := NewPeer(PartyA, ca, skAs[i], sessionRNG(seed, i, PartyA))
 		b := NewPeer(PartyB, cb, skB, sessionRNG(seed, i, PartyB))
+		a.SetStreamIdentity(seed, i)
+		b.SetStreamIdentity(seed, i)
 		as[i], bs[i] = a, b
 		go func() { errs <- a.Handshake() }()
 		go func() { errs <- b.Handshake() }()
@@ -276,5 +290,18 @@ func sessionRNG(seed int64, session int, role Role) *rand.Rand {
 	h := rng.Mix64(uint64(seed) + 0x9e3779b97f4a7c15)
 	h = rng.Mix64(h ^ (uint64(session) + 0x9e3779b97f4a7c15))
 	h = rng.Mix64(h ^ uint64(role))
+	return rand.New(rand.NewSource(int64(h)))
+}
+
+// epochRNG extends sessionRNG with an epoch coordinate: the mask stream a
+// peer uses during epoch e is a pure function of (seed, session, role, e),
+// so a crash-resumed run re-derives exactly the stream the uninterrupted run
+// had at that boundary. epoch+1 keeps epoch 0 distinct from the sessionRNG
+// init stream.
+func epochRNG(seed int64, session int, role Role, epoch int) *rand.Rand {
+	h := rng.Mix64(uint64(seed) + 0x9e3779b97f4a7c15)
+	h = rng.Mix64(h ^ (uint64(session) + 0x9e3779b97f4a7c15))
+	h = rng.Mix64(h ^ uint64(role))
+	h = rng.Mix64(h ^ (uint64(epoch+1) * 0x9e3779b97f4a7c15))
 	return rand.New(rand.NewSource(int64(h)))
 }

@@ -12,6 +12,7 @@ package protocol
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"blindfl/internal/hetensor"
 	"blindfl/internal/paillier"
@@ -68,8 +69,52 @@ type Peer struct {
 	// exact-integer path; outcomes accumulate in Stream.
 	SpotCheck bool
 
+	// ANCheck enables the AHEAD-style AN-coded residue check on the serve
+	// path's exact-integer share arithmetic (hetensor.IntMatMulTAN): each
+	// plaintext share cell is recomputed mod a small prime alongside the
+	// big-integer accumulation and verified before the share joins the
+	// decrypted homomorphic half at the HE2SS boundary. Outcomes accumulate
+	// in Stream (ANChecks/ANMismatches); a mismatch means the share
+	// arithmetic itself — not the wire — corrupted, and is typed
+	// transport.ErrCorrupt.
+	ANCheck bool
+
 	sendSeq, recvSeq uint64 // per-direction stream sequence numbers
 	spotSeq          uint64 // spot-check ordinal (row derivation)
+
+	// Stream identity: the (seed, session) pair this peer's RNG streams are
+	// derived from, recorded by Pipe/PipeOn/GroupPipe (or SetStreamIdentity)
+	// so SeedEpoch can re-derive the mask stream at any epoch boundary.
+	idSeed      int64
+	idSession   int
+	hasIdentity bool
+}
+
+// SetStreamIdentity records the (seed, session) pair this peer's RNG streams
+// were derived from, enabling SeedEpoch. The protocol pipes set it
+// automatically; callers assembling peers over their own transports with
+// SessionRNG should set it with the same values.
+func (p *Peer) SetStreamIdentity(seed int64, session int) {
+	p.idSeed, p.idSession, p.hasIdentity = seed, session, true
+}
+
+// HasStreamIdentity reports whether a stream identity was recorded —
+// the precondition for epoch-seeded mask streams, and therefore for
+// bit-exact checkpoint resume.
+func (p *Peer) HasStreamIdentity() bool { return p.hasIdentity }
+
+// SeedEpoch re-derives this peer's mask RNG stream for the given epoch from
+// the recorded stream identity — the Calvin-style discipline that makes
+// mid-run recovery cheap: the trainer calls it at *every* epoch boundary, so
+// the mask stream at epoch e is a pure function of (seed, session, role, e)
+// and a resumed run rejoins the uninterrupted run's trajectory bit-exactly.
+// A peer without a recorded identity (hand-assembled benches) keeps its
+// continuous stream; SeedEpoch is then a no-op.
+func (p *Peer) SeedEpoch(epoch int) {
+	if !p.hasIdentity {
+		return
+	}
+	p.Rng = epochRNG(p.idSeed, p.idSession, p.Role, epoch)
 }
 
 // NewPeer assembles a Peer. Call Handshake before running any protocol to
@@ -83,33 +128,81 @@ func NewPeer(role Role, conn transport.Conn, sk *paillier.PrivateKey, rng *rand.
 	return &Peer{Role: role, Conn: transport.NewStreamConn(conn), SK: sk, Rng: rng, MaskMag: DefaultMaskMag}
 }
 
-// Handshake exchanges public keys with the peer. Party A sends first.
+// Handshake exchanges public keys with the peer. Party A sends first. Keys
+// travel inside a checksummed transport.Handshake envelope, so a handshake
+// corrupted in flight surfaces as a typed transport.ErrCorrupt at setup time
+// instead of a garbled modulus silently entering the homomorphic kernels.
 func (p *Peer) Handshake() error {
 	if p.Role == PartyA {
-		if err := p.Conn.Send(&p.SK.PublicKey); err != nil {
+		if err := p.Conn.Send(transport.NewHandshake(&p.SK.PublicKey)); err != nil {
 			return err
 		}
-		v, err := p.Conn.Recv()
+		pk, err := p.recvHandshakePK()
 		if err != nil {
 			return err
-		}
-		pk, ok := v.(*paillier.PublicKey)
-		if !ok {
-			return fmt.Errorf("protocol: handshake got %T", v)
 		}
 		p.PeerPK = pk
 		return nil
 	}
-	v, err := p.Conn.Recv()
+	pk, err := p.recvHandshakePK()
 	if err != nil {
 		return err
 	}
-	pk, ok := v.(*paillier.PublicKey)
-	if !ok {
-		return fmt.Errorf("protocol: handshake got %T", v)
-	}
 	p.PeerPK = pk
-	return p.Conn.Send(&p.SK.PublicKey)
+	return p.Conn.Send(transport.NewHandshake(&p.SK.PublicKey))
+}
+
+// HandshakeWithin is Handshake under a bounded setup deadline: on expiry the
+// connection is closed (unblocking the exchange) and the result is a typed
+// transport.ErrTimeout. d ≤ 0 means no deadline.
+func (p *Peer) HandshakeWithin(d time.Duration) error {
+	return Within(d, func() {
+		//blindfl:allow teardown deadline expiry: closing unblocks the handshake goroutine
+		p.Conn.Close()
+	}, p.Handshake)
+}
+
+// recvHandshakePK receives and verifies one sealed public-key handshake.
+func (p *Peer) recvHandshakePK() (*paillier.PublicKey, error) {
+	v, err := p.Conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	hs, ok := v.(*transport.Handshake)
+	if !ok {
+		return nil, fmt.Errorf("protocol: handshake: %w: got %T", transport.ErrCorrupt, v)
+	}
+	if err := hs.Verify(); err != nil {
+		return nil, fmt.Errorf("protocol: handshake: %w", err)
+	}
+	pk, ok := hs.V.(*paillier.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("protocol: handshake: %w: want public key, got %T", transport.ErrCorrupt, hs.V)
+	}
+	return pk, nil
+}
+
+// Within runs op under a setup deadline (0 = none). On expiry it calls abort
+// — which must unblock op, typically by closing the connection op waits on —
+// waits for op to return, and reports a typed transport.ErrTimeout. The
+// generic bounded-setup primitive behind HandshakeWithin and the serve CLI's
+// session-setup deadline.
+func Within(d time.Duration, abort func(), op func() error) error {
+	if d <= 0 {
+		return op()
+	}
+	done := make(chan error, 1)
+	go func() { done <- op() }()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		abort()
+		<-done
+		return fmt.Errorf("protocol: setup exceeded %v: %w", d, transport.ErrTimeout)
+	}
 }
 
 // protoErr carries a protocol failure through panic/recover inside Run.
@@ -132,6 +225,14 @@ func (p *Peer) Run(f func()) (err error) {
 
 func (p *Peer) fail(format string, args ...any) {
 	panic(protoErr{fmt.Errorf(format, args...)})
+}
+
+// Fail raises a typed protocol failure from layer code running under Run —
+// the exported counterpart of the helpers' internal panic path, for checks
+// (like the core layers' AN-coded residue verification) that live outside
+// this package but inside a Run/RunParties/RunGroup scope.
+func (p *Peer) Fail(format string, args ...any) {
+	p.fail(format, args...)
 }
 
 // Send transmits a message, panicking (inside Run) on failure.
@@ -318,6 +419,8 @@ func Pipe(skA, skB *paillier.PrivateKey, seed int64) (*Peer, *Peer, error) {
 func PipeOn(ca, cb transport.Conn, skA, skB *paillier.PrivateKey, seed int64) (*Peer, *Peer, error) {
 	a := NewPeer(PartyA, ca, skA, sessionRNG(seed, 0, PartyA))
 	b := NewPeer(PartyB, cb, skB, sessionRNG(seed, 0, PartyB))
+	a.SetStreamIdentity(seed, 0)
+	b.SetStreamIdentity(seed, 0)
 	errs := make(chan error, 2)
 	go func() { errs <- a.Handshake() }()
 	go func() { errs <- b.Handshake() }()

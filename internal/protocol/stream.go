@@ -46,6 +46,14 @@ type StreamStats struct {
 	// the exact-integer path and how many of them disagreed.
 	SpotChecks     int64
 	SpotMismatches int64
+
+	// AN-coded residue-check outcomes (Peer.ANCheck, engine option
+	// "ancheck"): plaintext share cells recomputed mod the AN prime alongside
+	// the exact-integer serve arithmetic, and how many disagreed. A non-zero
+	// mismatch count means the share arithmetic itself corrupted (bad RAM, a
+	// broken kernel) — the failure class the wire checksums cannot see.
+	ANChecks     int64
+	ANMismatches int64
 }
 
 // chunkSpan returns the agreed chunk row bound.

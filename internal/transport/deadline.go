@@ -1,0 +1,213 @@
+// Deadlines and liveness: DeadlineConn wraps a Conn endpoint with bounded
+// Send/Recv waits and an idle-stream heartbeat, turning a hung-but-open peer
+// into a typed failure instead of an eternal block.
+//
+// The receive deadline is a *liveness* bound, not a latency bound: any
+// inbound traffic — including Heartbeat probes the peer emits while it
+// computes — resets the clock, so a slow peer that is demonstrably alive
+// never times out, while a wedged one (process stopped, half-open socket,
+// deadlocked goroutine) becomes ErrTimeout within one deadline of going
+// silent. A deadline violation is treated as fail-stop: the conn is closed
+// and poisoned, so a session that lost its liveness guarantee cannot limp
+// onward.
+//
+// Heartbeats are filtered out by the receiving DeadlineConn before the
+// protocol layer sees them, so the probe needs the *receiving* endpoint to be
+// wrapped: enable a heartbeat only when the peer wraps its end too (the
+// protocol pipes and the serve CLI wrap both).
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func init() {
+	gob.Register(&Heartbeat{})
+}
+
+// ErrTimeout is the typed error for a deadline violation: a Recv that saw no
+// traffic (not even a heartbeat) for the receive deadline, or a Send that
+// could not hand its message to the transport within the send deadline.
+// Callers match it with errors.Is.
+var ErrTimeout = errors.New("transport: deadline exceeded")
+
+// Heartbeat is the liveness probe an idle DeadlineConn emits so its peer can
+// distinguish "alive but quiet" from "hung". It carries no payload and never
+// reaches the protocol layer.
+type Heartbeat struct{}
+
+// DeadlineConn wraps a Conn with send/receive deadlines and an optional
+// heartbeat. Wrap it *under* the protocol's StreamConn (NewPeer does this
+// automatically for any Conn it is given), so stream recovery still sees
+// ordinary traffic while heartbeats and timeouts are handled here.
+type DeadlineConn struct {
+	inner       Conn
+	sendTimeout time.Duration
+	recvTimeout time.Duration
+
+	in   chan deadlineItem
+	done chan struct{}
+	once sync.Once
+
+	lastSend atomic.Int64 // unix nanos of the most recent outgoing message
+
+	mu  sync.Mutex
+	err error // sticky failure
+}
+
+type deadlineItem struct {
+	v   any
+	err error
+}
+
+// NewDeadlineConn wraps inner with a send deadline, a receive (liveness)
+// deadline and a heartbeat period; any of the three may be 0 to disable it.
+// The heartbeat goroutine emits a probe whenever this endpoint has sent
+// nothing for a full period, and requires the peer endpoint to be a
+// DeadlineConn too (it filters the probes out).
+func NewDeadlineConn(inner Conn, sendTimeout, recvTimeout, heartbeat time.Duration) *DeadlineConn {
+	c := &DeadlineConn{
+		inner:       inner,
+		sendTimeout: sendTimeout,
+		recvTimeout: recvTimeout,
+		in:          make(chan deadlineItem, 16),
+		done:        make(chan struct{}),
+	}
+	c.lastSend.Store(time.Now().UnixNano())
+	go c.pump()
+	if heartbeat > 0 {
+		go c.heartbeatLoop(heartbeat)
+	}
+	return c
+}
+
+// pump moves inbound traffic from the inner conn into the deadline channel so
+// Recv can race it against the timer. It is the only writer of c.in.
+func (c *DeadlineConn) pump() {
+	defer close(c.in)
+	for {
+		v, err := c.inner.Recv()
+		select {
+		case c.in <- deadlineItem{v: v, err: err}:
+		case <-c.done:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// heartbeatLoop emits a liveness probe whenever the endpoint has been
+// send-idle for a full period.
+func (c *DeadlineConn) heartbeatLoop(every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-t.C:
+			if time.Since(time.Unix(0, c.lastSend.Load())) < every {
+				continue // ordinary traffic is its own liveness signal
+			}
+			c.lastSend.Store(time.Now().UnixNano())
+			if c.inner.Send(&Heartbeat{}) != nil {
+				return
+			}
+		}
+	}
+}
+
+// fail records the first failure, closes the conn and stops the goroutines.
+func (c *DeadlineConn) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	c.once.Do(func() { close(c.done) })
+	c.inner.Close()
+}
+
+func (c *DeadlineConn) loadErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+func (c *DeadlineConn) Send(v any) error {
+	if err := c.loadErr(); err != nil {
+		return err
+	}
+	c.lastSend.Store(time.Now().UnixNano())
+	if c.sendTimeout <= 0 {
+		return c.inner.Send(v)
+	}
+	done := make(chan error, 1)
+	go func() { done <- c.inner.Send(v) }()
+	t := time.NewTimer(c.sendTimeout)
+	defer t.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-t.C:
+		// Closing the inner conn unblocks the stuck send goroutine.
+		err := fmt.Errorf("transport: send blocked for %v: %w", c.sendTimeout, ErrTimeout)
+		c.fail(err)
+		return err
+	}
+}
+
+func (c *DeadlineConn) Recv() (any, error) {
+	if err := c.loadErr(); err != nil {
+		return nil, err
+	}
+	var timer *time.Timer
+	var timeout <-chan time.Time
+	if c.recvTimeout > 0 {
+		timer = time.NewTimer(c.recvTimeout)
+		defer timer.Stop()
+		timeout = timer.C
+	}
+	for {
+		select {
+		case it, ok := <-c.in:
+			if !ok {
+				if err := c.loadErr(); err != nil {
+					return nil, err
+				}
+				return nil, ErrClosed
+			}
+			if it.err != nil {
+				return nil, it.err
+			}
+			if _, hb := it.v.(*Heartbeat); hb {
+				if timer != nil {
+					if !timer.Stop() {
+						<-timer.C
+					}
+					timer.Reset(c.recvTimeout)
+				}
+				continue
+			}
+			return it.v, nil
+		case <-timeout:
+			err := fmt.Errorf("transport: no traffic for %v: %w", c.recvTimeout, ErrTimeout)
+			c.fail(err)
+			return nil, err
+		}
+	}
+}
+
+func (c *DeadlineConn) Stats() (int64, int64) { return c.inner.Stats() }
+
+func (c *DeadlineConn) Close() error {
+	c.fail(ErrClosed)
+	return nil
+}

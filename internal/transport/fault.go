@@ -10,10 +10,12 @@
 // Flip/drop/dup/reorder target *StreamChunk envelopes only: chunks carry the
 // matrix payloads the checksums guard, and they are the unit the NACK/resend
 // recovery can re-request. Control messages (headers, end markers, acks,
-// handshakes) are assumed reliable — corruption there models a broken
-// transport, not a flipped payload limb, and surfaces as a typed protocol
-// error rather than a recoverable gap. Delay applies to any message; the
-// kill counter counts every message.
+// handshakes) are faulted separately through CtrlFlipProb/CtrlDropProb:
+// corruption there models a broken transport and must surface as a typed
+// protocol error (every control envelope is checksummed), while a dropped
+// control message hangs the peer — which the deadline layer (DeadlineConn)
+// converts into a typed ErrTimeout. Delay applies to any message; the kill
+// counter counts every message.
 //
 // Flips clone the payload before mutating it: the in-process transports pass
 // references, and the sender retains its chunk payloads for retransmission —
@@ -41,6 +43,16 @@ type FaultPlan struct {
 	DupProb     float64 // send a StreamChunk twice
 	ReorderProb float64 // hold a StreamChunk and send it after the next message
 
+	// Control-plane faults. CtrlFlipProb corrupts one field of a control
+	// message (StreamHeader, StreamEnd, StreamAck, Handshake) while keeping
+	// its now-stale checksum, so the corruption is detectable; CtrlDropProb
+	// drops the control message entirely, hanging the peer that waits on it.
+	// Both count against MaxFaults. The zero values leave control traffic
+	// untouched and draw nothing from the rng stream, so pre-existing
+	// chunk-only plans keep their exact fault schedules.
+	CtrlFlipProb float64
+	CtrlDropProb float64
+
 	DelayProb float64       // delay any message by Delay before sending
 	Delay     time.Duration // the injected delay
 
@@ -57,6 +69,7 @@ type FaultPlan struct {
 // FaultStats counts the faults a FaultConn actually injected.
 type FaultStats struct {
 	Flips, Drops, Dups, Reorders, Delays int64
+	CtrlFlips, CtrlDrops                 int64
 	Killed                               bool
 }
 
@@ -96,7 +109,8 @@ func (f *FaultConn) Send(v any) error {
 		f.stats.Delays++
 	}
 	var flip, drop, dup, reorder bool
-	injected := f.stats.Flips + f.stats.Drops + f.stats.Dups + f.stats.Reorders
+	injected := f.stats.Flips + f.stats.Drops + f.stats.Dups + f.stats.Reorders +
+		f.stats.CtrlFlips + f.stats.CtrlDrops
 	inBudget := f.plan.MaxFaults == 0 || injected < f.plan.MaxFaults
 	if _, isChunk := v.(*StreamChunk); isChunk && inBudget {
 		flip = f.plan.FlipProb > 0 && f.rng.Float64() < f.plan.FlipProb
@@ -104,10 +118,21 @@ func (f *FaultConn) Send(v any) error {
 		dup = f.plan.DupProb > 0 && f.rng.Float64() < f.plan.DupProb
 		reorder = f.plan.ReorderProb > 0 && f.rng.Float64() < f.plan.ReorderProb
 	}
+	var cflip, cdrop bool
+	if isCtrlMessage(v) && inBudget && (f.plan.CtrlFlipProb > 0 || f.plan.CtrlDropProb > 0) {
+		cflip = f.plan.CtrlFlipProb > 0 && f.rng.Float64() < f.plan.CtrlFlipProb
+		cdrop = f.plan.CtrlDropProb > 0 && f.rng.Float64() < f.plan.CtrlDropProb
+	}
 	if flip {
 		if fv, ok := flipChunk(v.(*StreamChunk), f.rng); ok {
 			v = fv
 			f.stats.Flips++
+		}
+	}
+	if cflip {
+		if fv, ok := flipCtrl(v, f.rng); ok {
+			v = fv
+			f.stats.CtrlFlips++
 		}
 	}
 	held := f.held
@@ -117,6 +142,9 @@ func (f *FaultConn) Send(v any) error {
 		f.stats.Killed = true
 	case drop:
 		f.stats.Drops++
+		v = nil
+	case cdrop:
+		f.stats.CtrlDrops++
 		v = nil
 	case dup:
 		f.stats.Dups++
@@ -226,6 +254,42 @@ func flipOneCipher(cells []*paillier.Ciphertext, r *rand.Rand) ([]*paillier.Ciph
 	x.SetBit(x, bit, 1-x.Bit(bit))
 	cs[i] = &paillier.Ciphertext{C: x}
 	return cs, true
+}
+
+// isCtrlMessage reports whether v is a control-plane envelope — the messages
+// that frame streams and set up sessions, as opposed to chunk payloads.
+func isCtrlMessage(v any) bool {
+	switch v.(type) {
+	case *StreamHeader, *StreamEnd, *StreamAck, *Handshake:
+		return true
+	}
+	return false
+}
+
+// flipCtrl returns a copy of the control message with one framing field
+// perturbed and the now-stale checksum retained (where the type carries one),
+// so the corruption is detectable rather than silently re-sealed.
+func flipCtrl(v any, r *rand.Rand) (any, bool) {
+	switch m := v.(type) {
+	case *StreamHeader:
+		cp := *m
+		cp.Rows ^= 1 << uint(r.Intn(16))
+		return &cp, true
+	case *StreamEnd:
+		cp := *m
+		cp.Seq ^= 1 << uint(r.Intn(16))
+		return &cp, true
+	case *StreamAck:
+		cp := *m
+		cp.Bad = append([]int(nil), m.Bad...)
+		cp.Seq ^= 1 << uint(r.Intn(16))
+		return &cp, true
+	case *Handshake:
+		cp := *m
+		cp.Sum ^= 1 << uint(r.Intn(64))
+		return &cp, true
+	}
+	return nil, false
 }
 
 func flipFloatBit(x float64, r *rand.Rand) float64 {

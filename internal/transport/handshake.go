@@ -1,0 +1,33 @@
+// Control-plane integrity for session setup: Handshake seals a setup message
+// (the protocol's public-key exchange, the serve session's restore exchange)
+// with the same structural FNV checksum the stream envelopes carry, so a
+// corrupted handshake surfaces as a typed ErrCorrupt at setup time instead of
+// a garbled key silently entering the homomorphic kernels.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+)
+
+func init() {
+	gob.Register(&Handshake{})
+}
+
+// Handshake is a checksummed setup envelope. V must be a gob-registered,
+// Checksum-hashable message (the public keys and matrix types all are).
+type Handshake struct {
+	V   any
+	Sum uint64 // Checksum(V), sealed by the sender
+}
+
+// NewHandshake seals v for the wire.
+func NewHandshake(v any) *Handshake { return &Handshake{V: v, Sum: Checksum(v)} }
+
+// Verify re-hashes the payload against the seal.
+func (h *Handshake) Verify() error {
+	if Checksum(h.V) != h.Sum {
+		return fmt.Errorf("%w: handshake checksum mismatch", ErrCorrupt)
+	}
+	return nil
+}

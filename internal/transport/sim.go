@@ -153,7 +153,11 @@ func WireSize(v any) int {
 	case *StreamEnd:
 		return frame + 8
 	case *StreamAck:
-		return frame + 8 + 8*len(m.Bad)
+		return frame + 16 + 8*len(m.Bad)
+	case *Heartbeat:
+		return frame
+	case *Handshake:
+		return frame + 8 + WireSize(m.V)
 	default:
 		return frame + 64 // unknown scalar-ish message
 	}

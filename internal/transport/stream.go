@@ -86,10 +86,29 @@ type StreamEnd struct {
 // indices that were missing or failed their checksum; empty means the stream
 // arrived intact. Acks ride the opposite direction of the stream and are
 // consumed transparently by StreamConn, so the good path costs one small
-// message and no round trip.
+// message and no round trip. Sum seals (Seq, Bad): a corrupted ack could
+// otherwise silently release the wrong stream or trigger a bogus
+// retransmission, so the sender verifies it before acting.
 type StreamAck struct {
 	Seq uint64
 	Bad []int
+	Sum uint64 // FNV-1a over (Seq, Bad)
+}
+
+// seal computes and installs the ack checksum.
+func (a *StreamAck) seal() *StreamAck {
+	a.Sum = a.sum()
+	return a
+}
+
+func (a *StreamAck) sum() uint64 {
+	f := newFNV()
+	f.writeUint64(a.Seq)
+	f.writeUint64(uint64(len(a.Bad)))
+	for _, i := range a.Bad {
+		f.writeUint64(uint64(int64(i)))
+	}
+	return f.sum()
 }
 
 // SendStream ships one logical rows×cols message as chunks produced lazily:
@@ -148,16 +167,16 @@ func RecvStream(c Conn, seq uint64, consume func(h *StreamHeader, i int, v any) 
 	}
 	h, ok := v.(*StreamHeader)
 	if !ok {
-		return nil, fmt.Errorf("transport: stream: want header, got %T", v)
+		return nil, fmt.Errorf("%w: stream: want header, got %T", ErrCorrupt, v)
 	}
 	if h.Sum != h.sum() {
 		return nil, fmt.Errorf("%w: stream header checksum mismatch (seq %d)", ErrCorrupt, h.Seq)
 	}
 	if h.Seq != seq {
-		return nil, fmt.Errorf("transport: stream: sequence mismatch: got %d want %d", h.Seq, seq)
+		return nil, fmt.Errorf("%w: stream sequence mismatch: got %d want %d", ErrCorrupt, h.Seq, seq)
 	}
 	if h.Chunks <= 0 {
-		return nil, fmt.Errorf("transport: stream: header announces %d chunks", h.Chunks)
+		return nil, fmt.Errorf("%w: stream header announces %d chunks", ErrCorrupt, h.Chunks)
 	}
 	if sc, ok := c.(*StreamConn); ok {
 		return h, recvStreamRecover(sc, h, consume)
@@ -174,13 +193,13 @@ func recvStreamStrict(c Conn, h *StreamHeader, consume func(h *StreamHeader, i i
 		}
 		chunk, ok := v.(*StreamChunk)
 		if !ok {
-			return fmt.Errorf("transport: stream: chunk %d: want chunk, got %T", i, v)
+			return fmt.Errorf("%w: stream chunk %d: want chunk, got %T", ErrCorrupt, i, v)
 		}
 		if chunk.Seq != h.Seq {
-			return fmt.Errorf("transport: stream: chunk %d: sequence %d does not match header %d", i, chunk.Seq, h.Seq)
+			return fmt.Errorf("%w: stream chunk %d: sequence %d does not match header %d", ErrCorrupt, i, chunk.Seq, h.Seq)
 		}
 		if chunk.Index != i {
-			return fmt.Errorf("transport: stream: chunk out of order: got index %d want %d", chunk.Index, i)
+			return fmt.Errorf("%w: stream chunk out of order: got index %d want %d", ErrCorrupt, chunk.Index, i)
 		}
 		if Checksum(chunk.V) != chunk.Sum {
 			return fmt.Errorf("%w: stream chunk %d/%d checksum mismatch", ErrCorrupt, i, h.Chunks)
@@ -194,7 +213,7 @@ func recvStreamStrict(c Conn, h *StreamHeader, consume func(h *StreamHeader, i i
 		return fmt.Errorf("transport: stream: end marker: %w", err)
 	}
 	if end, ok := v.(*StreamEnd); !ok || end.Seq != h.Seq {
-		return fmt.Errorf("transport: stream: want end marker for seq %d, got %T", h.Seq, v)
+		return fmt.Errorf("%w: stream: want end marker for seq %d, got %T", ErrCorrupt, h.Seq, v)
 	}
 	return nil
 }
@@ -221,7 +240,7 @@ func recvStreamRecover(sc *StreamConn, h *StreamHeader, consume func(h *StreamHe
 	}
 	process := func(chunk *StreamChunk) error {
 		if chunk.Index < 0 || chunk.Index >= h.Chunks {
-			return fmt.Errorf("transport: stream: chunk index %d outside 0..%d", chunk.Index, h.Chunks-1)
+			return fmt.Errorf("%w: stream chunk index %d outside 0..%d", ErrCorrupt, chunk.Index, h.Chunks-1)
 		}
 		if chunk.Index < next || held[chunk.Index] != nil {
 			return nil // duplicate of a chunk already verified
@@ -251,16 +270,16 @@ func recvStreamRecover(sc *StreamConn, h *StreamHeader, consume func(h *StreamHe
 		}
 		if end, ok := v.(*StreamEnd); ok {
 			if end.Seq != h.Seq {
-				return fmt.Errorf("transport: stream: end marker for seq %d during stream %d", end.Seq, h.Seq)
+				return fmt.Errorf("%w: stream: end marker for seq %d during stream %d", ErrCorrupt, end.Seq, h.Seq)
 			}
 			break
 		}
 		chunk, ok := v.(*StreamChunk)
 		if !ok {
-			return fmt.Errorf("transport: stream: chunk %d: want chunk, got %T", next, v)
+			return fmt.Errorf("%w: stream chunk %d: want chunk, got %T", ErrCorrupt, next, v)
 		}
 		if chunk.Seq != h.Seq {
-			return fmt.Errorf("transport: stream: chunk sequence %d does not match header %d", chunk.Seq, h.Seq)
+			return fmt.Errorf("%w: stream chunk sequence %d does not match header %d", ErrCorrupt, chunk.Seq, h.Seq)
 		}
 		if err := process(chunk); err != nil {
 			return err
@@ -268,7 +287,7 @@ func recvStreamRecover(sc *StreamConn, h *StreamHeader, consume func(h *StreamHe
 	}
 
 	bad := missing()
-	if err := sc.Send(&StreamAck{Seq: h.Seq, Bad: bad}); err != nil {
+	if err := sc.Send((&StreamAck{Seq: h.Seq, Bad: bad}).seal()); err != nil {
 		return fmt.Errorf("transport: stream: ack: %w", err)
 	}
 	if len(bad) == 0 {
@@ -295,7 +314,7 @@ func recvStreamRecover(sc *StreamConn, h *StreamHeader, consume func(h *StreamHe
 		sc.pushback(v)
 	}
 	still := missing()
-	if err := sc.Send(&StreamAck{Seq: h.Seq, Bad: still}); err != nil {
+	if err := sc.Send((&StreamAck{Seq: h.Seq, Bad: still}).seal()); err != nil {
 		return fmt.Errorf("transport: stream: final ack: %w", err)
 	}
 	if len(still) > 0 {

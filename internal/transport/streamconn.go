@@ -106,6 +106,12 @@ func (s *StreamConn) trackOutgoing(seq uint64, chunks []any) {
 // retained payloads; NACKs trigger exactly one retransmission of the named
 // chunks; a NACK after the retransmission poisons the conn with ErrCorrupt.
 func (s *StreamConn) handleAck(ack *StreamAck) error {
+	if ack.Sum != ack.sum() {
+		// A corrupted ack cannot be attributed to a stream: acting on it
+		// could release or retransmit the wrong one, so the conn poisons.
+		s.err = fmt.Errorf("%w: stream ack checksum mismatch (seq %d)", ErrCorrupt, ack.Seq)
+		return s.err
+	}
 	o := s.out[ack.Seq]
 	if o == nil {
 		return nil // already released (or a stream this side never tracked)
