@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-cpu test-full test-chaos bench bench-smoke bench-json serve-smoke examples fmt fmt-check vet lint lint-tools
+.PHONY: build test test-cpu test-full test-chaos bench bench-smoke bench-json serve-smoke shard-smoke examples fmt fmt-check vet lint lint-tools
 
 build:
 	$(GO) build ./...
@@ -54,15 +54,25 @@ bench-smoke:
 
 # Benchmarks as data: the exponentiation-engine and amortized-precompute
 # perf suites at a production key size, the end-to-end fed-step, fed-epoch,
-# multi-party and serve rows, written to BENCH_PR8.json (format:
-# internal/bench/README.md). Since PR 8 every row with a baseline config
-# also carries a ratio column, and the file opens with a fixed-operand
-# calibration op — absolute ns on a shared host swing 2× run to run, so the
-# trajectory is judged on ratios, with the calibration row bounding how much
-# of a cross-file delta is machine. Earlier points of the trajectory
-# (BENCH_PR3.json..BENCH_PR6.json) are kept, not rewritten.
+# multi-party, sharded-label-party and serve rows, written to
+# BENCH_PR10.json (format: internal/bench/README.md). Since PR 8 every row
+# with a baseline config also carries a ratio column, and the file opens
+# with a fixed-operand calibration op — absolute ns on a shared host swing
+# 2× run to run, so the trajectory is judged on ratios, with the calibration
+# row bounding how much of a cross-file delta is machine. Earlier points of
+# the trajectory (BENCH_PR3.json..BENCH_PR8.json) are kept, not rewritten.
 bench-json:
-	$(GO) run ./cmd/blindfl-bench -perf BENCH_PR8.json -keybits 2048
+	$(GO) run ./cmd/blindfl-bench -perf BENCH_PR10.json -keybits 2048
+
+# Shard smoke lane: two real blindfl-shard worker processes on loopback TCP
+# plus a 2-shard blindfl-train run against them — the multi-process wiring
+# (announce/connect, fingerprint check, deterministic schedule) exercised
+# end to end on a toy job. Worker -timeout and the train deadline turn a
+# wedged handshake into a fast failure instead of a hung CI job.
+shard-smoke: build
+	$(GO) build -o bin/blindfl-shard ./cmd/blindfl-shard
+	$(GO) build -o bin/blindfl-train ./cmd/blindfl-train
+	./scripts/shard-smoke.sh
 
 # Serve smoke lane: train a toy checkpoint, bring up the blindfl-serve
 # request batcher on fresh sessions, and fire the closed-loop load generator

@@ -25,6 +25,7 @@ import (
 )
 
 func main() {
+	bench.MaybeRunShardWorker() // re-exec hook for the fedstep_sharded rows
 	exp := flag.String("exp", "all", "experiment: table5|table6|table7|table8|fig9|fig10|fig11|fig12|fig15|ablations|all")
 	quick := flag.Bool("quick", false, "reduced sizes for a fast end-to-end run")
 	only := flag.String("only", "", "comma-separated dataset filter for fig12 (e.g. w8a,higgs)")
@@ -77,6 +78,15 @@ func main() {
 			results = append(results, bench.RunPerfFedEpoch()...)
 			fmt.Println("running multi-party fed-step k=3/k=1 pair (512-bit test keys)...")
 			results = append(results, bench.RunPerfFedStepMulti()...)
+			fmt.Println("running sharded fed-step family (1/2/4 shards loopback TCP, 1/2 shards WAN sim)...")
+			shrows, err := bench.RunPerfFedStepSharded()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			results = append(results, shrows...)
+			fmt.Println("running packed fed-step at GOMAXPROCS=2...")
+			results = append(results, bench.RunPerfFedStepParallel()...)
 			fmt.Printf("running serve latency/throughput pair (%d-bit keys)...\n", *serveBits)
 			srows, err := bench.RunPerfServe(eng, *serveBits, *serveReqs)
 			if err != nil {

@@ -1,0 +1,46 @@
+// Command blindfl-shard runs one shard worker of a sharded label party
+// (PR 10): it listens for the training root's control link and its slice of
+// feature-party session conns, checks the schedule fingerprint, and drives
+// its sessions through the deterministic per-epoch schedule — no scheduling
+// traffic, just forward partials up and one gradient broadcast down. The
+// worker is one-shot: it serves a single run and exits.
+//
+// Usage:
+//
+//	blindfl-shard                      # pick a free loopback port, announce it
+//	blindfl-shard -listen 0.0.0.0:9000
+//	blindfl-train -dataset a9a -model lr -parties 4 -shards 2 \
+//	    -shard-connect 127.0.0.1:9000,127.0.0.1:9001
+//
+// The bound address is announced as a "SHARD_LISTEN host:port" line on
+// stdout, which is how a spawning root finds a ":0"-bound worker.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"blindfl/internal/model"
+	"blindfl/internal/protocol"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "listen address (\":0\" picks a free port, announced on stdout)")
+	deadline := flag.Duration("deadline", 0, "liveness bound on every conn (0 = none); the root must dial with the same -shard-deadline")
+	timeout := flag.Duration("timeout", 0, "whole-run watchdog: exit nonzero if the run has not finished after this long (0 = none); keeps CI lanes from hanging on a lost root")
+	flag.Parse()
+
+	if *timeout > 0 {
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "blindfl-shard: run exceeded -timeout %s\n", *timeout)
+			os.Exit(1)
+		})
+	}
+	_, skB := protocol.TestKeys()
+	if err := model.ListenAndServeShard(*listen, os.Stdout, skB, *deadline); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

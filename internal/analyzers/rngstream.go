@@ -34,6 +34,28 @@ var seedCalls = map[string][]int{
 	"NewChaCha8": nil,    // [32]byte key, no int seed
 }
 
+// deriveCoords maps the sanctioned derivation entry points — package rng,
+// plus protocol's session wrappers — to the indices of their stream-
+// coordinate arguments, keyed by the defining package's last path segment.
+// Arithmetic in a coordinate re-creates inside the derivation exactly the
+// aliasing it exists to prevent: rng.Session(seed, lo, j, role) equals
+// rng.Session(seed, 0, lo+j, role) BY DESIGN, because folding coordinates is
+// internal/rng's job — a caller folding its own (2*shard+j, seed^epoch, …)
+// can silently collide with a neighboring shard's stream. Coordinates are
+// passed separately; only package rng itself may combine them.
+var deriveCoords = map[string]map[string][]int{
+	"rng": {
+		"Derive":       {0},
+		"New":          {0},
+		"Session":      {0, 1, 2},
+		"SessionEpoch": {0, 1, 2, 4},
+	},
+	"protocol": {
+		"SessionRNG":      {0, 1},
+		"ShardSessionRNG": {0, 1, 2},
+	},
+}
+
 func runRngstream(pass *analysis.Pass) (interface{}, error) {
 	for _, f := range pass.Files {
 		if isTestFile(pass, f) {
@@ -43,6 +65,17 @@ func runRngstream(pass *analysis.Pass) (interface{}, error) {
 			call, ok := n.(*ast.CallExpr)
 			if !ok || isConv(pass, call) {
 				return true
+			}
+			for _, i := range coordIdxs(pass, call) {
+				if i >= len(call.Args) {
+					continue
+				}
+				if bad := arithmeticSeed(pass, call.Args[i]); bad != nil {
+					pass.Reportf(bad.Pos(), "stream coordinate is built by arithmetic on another value; "+
+						"pass the coordinates separately — folding them (shard+session, seed^epoch) is "+
+						"internal/rng's job, and a caller's own fold can alias a neighboring stream "+
+						"(PR 5 mask-RNG bug class)")
+				}
 			}
 			idxs, ok := seedCalls[calleeName(call)]
 			if !ok || idxs == nil || !isRandCall(pass, call) {
@@ -62,6 +95,34 @@ func runRngstream(pass *analysis.Pass) (interface{}, error) {
 		})
 	}
 	return nil, nil
+}
+
+// coordIdxs returns the stream-coordinate argument indices when call is a
+// sanctioned derivation entry point (deriveCoords), nil otherwise. Package
+// rng itself is exempt: it is the one place coordinates may be folded.
+func coordIdxs(pass *analysis.Pass, call *ast.CallExpr) []int {
+	if fromPackage(pass.Pkg.Path(), "rng") {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := pass.TypesInfo.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	path := pn.Imported().Path()
+	for seg, fns := range deriveCoords {
+		if fromPackage(path, seg) {
+			return fns[sel.Sel.Name]
+		}
+	}
+	return nil
 }
 
 // isRandCall reports whether call resolves into a math/rand flavored

@@ -12,7 +12,9 @@ func TestBigval(t *testing.T) {
 }
 
 func TestRngstream(t *testing.T) {
-	analysistest.Run(t, "testdata", analyzers.Rngstream, "rngstream")
+	// The rng fixture is the sanctioned derivation package: its internal
+	// coordinate folds must produce no diagnostics.
+	analysistest.Run(t, "testdata", analyzers.Rngstream, "rngstream", "rng")
 }
 
 func TestTeardown(t *testing.T) {

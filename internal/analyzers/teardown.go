@@ -31,14 +31,18 @@ var Teardown = &analysis.Analyzer{
 }
 
 // teardownOwners are function names allowed to close conns directly: the
-// party-runner helpers, any method literally named Close (a lifecycle
-// wrapper taking ownership of its conns, e.g. protocol.Group.Close), and
-// CloseSession (protocol.Group's sanctioned retire-one-session path, which
-// marks the session lost before closing so the group's bookkeeping and the
-// close cannot diverge).
+// party-runner helpers — RunParties/RunGroup and the shard-root runner
+// RunShardRoot, which owns every feature-party conn and shard link of a
+// sharded run and closes them all on the first error so one lost shard
+// surfaces as one typed failure instead of k cascades — any method literally
+// named Close (a lifecycle wrapper taking ownership of its conns, e.g.
+// protocol.Group.Close), and CloseSession (protocol.Group's sanctioned
+// retire-one-session path, which marks the session lost before closing so
+// the group's bookkeeping and the close cannot diverge).
 var teardownOwners = map[string]bool{
 	"RunParties":   true,
 	"RunGroup":     true,
+	"RunShardRoot": true,
 	"Close":        true,
 	"CloseSession": true,
 }

@@ -1,0 +1,25 @@
+// Package protocol is a fixture stand-in for internal/protocol's session
+// RNG wrappers, exercising the rngstream coordinate rule at the wrapper
+// call sites.
+package protocol
+
+import (
+	"math/rand"
+
+	"rng"
+)
+
+type Role uint64
+
+const (
+	PartyA Role = 1
+	PartyB Role = 2
+)
+
+func SessionRNG(seed int64, session int, role Role) *rand.Rand {
+	return rand.New(rand.NewSource(rng.Session(seed, 0, session, uint64(role))))
+}
+
+func ShardSessionRNG(seed int64, shard, session int, role Role) *rand.Rand {
+	return rand.New(rand.NewSource(rng.Session(seed, shard, session, uint64(role))))
+}

@@ -1,0 +1,45 @@
+// Package rng is a fixture stand-in for internal/rng: the sanctioned
+// derivation package the rngstream coordinate rule exempts (it is the one
+// place stream coordinates may be folded) while flagging arithmetic in its
+// callers' coordinate arguments.
+package rng
+
+import "math/rand"
+
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Derive folds the label into the seed — sanctioned arithmetic, inside the
+// derivation package.
+func Derive(seed int64, label string) int64 {
+	h := Mix64(uint64(seed) + 0x9e3779b97f4a7c15)
+	for i := 0; i < len(label); i++ {
+		h = Mix64(h ^ uint64(label[i]))
+	}
+	return int64(h)
+}
+
+func New(seed int64, label string) *rand.Rand {
+	return rand.New(rand.NewSource(Derive(seed, label)))
+}
+
+// Session folds shard+session — the identity the coordinate rule protects:
+// only this package may do the fold.
+func Session(seed int64, shard, session int, role uint64) int64 {
+	h := Mix64(uint64(seed))
+	h = Mix64(h ^ uint64(shard+session))
+	h = Mix64(h ^ role)
+	return int64(h)
+}
+
+func SessionEpoch(seed int64, shard, session int, role uint64, epoch int) int64 {
+	h := Mix64(uint64(Session(seed, shard, session, role)))
+	h = Mix64(h ^ uint64(epoch+1))
+	return int64(h)
+}

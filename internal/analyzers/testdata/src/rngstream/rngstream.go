@@ -1,8 +1,14 @@
 // Package rngstream exercises the rngstream analyzer, including a
-// reconstruction of the PR 5 session-seed aliasing bug.
+// reconstruction of the PR 5 session-seed aliasing bug and the PR 10
+// coordinate-folding rule on the sanctioned derivation entry points.
 package rngstream
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"protocol"
+	"rng"
+)
 
 func mix64(x uint64) uint64 {
 	x ^= x >> 30
@@ -40,4 +46,38 @@ func derivedSeed(seed int64) *rand.Rand {
 func legacySeed(seed int64) *rand.Rand {
 	//blindfl:allow rngstream reproduces the pre-fix stream for the migration test
 	return rand.New(rand.NewSource(seed + 1))
+}
+
+// shardCoordFold reconstructs the PR 10 temptation: folding the shard's
+// session offset into the session coordinate by hand instead of passing the
+// coordinates separately. The fold is rng.Session's job; a caller's own fold
+// can alias a neighboring shard's stream.
+func shardCoordFold(seed int64, lo, j int) int64 {
+	return rng.Session(seed, 0, lo+j, 1) // want `coordinate is built by arithmetic`
+}
+
+// shardCoordsSeparate is the approved shape: every coordinate its own
+// argument, the derivation does the folding.
+func shardCoordsSeparate(seed int64, lo, j int) int64 {
+	return rng.Session(seed, lo, j, 1)
+}
+
+func seedCoordFold(seed int64, run int64) int64 {
+	return rng.Derive(seed^run, "batch-order") // want `coordinate is built by arithmetic`
+}
+
+func epochCoordFold(seed int64, session, epoch int) int64 {
+	return rng.SessionEpoch(seed, 0, session, 1, epoch*2+1) // want `coordinate is built by arithmetic`
+}
+
+func constCoords(seed int64) int64 {
+	return rng.SessionEpoch(seed, 0, 3+1, 1, 0) // constant folds are fine
+}
+
+func wrapperCoordFold(seed int64, lo, j int) *rand.Rand {
+	return protocol.SessionRNG(seed, lo+j, protocol.PartyB) // want `coordinate is built by arithmetic`
+}
+
+func wrapperCoordsSeparate(seed int64, lo, j int) *rand.Rand {
+	return protocol.ShardSessionRNG(seed, lo, j, protocol.PartyB)
 }

@@ -47,6 +47,24 @@ func CloseSession(c transport.Conn) {
 	c.Close()
 }
 
+// RunShardRoot is the sharded-run owner (PR 10): on the first error it
+// closes every feature-party conn and every shard link, so one lost shard
+// surfaces as one typed failure instead of k cascades.
+func RunShardRoot(as []transport.Conn, ctl transport.Conn) {
+	for _, c := range as {
+		c.Close()
+	}
+	ctl.Close()
+}
+
+// shardCleanup is not an owner: tearing down a shard link outside
+// RunShardRoot re-creates the cascade the single-owner rule prevents.
+func shardCleanup(ctl transport.Conn, err error) {
+	if err != nil {
+		ctl.Close() // want `outside the lifecycle helpers`
+	}
+}
+
 func fireAndForget(c transport.Conn, v interface{}) {
 	go func() {
 		c.Send(v) // want `discards the Send error`

@@ -73,6 +73,7 @@ var perfBaselines = map[string]string{
 	"fedepoch_forward":          "uncached",
 	"fedstep_packed":            "textbook",
 	"fedstep_multiparty":        "k1",
+	"fedstep_sharded":           "shards1",
 	"serve_throughput":          "sequential",
 }
 

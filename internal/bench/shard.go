@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"blindfl/internal/data"
+	"blindfl/internal/engine"
+	"blindfl/internal/model"
+	"blindfl/internal/paillier"
+	"blindfl/internal/protocol"
+	"blindfl/internal/transport"
+)
+
+// Sharded label-party benchmarks (PR 10): the fedstep_sharded family runs
+// the same small dense training job with the label party's sessions
+// partitioned across 1, 2 and 4 shard worker processes over loopback TCP,
+// plus 1- and 2-shard WAN-simulated rows over in-process SimPair links. The
+// measured unit is one training step (forward partials up, head, one
+// gradient broadcast down), with session handshakes and evaluation amortized
+// into the steps — the same end-to-end flavour as the fedstep rows, and the
+// same work in every row, so the ratio column against the shards1 baseline
+// is the cost (or win) of sharding itself.
+
+// shardWorkerEnv marks a re-exec of the bench binary as a shard worker
+// process (MaybeRunShardWorker).
+const shardWorkerEnv = "BLINDFL_SHARD_WORKER"
+
+// MaybeRunShardWorker turns this process into a one-shot shard worker when
+// the harness env var is set: listen on a free loopback port, announce it on
+// stdout, serve one sharded run, exit. cmd/blindfl-bench calls it first
+// thing in main, which is how RunPerfFedStepSharded re-execs itself into a
+// worker fleet without a separate binary on PATH.
+func MaybeRunShardWorker() {
+	if os.Getenv(shardWorkerEnv) == "" {
+		return
+	}
+	_, skB := protocol.TestKeys()
+	if err := model.ListenAndServeShard("127.0.0.1:0", os.Stdout, skB, 0); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// shardBenchJob is the fixed training job every fedstep_sharded row runs:
+// dense LR over 4 feature-party sessions, 2 epochs of 8 batches each.
+func shardBenchJob() (model.Trainer, *data.Dataset, int) {
+	spec := data.Spec{Name: "bench-shard", Feats: 32, AvgNNZ: 32, Classes: 2, Train: 256, Test: 64}
+	ds := data.Generate(spec, 7)
+	h := model.Hyper{LR: 0.1, Momentum: 0.9, Batch: 32, Epochs: 2, Seed: 7,
+		Options: engine.Options{Packed: true}}
+	steps := h.Epochs * ((spec.Train + h.Batch - 1) / h.Batch)
+	return model.Trainer{Kind: model.LR, Hyper: h}, ds, steps
+}
+
+// timeShardedRun runs one sharded training job end to end and returns
+// ns per training step.
+func timeShardedRun(tr model.Trainer, ds *data.Dataset, ss model.ShardSet, steps int) (float64, error) {
+	start := time.Now()
+	if _, err := tr.TrainSharded(ds, ss); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(steps), nil
+}
+
+// spawnShardWorkers re-execs this binary into n one-shot shard worker
+// processes (MaybeRunShardWorker) pinned to GOMAXPROCS=1 — real process
+// isolation, so the multi-shard rows measure genuine multi-process runs even
+// though the rows are honest about a 1-core host in the README — and returns
+// their announced listen addresses and a stop that kills whatever is still
+// running.
+func spawnShardWorkers(n int) ([]string, func(), error) {
+	addrs := make([]string, n)
+	var cmds []*exec.Cmd
+	stop := func() {
+		for _, c := range cmds {
+			c.Process.Kill()
+			c.Wait()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(os.Args[0])
+		cmd.Env = append(os.Environ(), shardWorkerEnv+"=1", "GOMAXPROCS=1")
+		cmd.Stderr = os.Stderr
+		out, err := cmd.StdoutPipe()
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			stop()
+			return nil, nil, err
+		}
+		cmds = append(cmds, cmd)
+		sc := bufio.NewScanner(out)
+		for addrs[i] == "" && sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "SHARD_LISTEN "); ok {
+				addrs[i] = a
+			}
+		}
+		if addrs[i] == "" {
+			stop()
+			return nil, nil, fmt.Errorf("bench: shard worker %d exited without announcing a listen address", i)
+		}
+	}
+	return addrs, stop, nil
+}
+
+// RunPerfFedStepSharded measures the fedstep_sharded family: the fixed
+// 4-session job at 1, 2 and 4 shard worker processes over loopback TCP, then
+// at 1 and 2 in-process shards over a simulated WAN link (5 ms one-way,
+// 12.5 MB/s) where wire time dominates and sharding's value — each worker
+// drives its own sessions without a coordinator round-trip — is visible on
+// any machine. All rows are bit-identical runs of the same schedule.
+func RunPerfFedStepSharded() ([]PerfResult, error) {
+	skA, skB := protocol.TestKeys()
+	tr, ds, steps := shardBenchJob()
+	skAs := []*paillier.PrivateKey{skA, skA, skA, skA}
+	var out []PerfResult
+
+	for _, shards := range []int{1, 2, 4} {
+		addrs, stop, err := spawnShardWorkers(shards)
+		if err != nil {
+			return nil, err
+		}
+		ss := model.ShardSet{Shards: shards, SKAs: skAs,
+			Dial: func(s int) (transport.Conn, error) { return transport.Dial(addrs[s]) }}
+		ns, err := timeShardedRun(tr, ds, ss, steps)
+		stop()
+		if err != nil {
+			return nil, fmt.Errorf("bench: fedstep_sharded shards=%d: %w", shards, err)
+		}
+		out = append(out, PerfResult{Op: "fedstep_sharded", Config: fmt.Sprintf("shards%d", shards),
+			KeyBits: 512, NsPerOp: ns, Iters: steps})
+	}
+
+	for _, shards := range []int{1, 2} {
+		dial, wait, stopW := model.StartShardWorkers(shards, skB,
+			func(shard, ordinal int) (transport.Conn, transport.Conn) {
+				return transport.SimPair(4096, 5*time.Millisecond, 12.5e6)
+			})
+		ss := model.ShardSet{Shards: shards, SKAs: skAs, Dial: dial}
+		ns, err := timeShardedRun(tr, ds, ss, steps)
+		if err != nil {
+			stopW()
+			wait()
+			return nil, fmt.Errorf("bench: fedstep_sharded shards=%d wan: %w", shards, err)
+		}
+		if err := wait(); err != nil {
+			return nil, fmt.Errorf("bench: fedstep_sharded shards=%d wan worker: %w", shards, err)
+		}
+		out = append(out, PerfResult{Op: "fedstep_sharded", Config: fmt.Sprintf("shards%d_wan", shards),
+			KeyBits: 512, NsPerOp: ns, Iters: steps})
+	}
+	return out, nil
+}
+
+// RunPerfFedStepParallel re-measures the packed engine fed step with the
+// runtime allowed two OS threads, pairing with RunPerfFedStep's
+// GOMAXPROCS-inherited rows: on a multi-core host the row shows what the
+// in-process parties gain from real parallelism; on a 1-core host it pins
+// that oversubscribing the scheduler does not cost the step anything.
+func RunPerfFedStepParallel() []PerfResult {
+	prev := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(prev)
+	spec := data.Spec{Name: "bench-dense", Feats: 32, AvgNNZ: 32, Classes: 2, Train: 256, Test: 64}
+	step := NewBlindFLStepperOpts(spec, 32, 4, StepperOpts{Options: engine.Options{Packed: true}})
+	step() // warm-up outside the measurement
+	return []PerfResult{perfRun("fedstep_packed", "engine_gomaxprocs2", 512, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	})}
+}

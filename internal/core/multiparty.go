@@ -35,10 +35,20 @@ type MultiMatMulB struct {
 // with NewMatMulA (built with the same cfg and GroupParties = k) on every
 // session's feature party.
 func NewMultiMatMulB(g *protocol.Group, cfg Config, inAs []int, inB int) *MultiMatMulB {
+	return NewMultiMatMulBShard(g, cfg, inAs, inB, g.K())
+}
+
+// NewMultiMatMulBShard is NewMultiMatMulB for a shard worker that drives only
+// a slice of the global group: the group holds this worker's sessions, while
+// parties is the *global* session count the whole run was configured with —
+// it sets Config.GroupParties, which scales the U_B piece draws by 1/√k, so
+// every worker's pieces match what the single-process run would have drawn.
+// The unsharded constructor is the parties = g.K() special case.
+func NewMultiMatMulBShard(g *protocol.Group, cfg Config, inAs []int, inB, parties int) *MultiMatMulB {
 	if len(inAs) != g.K() {
 		panic(fmt.Sprintf("core: NewMultiMatMulB got %d feature widths for %d sessions", len(inAs), g.K()))
 	}
-	cfg.GroupParties = g.K()
+	cfg.GroupParties = parties
 	m := &MultiMatMulB{g: g, subs: make([]*MatMulB, g.K())}
 	g.ForEach(func(i int, p *protocol.Peer) {
 		m.subs[i] = NewMatMulB(p, cfg, inAs[i], inB)
@@ -52,9 +62,18 @@ func NewMultiMatMulB(g *protocol.Group, cfg Config, inAs []int, inB int) *MultiM
 // activations drop out of the sum, exactly the aggregation a deployment
 // that lost a feature party can still compute.
 func (m *MultiMatMulB) Forward(x Numeric) *tensor.Dense {
+	return sumInOrder(m.ForwardParts(x))
+}
+
+// ForwardParts runs the k sub-forwards concurrently and returns the
+// *unsummed* per-session partials, in session order — the shard worker's
+// forward: float addition is not associative, so shards ship per-session
+// matrices and the root folds all of them in global session order, exactly
+// reproducing the single-process sumInOrder. Lost sessions leave nils.
+func (m *MultiMatMulB) ForwardParts(x Numeric) []*tensor.Dense {
 	zs := make([]*tensor.Dense, len(m.subs))
 	m.g.ForEach(func(i int, _ *protocol.Peer) { zs[i] = m.subs[i].Forward(x) })
-	return sumInOrder(zs)
+	return zs
 }
 
 // Backward fans ∇Z out to every session concurrently. Each session's A gets
@@ -63,7 +82,15 @@ func (m *MultiMatMulB) Forward(x Numeric) *tensor.Dense {
 // to exactly one SGD step — the linearity that makes the k-party layer
 // lossless against the two-party one.
 func (m *MultiMatMulB) Backward(gradZ *tensor.Dense) {
-	scaled := gradZ.Scale(1 / float64(liveCount(m.g)))
+	m.BackwardTotal(gradZ, liveCount(m.g))
+}
+
+// BackwardTotal is Backward with the 1/k divisor made explicit: a shard
+// worker passes the *global* live session count, so its local U_B pieces
+// scale by the same 1/k every other shard uses and the k updates still sum
+// to one SGD step. The unsharded Backward is the total = liveCount case.
+func (m *MultiMatMulB) BackwardTotal(gradZ *tensor.Dense, total int) {
+	scaled := gradZ.Scale(1 / float64(total))
 	m.g.ForEach(func(i int, _ *protocol.Peer) { m.subs[i].backwardMulti(gradZ, scaled) })
 }
 
@@ -80,10 +107,17 @@ type MultiSparseMatMulB struct {
 // group's sessions. Must run concurrently with NewSparseMatMulA (same cfg,
 // GroupParties = k) on every feature party.
 func NewMultiSparseMatMulB(g *protocol.Group, cfg Config, inAs []int, inB int) *MultiSparseMatMulB {
+	return NewMultiSparseMatMulBShard(g, cfg, inAs, inB, g.K())
+}
+
+// NewMultiSparseMatMulBShard is the sparse analog of NewMultiMatMulBShard:
+// the group holds a shard's session slice, parties the global count that
+// sets Config.GroupParties.
+func NewMultiSparseMatMulBShard(g *protocol.Group, cfg Config, inAs []int, inB, parties int) *MultiSparseMatMulB {
 	if len(inAs) != g.K() {
 		panic(fmt.Sprintf("core: NewMultiSparseMatMulB got %d feature widths for %d sessions", len(inAs), g.K()))
 	}
-	cfg.GroupParties = g.K()
+	cfg.GroupParties = parties
 	m := &MultiSparseMatMulB{g: g, subs: make([]*SparseMatMulB, g.K())}
 	g.ForEach(func(i int, p *protocol.Peer) {
 		m.subs[i] = NewSparseMatMulB(p, cfg, inAs[i], inB)
@@ -94,15 +128,26 @@ func NewMultiSparseMatMulB(g *protocol.Group, cfg Config, inAs []int, inB int) *
 // Forward runs the k sparse sub-forwards concurrently and sums the partial
 // activations in session order.
 func (m *MultiSparseMatMulB) Forward(x *tensor.CSR) *tensor.Dense {
+	return sumInOrder(m.ForwardParts(x))
+}
+
+// ForwardParts is the sparse analog of MultiMatMulB.ForwardParts: unsummed
+// per-session partials in session order, for the shard worker's merge path.
+func (m *MultiSparseMatMulB) ForwardParts(x *tensor.CSR) []*tensor.Dense {
 	zs := make([]*tensor.Dense, len(m.subs))
 	m.g.ForEach(func(i int, _ *protocol.Peer) { zs[i] = m.subs[i].Forward(x) })
-	return sumInOrder(zs)
+	return zs
 }
 
 // Backward fans ∇Z out to every session concurrently, with the same 1/k
 // local scaling as the dense multi layer.
 func (m *MultiSparseMatMulB) Backward(gradZ *tensor.Dense) {
-	scaled := gradZ.Scale(1 / float64(liveCount(m.g)))
+	m.BackwardTotal(gradZ, liveCount(m.g))
+}
+
+// BackwardTotal is the sparse analog of MultiMatMulB.BackwardTotal.
+func (m *MultiSparseMatMulB) BackwardTotal(gradZ *tensor.Dense, total int) {
+	scaled := gradZ.Scale(1 / float64(total))
 	m.g.ForEach(func(i int, _ *protocol.Peer) { m.subs[i].backwardMulti(gradZ, scaled) })
 }
 

@@ -106,6 +106,15 @@ func (m *MultiMatMulB) ServeStart() {
 // order before the single decode (exact, so the order only matters for
 // determinism of the float result, which the integer domain gives for free).
 func (m *MultiMatMulB) ServeForward(x *tensor.Dense) *tensor.Dense {
+	return m.ServeShareSum(x).DecodeTranspose()
+}
+
+// ServeShareSum runs the serve sub-forwards and returns the session-order
+// share sum *without* decoding — the shard worker's eval partial. Shares are
+// exact scaled integers, so the root may add shard partials in shard order
+// and decode once, bit-identical to the all-sessions sum (unlike the float
+// training partials, which must ship per session).
+func (m *MultiMatMulB) ServeShareSum(x *tensor.Dense) *hetensor.BigMatrix {
 	shares := make([]*hetensor.BigMatrix, len(m.subs))
 	m.g.ForEach(func(i int, _ *protocol.Peer) { shares[i] = m.subs[i].ServeShare(x) })
 	var z *hetensor.BigMatrix
@@ -119,5 +128,5 @@ func (m *MultiMatMulB) ServeForward(x *tensor.Dense) *tensor.Dense {
 			z.AddInPlace(s)
 		}
 	}
-	return z.DecodeTranspose()
+	return z
 }

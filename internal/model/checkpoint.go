@@ -78,6 +78,17 @@ func (c *ckCapture) captureB(mb *FedB) {
 	c.ck.Head = headParams(mb.head)
 }
 
+// captureShardB records the sharded label party's pieces: the per-session
+// layer halves gathered from the workers (already in global session order)
+// plus the root-held head parameters.
+func (c *ckCapture) captureShardB(blobs [][]byte, mb *FedB) {
+	if c.ck == nil {
+		return
+	}
+	copy(c.ck.LayerB, blobs)
+	c.ck.Head = headParams(mb.head)
+}
+
 func (c *ckCapture) write(w io.Writer) error {
 	if c.ck == nil {
 		return nil

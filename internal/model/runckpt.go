@@ -46,6 +46,13 @@ type runCheckpoint struct {
 	Head        []*tensor.Dense
 	HeadMom     []*tensor.Dense // head optimizer momentum, params() order
 	Fingerprint uint64          // engine.Options.Fingerprint() of the run
+
+	// Shards records the worker count of the sharded run that wrote the
+	// checkpoint (0: single-process). Informational only — the layer halves
+	// are stored per *session*, and every per-session stream is a pure
+	// function of the global session index, so a checkpoint resumes onto any
+	// shard count (including unsharded) bit-exactly.
+	Shards int
 }
 
 // runCkpt collects the per-party deposits for each checkpointed epoch and
@@ -55,9 +62,10 @@ type runCheckpoint struct {
 // recorded and surfaced once by finish — a failing checkpoint disk should
 // not tear down an otherwise healthy training run mid-epoch.
 type runCkpt struct {
-	t    Trainer
-	ds   *data.Dataset
-	inAs []int
+	t      Trainer
+	ds     *data.Dataset
+	inAs   []int
+	shards int // worker count of a sharded run (0: single-process)
 
 	mu   sync.Mutex
 	pend map[int]*runCheckpoint
@@ -81,11 +89,18 @@ func (c *runCkpt) due(e int) bool {
 	if c == nil {
 		return false
 	}
-	every := c.t.CheckpointEvery
+	return ckptDue(e, c.t.CheckpointEvery, c.t.Hyper.Epochs)
+}
+
+// ckptDue is the checkpoint-epoch formula shared by the root collector and
+// the shard workers: both sides must agree on which epoch boundaries deposit
+// layer halves, with no coordination message — it is part of the
+// deterministic schedule (values of every below 1 mean every epoch).
+func ckptDue(e, every, epochs int) bool {
 	if every < 1 {
 		every = 1
 	}
-	return (e+1)%every == 0 && e+1 < c.t.Hyper.Epochs
+	return (e+1)%every == 0 && e+1 < epochs
 }
 
 // depositA adds feature party i's layer half for epoch e.
@@ -106,6 +121,23 @@ func (c *runCkpt) depositB(e int, mb *FedB, losses []float64) {
 	}
 	blobs, err := saveLayerB(mb)
 	c.add(e, err, func(ck *runCheckpoint) {
+		copy(ck.LayerB, blobs)
+		ck.Head = headParams(mb.head)
+		ck.HeadMom = mb.opt.MomentumState()
+		ck.Losses = append([]float64(nil), losses...)
+	})
+}
+
+// depositShardB adds the sharded label party's contribution for epoch e: the
+// layer halves gathered from the workers (already in global session order)
+// plus the root-held head, momentum and loss prefix — one deposit, like the
+// single-process depositB, so the k+1 arrival count is unchanged.
+func (c *runCkpt) depositShardB(e int, blobs [][]byte, mb *FedB, losses []float64) {
+	if !c.due(e) {
+		return
+	}
+	c.add(e, nil, func(ck *runCheckpoint) {
+		ck.Shards = c.shards
 		copy(ck.LayerB, blobs)
 		ck.Head = headParams(mb.head)
 		ck.HeadMom = mb.opt.MomentumState()
@@ -270,23 +302,8 @@ func (t Trainer) Resume(ds *data.Dataset, ps PartySet) (*History, error) {
 	if ps.B == nil || k == 0 || k != ps.B.K() {
 		return nil, fmt.Errorf("model: Resume needs a party set matching the checkpoint")
 	}
-	if len(ck.InAs) != k {
-		return nil, fmt.Errorf("model: checkpoint spans %d feature parties, party set has %d", len(ck.InAs), k)
-	}
-	if ck.Kind != t.Kind {
-		return nil, fmt.Errorf("model: checkpoint is a %s run, trainer wants %s", ck.Kind, t.Kind)
-	}
-	if ck.Fingerprint != t.Hyper.Options.Fingerprint() {
-		return nil, fmt.Errorf("model: engine options changed since the checkpoint (fingerprint %016x, trainer %016x) — a resume under a different engine configuration would not be bit-exact",
-			ck.Fingerprint, t.Hyper.Options.Fingerprint())
-	}
-	ckH, h := ck.Hyper, t.Hyper
-	ckH.Epochs, h.Epochs = 0, 0
-	if !reflect.DeepEqual(ckH, h) {
-		return nil, fmt.Errorf("model: hyper-parameters differ from the checkpointed run (only the epoch count may change on resume)")
-	}
-	if ck.Epoch >= t.Hyper.Epochs {
-		return nil, fmt.Errorf("model: checkpoint already covers %d of %d epochs — nothing to resume", ck.Epoch, t.Hyper.Epochs)
+	if err := t.resumeCompat(ck, k); err != nil {
+		return nil, err
 	}
 	for _, p := range append(append([]*protocol.Peer{}, ps.As...), ps.B.Peers...) {
 		if !p.HasStreamIdentity() {
@@ -297,6 +314,34 @@ func (t Trainer) Resume(ds *data.Dataset, ps PartySet) (*History, error) {
 		return t.resumePair(ck, ds, ps.As[0], ps.B.Peers[0])
 	}
 	return t.resumeMulti(ck, ds, ps)
+}
+
+// resumeCompat checks a restored checkpoint against the trainer's
+// configuration — the shared validation gate of Resume and ResumeSharded. k
+// is the session count the caller will run; a checkpoint's *shard* topology
+// is deliberately not checked (any shard count resumes any checkpoint), but
+// its session count, model family, engine options and hyper-parameters must
+// match for the resumed trajectory to be the uninterrupted run's.
+func (t Trainer) resumeCompat(ck *runCheckpoint, k int) error {
+	if len(ck.InAs) != k {
+		return fmt.Errorf("model: checkpoint spans %d feature parties, party set has %d", len(ck.InAs), k)
+	}
+	if ck.Kind != t.Kind {
+		return fmt.Errorf("model: checkpoint is a %s run, trainer wants %s", ck.Kind, t.Kind)
+	}
+	if ck.Fingerprint != t.Hyper.Options.Fingerprint() {
+		return fmt.Errorf("model: engine options changed since the checkpoint (fingerprint %016x, trainer %016x) — a resume under a different engine configuration would not be bit-exact",
+			ck.Fingerprint, t.Hyper.Options.Fingerprint())
+	}
+	ckH, h := ck.Hyper, t.Hyper
+	ckH.Epochs, h.Epochs = 0, 0
+	if !reflect.DeepEqual(ckH, h) {
+		return fmt.Errorf("model: hyper-parameters differ from the checkpointed run (only the epoch count may change on resume)")
+	}
+	if ck.Epoch >= t.Hyper.Epochs {
+		return fmt.Errorf("model: checkpoint already covers %d of %d epochs — nothing to resume", ck.Epoch, t.Hyper.Epochs)
+	}
+	return nil
 }
 
 // resumePair continues a two-party run from ck.

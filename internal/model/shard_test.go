@@ -1,0 +1,329 @@
+package model
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"blindfl/internal/data"
+	"blindfl/internal/paillier"
+	"blindfl/internal/protocol"
+	"blindfl/internal/tensor"
+	"blindfl/internal/transport"
+)
+
+// shardKeys builds the ShardSet key material for k sessions from the shared
+// test keys — the same keys fedGroup uses, so a sharded run and a GroupPipe
+// baseline decrypt identical plaintexts.
+func shardKeys(t testing.TB, k int) ([]*paillier.PrivateKey, *paillier.PrivateKey) {
+	t.Helper()
+	skA, skB := protocol.TestKeys()
+	skAs := make([]*paillier.PrivateKey, k)
+	for i := range skAs {
+		skAs[i] = skA
+	}
+	return skAs, skB
+}
+
+// runSharded drives one TrainSharded run over an in-process worker fleet and
+// fails the test on any error, root- or worker-side.
+func runSharded(t *testing.T, tr Trainer, ds *data.Dataset, k, shards int) *History {
+	t.Helper()
+	skAs, skB := shardKeys(t, k)
+	dial, wait, stop := StartShardWorkers(shards, skB, nil)
+	hist, err := tr.TrainSharded(ds, ShardSet{Shards: shards, SKAs: skAs, Dial: dial})
+	if err != nil {
+		stop()
+		wait()
+		t.Fatalf("%d-shard run: %v", shards, err)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("%d-shard workers: %v", shards, err)
+	}
+	return hist
+}
+
+// TestShardBitExactDense is the tentpole acceptance check: a sharded dense
+// run is bit-identical to the single-process k-party run — same losses, same
+// test metric, same test logits — for shard counts 1 (one control link, all
+// sessions in one worker) and 2 (an uneven 2+1 split of the 3 sessions). The
+// baseline group MUST be piped with the hyper seed: TrainSharded derives
+// every stream from h.Seed, and the per-session streams drive the weight
+// pieces, so a baseline over a different pipe seed would only agree in
+// distribution.
+func TestShardBitExactDense(t *testing.T) {
+	const k = 3
+	ds := data.Generate(tinySpec("t-shard", 16, 16, 2, false), 33)
+	h := tinyHyper()
+	h.Epochs = 3
+	as, g := fedGroup(t, k, h.Seed)
+	base, err := TrainFederatedMulti(LR, ds, h, as, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 2} {
+		hist := runSharded(t, Trainer{Kind: LR, Hyper: h}, ds, k, shards)
+		requireBitIdentical(t, fmt.Sprintf("%d-shard dense", shards), hist, base)
+	}
+}
+
+// TestShardBitExactSparse repeats the bit-exactness over a sparse dataset:
+// the workers run the MultiSparseMatMulB shard constructor and the test-set
+// evaluation goes through the partials path (no serve forward for sparse
+// data), so this pins the second source-layer family end to end.
+func TestShardBitExactSparse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sparse shard bit-exactness skipped in -short")
+	}
+	const k = 3
+	ds := data.Generate(tinySpec("t-shardsp", 60, 6, 2, false), 34)
+	h := tinyHyper()
+	as, g := fedGroup(t, k, h.Seed)
+	base, err := TrainFederatedMulti(LR, ds, h, as, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := runSharded(t, Trainer{Kind: LR, Hyper: h}, ds, k, 2)
+	requireBitIdentical(t, "2-shard sparse", hist, base)
+}
+
+// TestShardServeCheckpointBitIdentity: a serve checkpoint captured from a
+// sharded run (worker layer blobs re-slotted in global session order)
+// restores onto fresh single-process sessions and serves the training-time
+// test logits bit for bit — the checkpoint format is shard-oblivious.
+func TestShardServeCheckpointBitIdentity(t *testing.T) {
+	const k = 2
+	ds := data.Generate(tinySpec("t-shardck", 14, 14, 2, false), 36)
+	h := tinyHyper()
+	var buf bytes.Buffer
+	hist := runSharded(t, Trainer{Kind: LR, Hyper: h, Checkpoint: &buf}, ds, k, 2)
+
+	skAs, skB := shardKeys(t, k)
+	as, g, err := protocol.GroupPipe(skAs, skB, 711)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPredictor(bytes.NewReader(buf.Bytes()), PartySet{As: as, B: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testAs := data.SplitCols(ds.TestA, k)
+	xAs := make([]*tensor.Dense, k)
+	for i, part := range testAs {
+		xAs[i] = part.Dense
+	}
+	got, err := p.PredictBatch(xAs, ds.TestB.Dense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameBits(t, got, hist.TestLogits, "sharded-checkpoint served logits")
+}
+
+// TestShardValidation pins the up-front refusals: embedding families, more
+// shards than sessions, checkpoints over non-serveable data, and an empty
+// shard set all fail before any worker is dialed.
+func TestShardValidation(t *testing.T) {
+	dense := data.Generate(tinySpec("t-shardval", 8, 8, 2, true), 37)
+	sparse := data.Generate(tinySpec("t-shardvsp", 40, 5, 2, false), 38)
+	noDial := func(int) (transport.Conn, error) {
+		return nil, errors.New("validation must fail before dialing")
+	}
+	skAs, _ := shardKeys(t, 2)
+
+	if _, err := (Trainer{Kind: WDL, Hyper: tinyHyper()}).TrainSharded(dense,
+		ShardSet{Shards: 1, SKAs: skAs, Dial: noDial}); err == nil || !strings.Contains(err.Error(), "numeric families") {
+		t.Fatalf("embedding family: err = %v, want a numeric-families rejection", err)
+	}
+	if _, err := (Trainer{Kind: LR, Hyper: tinyHyper()}).TrainSharded(dense,
+		ShardSet{Shards: 3, SKAs: skAs, Dial: noDial}); err == nil {
+		t.Fatal("3 shards over 2 sessions accepted")
+	}
+	var buf bytes.Buffer
+	if _, err := (Trainer{Kind: LR, Hyper: tinyHyper(), Checkpoint: &buf}).TrainSharded(sparse,
+		ShardSet{Shards: 1, SKAs: skAs, Dial: noDial}); err == nil || !strings.Contains(err.Error(), "serveable") {
+		t.Fatalf("sparse checkpoint: err = %v, want a serveable-families rejection", err)
+	}
+	if _, err := (Trainer{Kind: LR, Hyper: tinyHyper()}).TrainSharded(dense, ShardSet{}); err == nil {
+		t.Fatal("empty shard set accepted")
+	}
+}
+
+// TestChaosShardKillTyped kills shard 1's control link mid-epoch (FaultConn
+// closes it at the root's 5th send — a gradient broadcast) and requires the
+// run to fail with exactly ONE typed error: protocol.ErrShardLost, never the
+// transport.ErrClosed cascade the teardown provokes in the surviving shard
+// and the feature parties.
+func TestChaosShardKillTyped(t *testing.T) {
+	const k = 2
+	ds := data.Generate(tinySpec("t-shardkill", 12, 12, 2, false), 39)
+	h := tinyHyper()
+	skAs, skB := shardKeys(t, k)
+	pair := func(shard, ord int) (transport.Conn, transport.Conn) {
+		root, worker := transport.Pair(4096)
+		if shard == 1 && ord == 0 {
+			return transport.NewFaultConn(root, 9, "chaos-shard-kill", transport.FaultPlan{KillAtMsg: 5}), worker
+		}
+		return root, worker
+	}
+	dial, wait, stop := StartShardWorkers(2, skB, pair)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Trainer{Kind: LR, Hyper: h}.TrainSharded(ds, ShardSet{Shards: 2, SKAs: skAs, Dial: dial})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, protocol.ErrShardLost) {
+			t.Fatalf("killed-shard run error = %v, want ErrShardLost", err)
+		}
+		if errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("killed-shard run error %v still matches ErrClosed; the cascade leaked", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("killed-shard run hung instead of failing typed")
+	}
+	stop()
+	wait() // drain the workers' cascade errors
+}
+
+// TestChaosShardKillResume is the crash-recovery acceptance check: a 2-shard
+// run with durable checkpoints is killed mid-epoch-2, then resumed onto a
+// DIFFERENT shard count (one worker) — and the stitched trajectory is
+// bit-identical to an uninterrupted run. Per-session layer halves and
+// global-session-index streams make a checkpoint shard-topology-free; out of
+// -short, the same checkpoint also resumes unsharded through Trainer.Resume.
+func TestChaosShardKillResume(t *testing.T) {
+	const k = 2
+	ds := data.Generate(tinySpec("t-shardres", 12, 12, 2, false), 35)
+	h := tinyHyper()
+	h.Epochs = 4
+	ref := runSharded(t, Trainer{Kind: LR, Hyper: h}, ds, k, 2)
+
+	dir := t.TempDir()
+	skAs, skB := shardKeys(t, k)
+	tr := Trainer{Kind: LR, Hyper: h, CheckpointDir: dir, CheckpointEvery: 1}
+	pair := func(shard, ord int) (transport.Conn, transport.Conn) {
+		root, worker := transport.Pair(4096)
+		if shard == 1 && ord == 0 {
+			// Sends on the control link: hello, setup, then one gradient per
+			// batch (5 per epoch) — send 15 is epoch 2's third gradient, so
+			// the epoch-1 and epoch-2 checkpoints are already durable.
+			return transport.NewFaultConn(root, 9, "chaos-shard-resume", transport.FaultPlan{KillAtMsg: 15}), worker
+		}
+		return root, worker
+	}
+	dial, wait, stop := StartShardWorkers(2, skB, pair)
+	done := make(chan error, 1)
+	go func() {
+		_, err := tr.TrainSharded(ds, ShardSet{Shards: 2, SKAs: skAs, Dial: dial})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, protocol.ErrShardLost) {
+			t.Fatalf("killed run error = %v, want ErrShardLost", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("killed run hung instead of failing typed")
+	}
+	stop()
+	wait()
+
+	dial2, wait2, stop2 := StartShardWorkers(1, skB, nil)
+	resumed, err := tr.ResumeSharded(ds, ShardSet{Shards: 1, SKAs: skAs, Dial: dial2})
+	if err != nil {
+		stop2()
+		wait2()
+		t.Fatalf("ResumeSharded onto 1 shard: %v", err)
+	}
+	if err := wait2(); err != nil {
+		t.Fatalf("resume worker: %v", err)
+	}
+	requireBitIdentical(t, "2-shard kill, 1-shard resume", resumed, ref)
+
+	if testing.Short() {
+		return
+	}
+	as, g := fedGroup(t, k, h.Seed)
+	unsharded, err := tr.Resume(ds, PartySet{As: as, B: g})
+	if err != nil {
+		t.Fatalf("unsharded Resume of a sharded checkpoint: %v", err)
+	}
+	requireBitIdentical(t, "sharded checkpoint, unsharded resume", unsharded, ref)
+}
+
+// TestShardMultiProcessSmoke runs the real thing: two blindfl-shard worker
+// PROCESSES over loopback TCP, driven by the blindfl-train binary with
+// -shards 2 -shard-connect. Everything in-process above is re-checked across
+// genuine process and network boundaries.
+func TestShardMultiProcessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke skipped in -short")
+	}
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, name := range []string{"blindfl-shard", "blindfl-train"} {
+		bin := filepath.Join(dir, name)
+		out, err := exec.Command("go", "build", "-o", bin, "blindfl/cmd/"+name).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", name, err, out)
+		}
+		bins[name] = bin
+	}
+
+	var addrs []string
+	var workers []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		cmd := exec.Command(bins["blindfl-shard"], "-timeout", "120s")
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start shard worker %d: %v", i, err)
+		}
+		workers = append(workers, cmd)
+		t.Cleanup(func() { cmd.Process.Kill() })
+		addrCh := make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(stdout)
+			for sc.Scan() {
+				if strings.HasPrefix(sc.Text(), "SHARD_LISTEN ") {
+					addrCh <- strings.TrimPrefix(sc.Text(), "SHARD_LISTEN ")
+					return
+				}
+			}
+			addrCh <- ""
+		}()
+		select {
+		case a := <-addrCh:
+			if a == "" {
+				t.Fatalf("shard worker %d exited without announcing an address: %s", i, stderr.String())
+			}
+			addrs = append(addrs, a)
+		case <-time.After(30 * time.Second):
+			t.Fatalf("shard worker %d never announced SHARD_LISTEN", i)
+		}
+	}
+
+	out, err := exec.Command(bins["blindfl-train"],
+		"-dataset", "a9a", "-model", "lr", "-train", "96", "-test", "48",
+		"-epochs", "1", "-batch", "32", "-parties", "2",
+		"-shards", "2", "-shard-connect", strings.Join(addrs, ",")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sharded blindfl-train run failed: %v\n%s", err, out)
+	}
+	for i, w := range workers {
+		if err := w.Wait(); err != nil {
+			t.Fatalf("shard worker %d exited with %v", i, err)
+		}
+	}
+}

@@ -275,8 +275,20 @@ func SessionRNG(seed int64, session int, role Role) *rand.Rand {
 	return sessionRNG(seed, session, role)
 }
 
+// ShardSessionRNG is SessionRNG in the sharded coordinate system
+// (seed, shard, session, role): shard is the worker's session offset — the
+// global index of its first session — and session is shard-local, so the
+// stream is a pure function of the global session index and shard 0 of 1
+// reproduces SessionRNG exactly (rng.Session owns that identity). Shard
+// workers seed their peers through this so re-partitioning the sessions
+// across a different worker count never moves a mask stream.
+func ShardSessionRNG(seed int64, shard, session int, role Role) *rand.Rand {
+	return rand.New(rand.NewSource(rng.Session(seed, shard, session, uint64(role))))
+}
+
 // sessionRNG derives the mask/init RNG stream for one (seed, session, role)
-// triple via a SplitMix64-style finalizer over all three inputs.
+// triple via rng.Session, the SplitMix64-style finalizer over all inputs
+// (shard coordinate 0: the unsharded run is shard 0 of 1).
 //
 // The previous scheme seeded the two peers of session i with the raw values
 // seed+i and seed+i+1, so *adjacent sessions of a group shared mask
@@ -287,21 +299,14 @@ func SessionRNG(seed int64, session int, role Role) *rand.Rand {
 // Hashing (seed, session, role) makes every stream of every session
 // statistically independent while keeping runs reproducible from one seed.
 func sessionRNG(seed int64, session int, role Role) *rand.Rand {
-	h := rng.Mix64(uint64(seed) + 0x9e3779b97f4a7c15)
-	h = rng.Mix64(h ^ (uint64(session) + 0x9e3779b97f4a7c15))
-	h = rng.Mix64(h ^ uint64(role))
-	return rand.New(rand.NewSource(int64(h)))
+	return rand.New(rand.NewSource(rng.Session(seed, 0, session, uint64(role))))
 }
 
 // epochRNG extends sessionRNG with an epoch coordinate: the mask stream a
 // peer uses during epoch e is a pure function of (seed, session, role, e),
 // so a crash-resumed run re-derives exactly the stream the uninterrupted run
 // had at that boundary. epoch+1 keeps epoch 0 distinct from the sessionRNG
-// init stream.
+// init stream (rng.SessionEpoch owns the derivation).
 func epochRNG(seed int64, session int, role Role, epoch int) *rand.Rand {
-	h := rng.Mix64(uint64(seed) + 0x9e3779b97f4a7c15)
-	h = rng.Mix64(h ^ (uint64(session) + 0x9e3779b97f4a7c15))
-	h = rng.Mix64(h ^ uint64(role))
-	h = rng.Mix64(h ^ (uint64(epoch+1) * 0x9e3779b97f4a7c15))
-	return rand.New(rand.NewSource(int64(h)))
+	return rand.New(rand.NewSource(rng.SessionEpoch(seed, 0, session, uint64(role), epoch)))
 }

@@ -43,3 +43,36 @@ func Derive(seed int64, label string) int64 {
 func New(seed int64, label string) *rand.Rand {
 	return rand.New(rand.NewSource(Derive(seed, label)))
 }
+
+// Session derives the seed of a per-session protocol stream from the
+// (seed, shard, session, role) coordinate. The shard coordinate is the
+// shard's session offset — the global index of its first session — and the
+// session coordinate is shard-local, so the derived seed depends only on the
+// global session index shard+session. That one identity carries the whole
+// sharding story: shard 0 of 1 (offset 0) reproduces the unsharded streams
+// bit for bit, and re-partitioning k sessions across a different shard count
+// leaves every session's streams unchanged, which is what makes checkpoints
+// resumable onto any shard count.
+//
+// This is the only sanctioned place stream coordinates may be folded
+// together; callers pass them separately (the rngstream analyzer flags
+// arithmetic in derivation-call arguments).
+func Session(seed int64, shard, session int, role uint64) int64 {
+	h := Mix64(uint64(seed) + golden)
+	h = Mix64(h ^ (uint64(shard+session) + golden))
+	h = Mix64(h ^ role)
+	return int64(h)
+}
+
+// SessionEpoch extends Session with a per-epoch coordinate: the stream a
+// session re-derives at each epoch boundary so a resumed run can re-enter
+// the exact mask stream of any epoch without replaying the earlier ones.
+// The epoch enters as (epoch+1)*golden so epoch 0's stream differs from the
+// setup stream Session returns.
+func SessionEpoch(seed int64, shard, session int, role uint64, epoch int) int64 {
+	h := Mix64(uint64(seed) + golden)
+	h = Mix64(h ^ (uint64(shard+session) + golden))
+	h = Mix64(h ^ role)
+	h = Mix64(h ^ (uint64(epoch+1) * golden))
+	return int64(h)
+}

@@ -36,6 +36,53 @@ func TestArithmeticRelationsDoNotSurvive(t *testing.T) {
 	}
 }
 
+// TestSessionOffsetIdentity pins the identity the whole sharding design
+// rides on: the shard coordinate is the shard's session offset, folded with
+// the shard-local index into the global session index — so Session(seed, lo,
+// j, role) IS Session(seed, 0, lo+j, role), shard 0 of 1 reproduces the
+// unsharded streams, and re-partitioning sessions across any shard count
+// never moves a stream.
+func TestSessionOffsetIdentity(t *testing.T) {
+	for _, seed := range []int64{0, 1, 42, -7} {
+		for _, role := range []uint64{1, 2} {
+			for lo := 0; lo < 5; lo++ {
+				for j := 0; j < 5; j++ {
+					if got, want := Session(seed, lo, j, role), Session(seed, 0, lo+j, role); got != want {
+						t.Fatalf("Session(%d,%d,%d,%d) = %d, want the global-index stream %d", seed, lo, j, role, got, want)
+					}
+					for _, epoch := range []int{0, 1, 3} {
+						if got, want := SessionEpoch(seed, lo, j, role, epoch), SessionEpoch(seed, 0, lo+j, role, epoch); got != want {
+							t.Fatalf("SessionEpoch(%d,%d,%d,%d,%d) != global-index stream", seed, lo, j, role, epoch)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSessionStreamsDistinct checks neighboring coordinates and roles do not
+// alias, and that the epoch streams differ from the setup stream.
+func TestSessionStreamsDistinct(t *testing.T) {
+	seen := map[int64]bool{}
+	for s := 0; s < 8; s++ {
+		for _, role := range []uint64{1, 2} {
+			d := Session(7, 0, s, role)
+			if seen[d] {
+				t.Fatalf("Session stream collision at session %d role %d", s, role)
+			}
+			seen[d] = true
+			for epoch := 0; epoch < 4; epoch++ {
+				e := SessionEpoch(7, 0, s, role, epoch)
+				if seen[e] {
+					t.Fatalf("SessionEpoch stream collision at session %d role %d epoch %d", s, role, epoch)
+				}
+				seen[e] = true
+			}
+		}
+	}
+}
+
 func TestMix64KnownValue(t *testing.T) {
 	// SplitMix64 finalizer of 0 with the golden increment: the first output
 	// of a SplitMix64 sequence seeded with 0 (reference value from the

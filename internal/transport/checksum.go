@@ -146,6 +146,57 @@ func (f *fnvWriter) writeValue(v any) {
 		for _, c := range m.C {
 			f.writeCipher(c)
 		}
+	case *ShardHello:
+		f.writeUint64(12)
+		f.writeUint64(uint64(int64(m.Shard)))
+		f.writeUint64(uint64(int64(m.Shards)))
+		f.writeUint64(uint64(int64(m.Sessions)))
+		f.writeUint64(m.Fingerprint)
+	case *ShardAck:
+		f.writeUint64(13)
+		f.writeUint64(uint64(int64(m.Shard)))
+		f.writeUint64(m.Fingerprint)
+	case *SessionHello:
+		f.writeUint64(14)
+		f.writeUint64(uint64(int64(m.Session)))
+		f.writeUint64(m.Fingerprint)
+	case *ShardParts:
+		f.writeUint64(15)
+		f.writeUint64(m.Seq)
+		f.writeUint64(uint64(len(m.Zs)))
+		for _, z := range m.Zs {
+			if z == nil {
+				f.writeUint64(0)
+				continue
+			}
+			f.writeValue(z)
+		}
+	case *ShardGrad:
+		f.writeUint64(16)
+		f.writeUint64(m.Seq)
+		if m.G != nil {
+			f.writeValue(m.G)
+		}
+	case *ShardShare:
+		f.writeUint64(17)
+		f.writeUint64(m.Seq)
+		if m.S != nil {
+			f.writeValue(m.S)
+		}
+	case *ShardLayers:
+		f.writeUint64(18)
+		f.writeUint64(uint64(int64(m.Epoch)))
+		f.writeUint64(uint64(len(m.Blobs)))
+		for _, b := range m.Blobs {
+			f.writeUint64(uint64(len(b)))
+			f.w.Write(b)
+		}
+	case *ShardBlob:
+		f.writeUint64(19)
+		f.writeUint64(uint64(len(m.Kind)))
+		f.w.Write([]byte(m.Kind))
+		f.writeUint64(uint64(len(m.Data)))
+		f.w.Write(m.Data)
 	default:
 		// Non-structural payloads: a stable type tag. The stream layer only
 		// ships the matrix types above; anything else is control traffic.

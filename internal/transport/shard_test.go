@@ -1,0 +1,119 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+
+	"blindfl/internal/tensor"
+)
+
+// TestListenerMultiAccept pins the property the shard worker depends on: one
+// Listener accepts many conns (the control link plus one per owned session),
+// unlike the one-shot Listen.
+func TestListenerMultiAccept(t *testing.T) {
+	ln, err := NewListener("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr()
+	if addr == "" {
+		t.Fatal("Listener has no bound address")
+	}
+	for i := 0; i < 3; i++ {
+		dialed := make(chan Conn, 1)
+		errs := make(chan error, 1)
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- nil
+			dialed <- c
+		}()
+		srv, err := ln.Accept()
+		if err != nil {
+			t.Fatalf("accept %d: %v", i, err)
+		}
+		if err := <-errs; err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		cli := <-dialed
+		want := 100 + i
+		sendErr := make(chan error, 1)
+		go func() { sendErr <- cli.Send(want) }()
+		got, err := srv.Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if err := <-sendErr; err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("conn %d carried %v, want %d", i, got, want)
+		}
+		cli.Close()
+		srv.Close()
+	}
+}
+
+// TestListenerCloseUnblocksAccept: closing the listener makes a pending
+// Accept return an error instead of hanging the worker forever.
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	ln, err := NewListener("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 1)
+	go func() {
+		_, err := ln.Accept()
+		errs <- err
+	}()
+	ln.Close()
+	if err := <-errs; err == nil {
+		t.Fatal("Accept returned nil after Close")
+	}
+}
+
+// TestShardMessageChecksums seals each shard-plane message type in the
+// structural-checksum envelope and verifies (a) the round trip passes and
+// (b) a post-seal field mutation fails typed ErrCorrupt — the shard links
+// send every message this way.
+func TestShardMessageChecksums(t *testing.T) {
+	z := tensor.NewDense(2, 3)
+	z.Data[0] = 1.5
+	msgs := []struct {
+		name   string
+		v      any
+		mutate func()
+	}{
+		{"hello", &ShardHello{Shard: 1, Shards: 2, Sessions: 4, Fingerprint: 7}, nil},
+		{"ack", &ShardAck{Shard: 1, Fingerprint: 7}, nil},
+		{"sessionhello", &SessionHello{Session: 3, Fingerprint: 7}, nil},
+		{"parts", &ShardParts{Seq: 9, Zs: []*tensor.Dense{z, nil}}, nil},
+		{"grad", &ShardGrad{Seq: 9, G: z}, nil},
+		{"layers", &ShardLayers{Epoch: 2, Blobs: [][]byte{{1, 2}, {3}}}, nil},
+		{"blob", &ShardBlob{Kind: "setup", Data: []byte{4, 5, 6}}, nil},
+	}
+	for _, m := range msgs {
+		t.Run(m.name, func(t *testing.T) {
+			hs := NewHandshake(m.v)
+			if err := hs.Verify(); err != nil {
+				t.Fatalf("sealed %s fails verification: %v", m.name, err)
+			}
+		})
+	}
+
+	hs := NewHandshake(&ShardHello{Shard: 1, Shards: 2, Sessions: 4, Fingerprint: 7})
+	hs.V.(*ShardHello).Fingerprint = 8
+	if err := hs.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mutated hello verification = %v, want ErrCorrupt", err)
+	}
+
+	hp := NewHandshake(&ShardParts{Seq: 1, Zs: []*tensor.Dense{z}})
+	z.Data[0] = -z.Data[0]
+	if err := hp.Verify(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mutated parts verification = %v, want ErrCorrupt", err)
+	}
+}
